@@ -1,0 +1,215 @@
+package alpha_test
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"testing"
+	"time"
+
+	"alpha"
+	"alpha/internal/core"
+)
+
+// TestPublicAPISimulatedPath exercises the facade the way the README's
+// quickstart does: simulator, two endpoints, one verifying relay.
+func TestPublicAPISimulatedPath(t *testing.T) {
+	net := alpha.NewNetwork(5)
+	cfg := alpha.Config{Mode: alpha.ModeC, BatchSize: 4, Reliable: true, ChainLen: 128}
+	epA, err := alpha.NewEndpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := alpha.NewEndpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := alpha.NewEndpointNode(net, "a", "b", epA)
+	b := alpha.NewEndpointNode(net, "b", "a", epB)
+	r := alpha.NewRelayNode(net, "r", alpha.RelayConfig{})
+	link := alpha.DefaultLink()
+	net.AddDuplexLink("a", "r", link)
+	net.AddDuplexLink("r", "b", link)
+	net.AutoRoute()
+
+	if err := a.Start(net.Now()); err != nil {
+		t.Fatal(err)
+	}
+	net.RunFor(time.Second)
+	if !epA.Established() {
+		t.Fatal("not established")
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := a.Send(net.Now(), []byte(fmt.Sprintf("api-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Flush(net.Now())
+	net.RunFor(2 * time.Second)
+	if got := len(b.DeliveredPayloads()); got != 8 {
+		t.Fatalf("delivered %d/8", got)
+	}
+	if a.CountEvents(alpha.EventAcked) != 8 {
+		t.Fatalf("acked %d/8", a.CountEvents(alpha.EventAcked))
+	}
+	if len(r.Extracted) != 8 {
+		t.Fatalf("relay extracted %d/8", len(r.Extracted))
+	}
+}
+
+// TestPublicAPIUDP exercises DialUDP/ListenUDP round trip.
+func TestPublicAPIUDP(t *testing.T) {
+	pa, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := alpha.Config{Mode: alpha.ModeBase, Reliable: true, ChainLen: 64}
+	type res struct {
+		c   *alpha.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := alpha.ListenUDP(pb, cfg, 5*time.Second)
+		ch <- res{c, err}
+	}()
+	dialer, err := alpha.DialUDP(pa, pb.LocalAddr(), cfg, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dialer.Close()
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	defer r.c.Close()
+	if _, err := dialer.Send([]byte("public api over udp")); err != nil {
+		t.Fatal(err)
+	}
+	dialer.Flush()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev := <-r.c.Events():
+			if ev.Kind == alpha.EventDelivered {
+				if string(ev.Payload) != "public api over udp" {
+					t.Fatalf("payload %q", ev.Payload)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("delivery timeout")
+		}
+	}
+}
+
+// TestFacadeAliasesAreInterchangeable pins the facade to the internal
+// packages so a refactor cannot silently fork the types.
+func TestFacadeAliasesAreInterchangeable(t *testing.T) {
+	var cfg alpha.Config = core.Config{Mode: alpha.ModeM}
+	if cfg.Mode != alpha.ModeM {
+		t.Fatal("Config alias broken")
+	}
+	var ev alpha.Event = core.Event{Kind: core.EventDelivered}
+	if ev.Kind != alpha.EventDelivered {
+		t.Fatal("Event alias broken")
+	}
+	if alpha.SHA1().Size() != 20 || alpha.MMO().Size() != 16 || alpha.SHA256().Size() != 32 {
+		t.Fatal("suite accessors broken")
+	}
+}
+
+// Example_quickstart is the runnable documentation example for the package.
+func Example_quickstart() {
+	simnet := alpha.NewNetwork(1)
+	cfg := alpha.Config{Mode: alpha.ModeBase, Reliable: true, ChainLen: 64}
+	epA, err := alpha.NewEndpoint(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	epB, err := alpha.NewEndpoint(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := alpha.NewEndpointNode(simnet, "a", "b", epA)
+	b := alpha.NewEndpointNode(simnet, "b", "a", epB)
+	simnet.AddDuplexLink("a", "b", alpha.DefaultLink())
+	simnet.AutoRoute()
+
+	if err := a.Start(simnet.Now()); err != nil {
+		log.Fatal(err)
+	}
+	simnet.RunFor(time.Second)
+	if _, err := a.Send(simnet.Now(), []byte("hello, verified world")); err != nil {
+		log.Fatal(err)
+	}
+	a.Flush(simnet.Now())
+	simnet.RunFor(time.Second)
+	for _, p := range b.DeliveredPayloads() {
+		fmt.Println(string(p))
+	}
+	// Output: hello, verified world
+}
+
+// TestFacadeConstructors covers the remaining facade surface.
+func TestFacadeConstructors(t *testing.T) {
+	if alpha.NewRelay(alpha.RelayConfig{}) == nil {
+		t.Fatal("NewRelay nil")
+	}
+	pi, pr, anchors, err := alpha.Provision(alpha.Config{ChainLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anchors.Assoc == 0 {
+		t.Fatal("no association id")
+	}
+	a, err := alpha.NewPreconfiguredEndpoint(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := alpha.NewPreconfiguredEndpoint(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Established() || !b.Established() {
+		t.Fatal("preconfigured endpoints not established via facade")
+	}
+	r := alpha.NewRelay(alpha.RelayConfig{Strict: true})
+	if err := r.Seed(alpha.SHA1(), anchors); err != nil {
+		t.Fatal(err)
+	}
+	// Verdict constants alias correctly.
+	if alpha.Forward.String() != "forward" || alpha.Drop.String() != "drop" {
+		t.Fatal("verdict aliases broken")
+	}
+	if alpha.ModeCM.String() != "ALPHA-CM" {
+		t.Fatal("mode alias broken")
+	}
+}
+
+// TestFacadeUDPRelay covers NewUDPRelay.
+func TestFacadeUDPRelay(t *testing.T) {
+	pa, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := alpha.NewUDPRelay(pr, pa.LocalAddr(), pb.LocalAddr(), alpha.RelayConfig{})
+	defer r.Close()
+	defer pa.Close()
+	defer pb.Close()
+	if r.Stats().Forwarded != 0 {
+		t.Fatal("fresh relay has traffic")
+	}
+}

@@ -1,0 +1,91 @@
+// Command alphabench regenerates every table and figure of the ALPHA paper
+// (Heer et al., CoNEXT 2008) on the local machine: it runs the real
+// protocol implementation under instrumented hash suites and timers, prints
+// measured values next to the paper's analytic models, and flags where the
+// shapes should match.
+//
+// Usage:
+//
+//	alphabench -exp all
+//	alphabench -exp table1|table2|table3|table4|table5|table6
+//	alphabench -exp fig3|fig5|fig6|wsn
+//
+// Absolute numbers differ from the paper (different decade, different CPU);
+// the relationships — who wins, by what factor, where curves bend — are the
+// reproduction target. See EXPERIMENTS.md for the recorded comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// experiment is one regenerable table or figure.
+type experiment struct {
+	name string
+	desc string
+	run  func() error
+}
+
+// extraExperiments collects experiments registered by other files (the
+// ablations), appended after the paper's tables and figures.
+var extraExperiments []experiment
+
+func experiments() []experiment {
+	return append([]experiment{
+		{"table1", "hash computations for processing one message (measured vs paper model)", runTable1},
+		{"table2", "memory requirements for n messages sent in parallel", runTable2},
+		{"table3", "additional memory for n parallel acknowledgments", runTable3},
+		{"table4", "ALPHA vs RSA/DSA processing delay", runTable4},
+		{"table5", "hash delay for 20 B and 1024 B inputs", runTable5},
+		{"table6", "ALPHA-M estimates: processing, payload, throughput, data per S1", runTable6},
+		{"fig3", "packet trace of the reliable pre-(n)ack exchange", runFig3},
+		{"fig5", "signed bytes per S1 vs number of signed packets", runFig5},
+		{"fig6", "transferred bytes per signed byte", runFig6},
+		{"wsn", "§4.1.3 sensor-network estimate with the MMO hash", runWSN},
+	}, extraExperiments...)
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, or comma-separated names)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	want := map[string]bool{}
+	runAll := *exp == "all"
+	for _, name := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	names := make([]string, 0, len(exps))
+	for _, e := range exps {
+		names = append(names, e.name)
+	}
+	sort.Strings(names)
+	ran := 0
+	for _, e := range exps {
+		if !runAll && !want[e.name] {
+			continue
+		}
+		fmt.Printf("==== %s: %s ====\n\n", e.name, e.desc)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n", *exp, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,237 @@
+// Command alphanode runs an ALPHA endpoint or verifying relay on real UDP
+// sockets — the deployment face of the library.
+//
+// A three-terminal demo on one machine:
+//
+//	alphanode -role listen -addr 127.0.0.1:7001
+//	alphanode -role relay  -addr 127.0.0.1:7002 -a 127.0.0.1:7000 -b 127.0.0.1:7001
+//	alphanode -role dial   -addr 127.0.0.1:7000 -peer 127.0.0.1:7002 -send "hello" -count 10
+//
+// The dialer sends toward the relay, which verifies hop-by-hop and forwards
+// to the listener; the listener prints every verified payload.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"alpha/internal/core"
+	"alpha/internal/packet"
+	"alpha/internal/relay"
+	"alpha/internal/suite"
+	"alpha/internal/udptransport"
+)
+
+func main() {
+	var (
+		role      = flag.String("role", "", "listen, dial, or relay")
+		addr      = flag.String("addr", "127.0.0.1:7000", "local UDP address")
+		peer      = flag.String("peer", "", "peer address (dial)")
+		aAddr     = flag.String("a", "", "first peer (relay)")
+		bAddr     = flag.String("b", "", "second peer (relay)")
+		send      = flag.String("send", "hello from alphanode", "payload to send (dial)")
+		count     = flag.Int("count", 5, "messages to send (dial)")
+		modeStr   = flag.String("mode", "base", "mode: base, C, M, or CM")
+		batch     = flag.Int("batch", 8, "messages per S1 (C and M)")
+		reliable  = flag.Bool("reliable", true, "use reliable delivery")
+		wait      = flag.Duration("wait", 30*time.Second, "how long to serve/wait")
+		provision = flag.String("provision", "", "provisioning record (JSON) for a handshake-free association")
+		anchorsF  = flag.String("anchors", "", "anchor set (JSON) to seed a relay with (relay role)")
+	)
+	flag.Parse()
+
+	var mode packet.Mode
+	switch *modeStr {
+	case "base":
+		mode = packet.ModeBase
+	case "C", "c":
+		mode = packet.ModeC
+	case "M", "m":
+		mode = packet.ModeM
+	case "CM", "cm":
+		mode = packet.ModeCM
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *modeStr))
+	}
+	cfg := core.Config{
+		Suite:     suite.SHA1(),
+		Mode:      mode,
+		BatchSize: *batch,
+		Reliable:  *reliable,
+		ChainLen:  4096,
+	}
+
+	pc, err := net.ListenPacket("udp", *addr)
+	fatalIf(err)
+
+	// Preconfigured endpoints skip the handshake entirely (§3.4 static
+	// bootstrapping): load the record and wrap the socket directly.
+	loadProvisioned := func(peer net.Addr) *udptransport.Conn {
+		data, err := os.ReadFile(*provision)
+		fatalIf(err)
+		var rec core.ProvisionRecord
+		fatalIf(json.Unmarshal(data, &rec))
+		prov, err := core.FromRecord(cfg, rec)
+		fatalIf(err)
+		ep, err := core.NewPreconfiguredEndpoint(prov)
+		fatalIf(err)
+		fmt.Printf("preconfigured association %016x ready (no handshake)\n", ep.Assoc())
+		return udptransport.Wrap(pc, ep, peer)
+	}
+
+	switch *role {
+	case "serve":
+		// Multi-association responder: accepts any number of dialers.
+		srv := udptransport.NewServer(pc, cfg)
+		defer srv.Close()
+		fmt.Printf("serving on %s\n", *addr)
+		deadline := time.After(*wait)
+		for {
+			acceptCh := make(chan *udptransport.Session, 1)
+			go func() {
+				if sess, err := srv.Accept(); err == nil {
+					acceptCh <- sess
+				}
+			}()
+			select {
+			case sess := <-acceptCh:
+				fmt.Printf("accepted association %016x from %s\n", sess.Endpoint().Assoc(), sess.Peer())
+				go func() {
+					for ev := range sess.Events() {
+						if ev.Kind == core.EventDelivered {
+							fmt.Printf("[%016x] verified: %q\n", sess.Endpoint().Assoc(), ev.Payload)
+						}
+					}
+				}()
+			case <-deadline:
+				fmt.Printf("done: served %d associations\n", srv.Sessions())
+				return
+			}
+		}
+
+	case "listen":
+		fmt.Printf("listening on %s\n", *addr)
+		var conn *udptransport.Conn
+		if *provision != "" {
+			conn = loadProvisioned(nil)
+		} else {
+			var err error
+			conn, err = udptransport.Listen(pc, cfg, *wait)
+			fatalIf(err)
+		}
+		defer conn.Close()
+		fmt.Printf("association established with %s\n", conn.Peer())
+		deadline := time.After(*wait)
+		for {
+			select {
+			case ev := <-conn.Events():
+				switch ev.Kind {
+				case core.EventDelivered:
+					fmt.Printf("verified payload (seq %d idx %d): %q\n", ev.Seq, ev.MsgIndex, ev.Payload)
+				case core.EventDropped:
+					fmt.Printf("dropped packet: %v\n", ev.Err)
+				}
+			case <-deadline:
+				st := conn.Endpoint().Stats()
+				fmt.Printf("done: delivered %d, dropped %d\n", st.Delivered, st.Dropped)
+				return
+			}
+		}
+
+	case "dial":
+		if *peer == "" {
+			fatal(fmt.Errorf("-peer required for dial"))
+		}
+		peerAddr, err := net.ResolveUDPAddr("udp", *peer)
+		fatalIf(err)
+		var conn *udptransport.Conn
+		if *provision != "" {
+			conn = loadProvisioned(peerAddr)
+		} else {
+			conn, err = udptransport.Dial(pc, peerAddr, cfg, 10*time.Second)
+			fatalIf(err)
+		}
+		defer conn.Close()
+		fmt.Printf("association established with %s\n", *peer)
+		for i := 0; i < *count; i++ {
+			payload := fmt.Sprintf("%s #%d", *send, i)
+			id, err := conn.Send([]byte(payload))
+			fatalIf(err)
+			fmt.Printf("sent message %d: %q\n", id, payload)
+		}
+		conn.Flush()
+		acked := 0
+		deadline := time.After(*wait)
+		for acked < *count && *reliable {
+			select {
+			case ev := <-conn.Events():
+				switch ev.Kind {
+				case core.EventAcked:
+					acked++
+					fmt.Printf("acked message %d (%d/%d)\n", ev.MsgID, acked, *count)
+				case core.EventNacked:
+					fmt.Printf("nacked message %d\n", ev.MsgID)
+				case core.EventSendFailed:
+					fmt.Printf("send failed for message %d: %v\n", ev.MsgID, ev.Err)
+					acked++
+				}
+			case <-deadline:
+				fmt.Printf("timeout waiting for acks (%d/%d)\n", acked, *count)
+				return
+			}
+		}
+		fmt.Println("all messages acknowledged")
+
+	case "relay":
+		if *aAddr == "" || *bAddr == "" {
+			fatal(fmt.Errorf("-a and -b required for relay"))
+		}
+		a, err := net.ResolveUDPAddr("udp", *aAddr)
+		fatalIf(err)
+		b, err := net.ResolveUDPAddr("udp", *bAddr)
+		fatalIf(err)
+		r := udptransport.NewRelay(pc, a, b, relay.Config{})
+		if *anchorsF != "" {
+			data, err := os.ReadFile(*anchorsF)
+			fatalIf(err)
+			var anchors core.AnchorSet
+			fatalIf(json.Unmarshal(data, &anchors))
+			ast, err := suite.ByID(suite.ID(anchors.Suite))
+			fatalIf(err)
+			fatalIf(r.Seed(ast, anchors))
+			fmt.Printf("seeded with anchors for association %016x\n", anchors.Assoc)
+		}
+		r.OnDecision = func(d relay.Decision) {
+			if d.Verdict == relay.Drop {
+				fmt.Printf("dropped %v: %v\n", d.Type, d.Reason)
+			} else if d.Extracted != nil {
+				fmt.Printf("verified and forwarded %d payload bytes\n", len(d.Extracted))
+			}
+		}
+		fmt.Printf("relaying %s <-> %s via %s\n", *aAddr, *bAddr, *addr)
+		time.Sleep(*wait)
+		st := r.Stats()
+		fmt.Printf("relay done: forwarded %d, dropped %d (unsolicited %d, bad payload %d)\n",
+			st.Forwarded, st.Dropped, st.Unsolicited, st.BadPayload)
+		r.Close()
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}

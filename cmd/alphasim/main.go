@@ -1,0 +1,259 @@
+// Command alphasim runs multi-hop ALPHA scenarios on the deterministic
+// network simulator and reports delivery, drop and relay statistics. It is
+// the quickest way to observe the protocol's hop-by-hop filtering under
+// configurable topologies, loss rates and attacks.
+//
+// Usage:
+//
+//	alphasim -hops 3 -mode M -batch 16 -msgs 100 -loss 0.1 -reliable
+//	alphasim -attack tamper -msgs 20
+//	alphasim -attack flood -msgs 5
+//
+// The topology is a linear path: signer - relay1..relayN - verifier, the
+// protected path of the paper's Figure 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"alpha/internal/attack"
+	"alpha/internal/core"
+	"alpha/internal/netsim"
+	"alpha/internal/packet"
+	"alpha/internal/relay"
+	"alpha/internal/stats"
+	"alpha/internal/suite"
+	"alpha/internal/workload"
+)
+
+func main() {
+	var (
+		topo      = flag.String("topo", "line", "topology: line, grid, random")
+		hops      = flag.Int("hops", 3, "relays on the path (line), grid side, or mesh size")
+		modeStr   = flag.String("mode", "base", "mode: base, C, M, or CM")
+		batch     = flag.Int("batch", 8, "messages per S1 (modes C and M)")
+		msgs      = flag.Int("msgs", 50, "number of messages to send")
+		size      = flag.Int("size", 512, "payload size in bytes")
+		loss      = flag.Float64("loss", 0, "per-hop loss probability")
+		latency   = flag.Duration("latency", 2*time.Millisecond, "per-hop latency")
+		jitter    = flag.Duration("jitter", time.Millisecond, "per-hop jitter")
+		bw        = flag.Int64("bw", 20_000_000, "per-hop bandwidth (bit/s, 0 = infinite)")
+		reliable  = flag.Bool("reliable", false, "use pre-(n)ack reliable delivery")
+		suiteStr  = flag.String("suite", "sha1", "hash suite: sha1, sha256, mmo")
+		attackK   = flag.String("attack", "none", "attack: none, tamper, flood, replay")
+		workloadK = flag.String("workload", "bulk", "workload: bulk, signaling, sensor")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		duration  = flag.Duration("duration", 60*time.Second, "max simulated time")
+	)
+	flag.Parse()
+
+	var mode packet.Mode
+	switch *modeStr {
+	case "base":
+		mode = packet.ModeBase
+	case "C", "c":
+		mode = packet.ModeC
+	case "M", "m":
+		mode = packet.ModeM
+	case "CM", "cm":
+		mode = packet.ModeCM
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeStr)
+		os.Exit(2)
+	}
+	var st suite.Suite
+	switch *suiteStr {
+	case "sha1":
+		st = suite.SHA1()
+	case "sha256":
+		st = suite.SHA256()
+	case "mmo":
+		st = suite.MMO()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suiteStr)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		Suite:      st,
+		Mode:       mode,
+		Reliable:   *reliable,
+		ChainLen:   4 * (*msgs) / max(1, *batch) * max(1, *batch), // headroom
+		BatchSize:  *batch,
+		RTO:        100 * time.Millisecond,
+		MaxRetries: 20,
+	}
+	if cfg.ChainLen < 64 {
+		cfg.ChainLen = 64
+	}
+
+	net := netsim.New(*seed)
+	epS, err := core.NewEndpoint(cfg)
+	check(err)
+	epV, err := core.NewEndpoint(cfg)
+	check(err)
+	s := netsim.NewEndpointNode(net, "signer", "verifier", epS)
+	v := netsim.NewEndpointNode(net, "verifier", "signer", epV)
+
+	link := netsim.LinkConfig{Latency: *latency, Jitter: *jitter, Loss: *loss, Bandwidth: *bw}
+	var relays []*netsim.RelayNode
+	addRelay := func(name string, tamper bool) {
+		if tamper {
+			attack.NewTamperNode(net, name, []byte("tampered payload"))
+			return
+		}
+		relays = append(relays, netsim.NewRelayNode(net, name, relay.Config{}))
+	}
+	switch *topo {
+	case "line":
+		names := []string{"signer"}
+		for i := 1; i <= *hops; i++ {
+			name := fmt.Sprintf("relay%d", i)
+			addRelay(name, i == 1 && *attackK == "tamper")
+			names = append(names, name)
+		}
+		names = append(names, "verifier")
+		net.Line(link, names...)
+	case "grid":
+		// signer and verifier sit at opposite corners of a hops×hops
+		// relay grid.
+		side := *hops
+		if side < 2 {
+			side = 2
+		}
+		for r := 0; r < side; r++ {
+			for c := 0; c < side; c++ {
+				addRelay(fmt.Sprintf("relay%d_%d", r, c), r == 0 && c == 0 && *attackK == "tamper")
+			}
+		}
+		net.Grid(link, side, side, "relay%d_%d")
+		net.AddDuplexLink("signer", "relay0_0", link)
+		net.AddDuplexLink(fmt.Sprintf("relay%d_%d", side-1, side-1), "verifier", link)
+	case "random":
+		names := []string{"signer", "verifier"}
+		for i := 1; i <= *hops; i++ {
+			name := fmt.Sprintf("relay%d", i)
+			addRelay(name, i == 1 && *attackK == "tamper")
+			names = append(names, name)
+		}
+		net.RandomMesh(*seed, link, *hops, names...)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+	net.AutoRoute()
+	if *topo != "line" {
+		fmt.Printf("topology %s: route signer->verifier starts at %s\n", *topo, firstHop(net))
+	}
+
+	check(s.Start(net.Now()))
+	for i := 0; i < 200 && !epS.Established(); i++ {
+		net.RunFor(100 * time.Millisecond)
+	}
+	if !epS.Established() {
+		fmt.Fprintln(os.Stderr, "association failed to establish")
+		os.Exit(1)
+	}
+	fmt.Printf("association established over %d hops (assoc %016x)\n\n", *hops+1, epS.Assoc())
+
+	if *attackK == "flood" {
+		fl := attack.NewFloodNode(net, "mallory", "verifier", epS.Assoc())
+		net.AddDuplexLink("mallory", "relay1", link)
+		net.AutoRoute()
+		fl.FloodFor(net, net.Now(), 2*time.Second, 500)
+		fmt.Println("flood attack: 500 forged S2 packets injected at relay1")
+	}
+	var rep *attack.ReplayNode
+	if *attackK == "replay" {
+		// Splice a capture node before the first relay by rerouting.
+		rep = attack.NewReplayNode(net, "tap")
+		net.AddDuplexLink("signer", "tap", link)
+		net.AddDuplexLink("tap", "relay1", link)
+		net.SetRoute("signer", "verifier", "tap")
+		net.SetRoute("tap", "verifier", "relay1")
+	}
+
+	var gen workload.Generator
+	switch *workloadK {
+	case "bulk":
+		gen = workload.Bulk{Seed: *seed, Count: *msgs, Size: *size, Pace: 2 * time.Millisecond}
+	case "signaling":
+		gen = workload.Signaling{Seed: *seed, Count: *msgs, MeanGap: 250 * time.Millisecond, Size: *size}
+	case "sensor":
+		gen = workload.Sensor{Seed: *seed, Count: *msgs, Period: 100 * time.Millisecond, Jitter: 20 * time.Millisecond, Size: *size}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workloadK)
+		os.Exit(2)
+	}
+	fmt.Printf("workload: %s\n", gen.Name())
+	start := net.Now()
+	msgsList := gen.Messages()
+	lastAt := time.Duration(0)
+	for _, m := range msgsList {
+		if m.At > lastAt {
+			lastAt = m.At
+		}
+	}
+	for _, m := range msgsList {
+		m := m
+		net.Schedule(start.Add(m.At), func(now time.Time) {
+			if _, err := s.Send(now, m.Payload); err != nil {
+				fmt.Fprintf(os.Stderr, "send: %v\n", err)
+			}
+		})
+	}
+	net.Schedule(start.Add(lastAt+10*time.Millisecond), func(now time.Time) {
+		s.Flush(now)
+	})
+	net.RunFor(*duration)
+	if rep != nil {
+		fmt.Printf("replaying %d captured packets\n", len(rep.Captured))
+		rep.ReplayAll(net)
+		net.RunFor(5 * time.Second)
+	}
+
+	// Report.
+	delivered := v.DeliveredPayloads()
+	t := &stats.Table{Title: "Results", Headers: []string{"Metric", "Value"}}
+	t.Add("messages sent", *msgs)
+	t.Add("messages delivered+verified", len(delivered))
+	t.Add("acked end-to-end", s.CountEvents(core.EventAcked))
+	t.Add("send failures", s.CountEvents(core.EventSendFailed))
+	t.Add("signer retransmits", epS.Stats().Retransmits)
+	t.Add("signer bytes sent", stats.Bytes(int64(epS.Stats().BytesSent)))
+	t.Add("verifier drops", epV.Stats().Dropped)
+	fmt.Print(t)
+	fmt.Println()
+
+	rt := &stats.Table{Title: "Per-relay verdicts", Headers: []string{"Relay", "forwarded", "dropped", "unsolicited", "bad payload", "bad element", "rate-limited", "extracted"}}
+	for _, rn := range relays {
+		st := rn.R.Stats()
+		rt.Add(rn.Name, st.Forwarded, st.Dropped, st.Unsolicited, st.BadPayload, st.BadElement, st.RateLimited, stats.Bytes(int64(st.ExtractedBytes)))
+	}
+	fmt.Print(rt)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func firstHop(net *netsim.Network) string {
+	hop, ok := net.NextHop("signer", "verifier")
+	if !ok {
+		return "(no route)"
+	}
+	return hop
+}

@@ -1,0 +1,76 @@
+// Quickstart: one signer, one verifying relay, one verifier on a simulated
+// three-node path. Shows the full lifecycle — handshake, a protected
+// message, hop-by-hop verification, and an end-to-end acknowledgment — in
+// under a hundred lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"alpha"
+)
+
+func main() {
+	// A deterministic simulated network: alice - relay - bob.
+	net := alpha.NewNetwork(1)
+
+	cfg := alpha.Config{
+		Mode:     alpha.ModeBase, // one message per signature exchange
+		Reliable: true,           // ask for verifiable pre-acknowledgments
+	}
+	epAlice, err := alpha.NewEndpoint(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	epBob, err := alpha.NewEndpoint(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	alice := alpha.NewEndpointNode(net, "alice", "bob", epAlice)
+	bob := alpha.NewEndpointNode(net, "bob", "alice", epBob)
+	relay := alpha.NewRelayNode(net, "relay", alpha.RelayConfig{})
+
+	link := alpha.DefaultLink()
+	net.AddDuplexLink("alice", "relay", link)
+	net.AddDuplexLink("relay", "bob", link)
+	net.AutoRoute()
+
+	// Handshake: exchanges hash chain anchors end to end; the relay
+	// learns them by observing (§3.4 of the paper).
+	if err := alice.Start(net.Now()); err != nil {
+		log.Fatal(err)
+	}
+	net.RunFor(time.Second)
+	if !epAlice.Established() {
+		log.Fatal("association did not establish")
+	}
+	fmt.Println("association established; relay learned the chain anchors")
+
+	// Send one integrity-protected message.
+	msg := []byte("meet at the old oak tree at noon")
+	id, err := alice.Send(net.Now(), msg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice.Flush(net.Now())
+	net.RunFor(time.Second)
+
+	// The verifier delivered it...
+	for _, p := range bob.DeliveredPayloads() {
+		fmt.Printf("bob verified and delivered: %q\n", p)
+	}
+	// ...the relay verified it on-path and could extract the content...
+	for _, p := range relay.Extracted {
+		fmt.Printf("relay verified in transit:  %q\n", p)
+	}
+	// ...and alice holds a cryptographic acknowledgment.
+	if alice.CountEvents(alpha.EventAcked) == 1 {
+		fmt.Printf("alice received a verifiable ack for message %d\n", id)
+	}
+
+	st := relay.R.Stats()
+	fmt.Printf("\nrelay verdicts: %d forwarded, %d dropped\n", st.Forwarded, st.Dropped)
+}

@@ -1,0 +1,278 @@
+// Package analytic implements the closed-form models of the paper's
+// evaluation: Equation (1) and the series behind Figures 5 and 6, the
+// per-message operation counts of Table 1, the memory formulas of Tables 2
+// and 3, and the estimation procedures behind Table 6 and the WSN numbers
+// of §4.1.3. The benchmark harness prints these side by side with measured
+// values from real protocol runs, so disagreement between model and
+// implementation is visible immediately.
+package analytic
+
+import (
+	"math"
+	"time"
+)
+
+// Ceil2Log returns ⌈log2(n)⌉ for n ≥ 1.
+func Ceil2Log(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// STotal is Equation (1): the payload bytes coverable by a single
+// pre-signature when n S2 packets of spacket bytes carry Merkle proofs of
+// sh-byte hashes:
+//
+//	s_total = n · (s_packet − s_h·(⌈log2 n⌉ + 1))
+//
+// It returns 0 when the signature data alone overflows the packet.
+func STotal(n int, spacket, sh int) int64 {
+	per := PerPacketPayload(n, spacket, sh)
+	if per <= 0 {
+		return 0
+	}
+	return int64(n) * int64(per)
+}
+
+// PerPacketPayload is the payload space left in one S2 packet after the
+// ALPHA-M signature data: s_packet − s_h·(⌈log2 n⌉+1). The +1 term is the
+// disclosed chain element that travels in every S2.
+func PerPacketPayload(n, spacket, sh int) int {
+	return spacket - sh*(Ceil2Log(n)+1)
+}
+
+// OverheadRatio is Figure 6's series: total transferred bytes per signed
+// payload byte for an ALPHA-M batch of n packets of spacket bytes. The
+// numerator counts the n S2 packets in full; S1/A1 bytes are amortized to
+// negligibility at the figure's scales, matching the paper's curves. It
+// returns +Inf when no payload fits.
+func OverheadRatio(n, spacket, sh int) float64 {
+	signed := STotal(n, spacket, sh)
+	if signed <= 0 {
+		return math.Inf(1)
+	}
+	transferred := int64(n) * int64(spacket)
+	return float64(transferred) / float64(signed)
+}
+
+// Fig5Point is one (n, bytes) sample of Figure 5.
+type Fig5Point struct {
+	N           int
+	SignedBytes int64
+}
+
+// Fig5Series evaluates Figure 5 for one packet size over geometrically
+// spaced n up to maxN.
+func Fig5Series(spacket, sh, maxN int) []Fig5Point {
+	var out []Fig5Point
+	for n := 1; n <= maxN; n *= 2 {
+		out = append(out, Fig5Point{N: n, SignedBytes: STotal(n, spacket, sh)})
+	}
+	return out
+}
+
+// Fig6Point is one (n, ratio) sample of Figure 6.
+type Fig6Point struct {
+	N     int
+	Ratio float64
+}
+
+// Fig6Series evaluates Figure 6 for one packet size.
+func Fig6Series(spacket, sh, maxN int) []Fig6Point {
+	var out []Fig6Point
+	for n := 1; n <= maxN; n *= 2 {
+		out = append(out, Fig6Point{N: n, Ratio: OverheadRatio(n, spacket, sh)})
+	}
+	return out
+}
+
+// Ops holds Table 1's per-message hash-operation counts for one role.
+// Fractional values arise because ALPHA-C and ALPHA-M amortize per-exchange
+// work over n messages.
+type Ops struct {
+	Signature float64 // pre-signature create/verify (MAC or tree work)
+	HCCreate  float64 // hash chain creation (off-line computable)
+	HCVerify  float64 // hash chain element verification
+	AckNack   float64 // acknowledgment-related hashing
+}
+
+// Total sums all components.
+func (o Ops) Total() float64 { return o.Signature + o.HCCreate + o.HCVerify + o.AckNack }
+
+// Role identifies a column of Table 1.
+type Role int
+
+// Table 1 roles.
+const (
+	Signer Role = iota
+	Verifier
+	RelayRole
+)
+
+// ModeName identifies a row group of Table 1.
+type ModeName int
+
+// Table 1 mode groups.
+const (
+	ALPHA ModeName = iota
+	ALPHAC
+	ALPHAM
+)
+
+// Table1 returns the paper's Table 1 entry for a mode, role and batch size
+// n (n is 1 for base ALPHA).
+func Table1(m ModeName, r Role, n int) Ops {
+	fn := float64(n)
+	log2n := math.Log2(fn)
+	if n <= 1 {
+		log2n = 0
+	}
+	switch m {
+	case ALPHA:
+		switch r {
+		case Signer:
+			return Ops{Signature: 1, HCCreate: 2, HCVerify: 1, AckNack: 1}
+		case Verifier:
+			return Ops{Signature: 1, HCCreate: 2, HCVerify: 1, AckNack: 2}
+		default:
+			return Ops{Signature: 1, HCVerify: 1, AckNack: 1}
+		}
+	case ALPHAC:
+		switch r {
+		case Signer:
+			return Ops{Signature: 1, HCCreate: 2 / fn, HCVerify: 1 / fn, AckNack: 1}
+		case Verifier:
+			return Ops{Signature: 1, HCCreate: 2 / fn, HCVerify: 1 / fn, AckNack: 2}
+		default:
+			return Ops{Signature: 1, HCVerify: 1 / fn, AckNack: 1}
+		}
+	default: // ALPHAM
+		switch r {
+		case Signer:
+			return Ops{Signature: 1 + 2 - 1/fn, HCCreate: 2 / fn, HCVerify: 1 / fn, AckNack: 2 + log2n}
+		case Verifier:
+			return Ops{Signature: 1 + log2n, HCCreate: 2 / fn, HCVerify: 1 / fn, AckNack: 4 - 1/fn}
+		default:
+			return Ops{Signature: 1 + log2n, HCVerify: 1 / fn, AckNack: 2 + log2n}
+		}
+	}
+}
+
+// Mem holds Table 2/3 byte counts for the three roles.
+type Mem struct {
+	Signer, Verifier, Relay int64
+}
+
+// Table2 returns the buffering memory for n messages in flight: message
+// size m bytes, hash size h bytes (Table 2 of the paper).
+func Table2(mode ModeName, n, m, h int) Mem {
+	N, M, H := int64(n), int64(m), int64(h)
+	switch mode {
+	case ALPHA, ALPHAC:
+		return Mem{Signer: N * (M + H), Verifier: N * H, Relay: N * H}
+	default: // ALPHAM
+		return Mem{Signer: N*M + (2*N-1)*H, Verifier: H, Relay: H}
+	}
+}
+
+// Table3 returns the additional memory for n parallel acknowledgments:
+// secret size s bytes, hash size h bytes (Table 3 of the paper).
+func Table3(mode ModeName, n, s, h int) Mem {
+	N, S, H := int64(n), int64(s), int64(h)
+	switch mode {
+	case ALPHA, ALPHAC:
+		return Mem{Signer: 2 * N * H, Verifier: 2 * N * H, Relay: 2 * N * H}
+	default: // ALPHAM
+		return Mem{Signer: H, Verifier: N*S + (4*N-1)*H, Relay: H}
+	}
+}
+
+// Table6Row reproduces one row of Table 6: ALPHA-M estimates for a relay
+// verifying a stream of full-size packets, given the measured cost of one
+// fixed-input hash operation and one full-packet hash.
+type Table6Row struct {
+	Leaves int
+	// Processing is the estimated per-packet verification time.
+	Processing time.Duration
+	// Payload is the per-packet payload after signature data.
+	Payload int
+	// Throughput is the verifiable payload rate.
+	ThroughputBitPerS float64
+	// DataPerS1 is the total payload covered by one S1.
+	DataPerS1 int64
+}
+
+// Table6 computes the estimate rows. spacket is the packet budget (1024 B
+// of payload space in the paper), sh the hash size, hashFixed the measured
+// cost of hashing one or two digests, hashPacket the measured cost of
+// hashing a full packet (the MAC-equivalent leaf hash).
+func Table6(leaves []int, spacket, sh int, hashFixed, hashPacket time.Duration) []Table6Row {
+	rows := make([]Table6Row, 0, len(leaves))
+	for _, n := range leaves {
+		// Verifying one S2: hash the payload into its leaf, then
+		// ⌈log2 n⌉ fixed-length node hashes up to the root (the root
+		// step absorbs the chain element), plus one amortized chain
+		// verification.
+		steps := float64(Ceil2Log(n)) + 1
+		proc := hashPacket + time.Duration(steps*float64(hashFixed))
+		payload := PerPacketPayload(n, spacket, sh)
+		if payload < 0 {
+			payload = 0
+		}
+		var tput float64
+		if proc > 0 {
+			tput = float64(payload) * 8 / proc.Seconds()
+		}
+		rows = append(rows, Table6Row{
+			Leaves:            n,
+			Processing:        proc,
+			Payload:           payload,
+			ThroughputBitPerS: tput,
+			DataPerS1:         int64(n) * int64(payload),
+		})
+	}
+	return rows
+}
+
+// WSNEstimate reproduces §4.1.3's arithmetic: ALPHA-C on an IEEE 802.15.4
+// sensor link with payload-sized packets, given measured MMO hash costs.
+type WSNEstimate struct {
+	// PayloadPerPacket is the usable payload after ALPHA overhead.
+	PayloadPerPacket int
+	// PacketsPerSecond is how many S2 packets the relay CPU can verify.
+	PacketsPerSecond float64
+	// VerifiableKbps is the resulting authenticated throughput.
+	VerifiableKbps float64
+}
+
+// WSN computes the §4.1.3 estimate. payload is the radio packet payload
+// (100 B in the paper), h the hash size (16), nPreSigs the ALPHA-C batch
+// (5), hashSmall the measured cost of hashing ~2 digests, hashPacket the
+// cost of MACing a full payload, withPreAcks adds the pre-ack verification
+// work of §3.2.2.
+func WSN(payload, h, nPreSigs int, hashSmall, hashPacket time.Duration, withPreAcks bool) WSNEstimate {
+	// Per-packet signature overhead: the disclosed chain element plus the
+	// MAC, and the amortized share of this exchange's pre-signature data
+	// in the S1.
+	overhead := h + h + h/nPreSigs
+	usable := payload - overhead
+	if usable < 0 {
+		usable = 0
+	}
+	// Relay work per S2: one MAC over the packet plus amortized chain
+	// verification; pre-acks add hashing the (n)ack pair per message.
+	per := hashPacket + time.Duration(float64(hashSmall)/float64(nPreSigs))
+	if withPreAcks {
+		per += 2 * hashSmall
+	}
+	pps := 0.0
+	if per > 0 {
+		pps = 1 / per.Seconds()
+	}
+	return WSNEstimate{
+		PayloadPerPacket: usable,
+		PacketsPerSecond: pps,
+		VerifiableKbps:   pps * float64(usable) * 8 / 1000,
+	}
+}

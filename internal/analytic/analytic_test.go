@@ -1,0 +1,206 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCeil2Log(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := Ceil2Log(n); got != want {
+			t.Errorf("Ceil2Log(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSTotalEquation1(t *testing.T) {
+	// Hand-checked points of Eq. (1) with 20 B hashes.
+	cases := []struct {
+		n, spacket int
+		want       int64
+	}{
+		{1, 1280, 1260},            // 1280 - 20·(0+1)
+		{2, 1280, 2 * (1280 - 40)}, // depth 1
+		{8, 1280, 8 * (1280 - 80)}, // depth 3
+		{1, 128, 108},
+		{64, 128, 0},  // proof alone (6+1)·20=140 > 128
+		{128, 128, 0}, // negative payload clamps to 0
+	}
+	for _, c := range cases {
+		if got := STotal(c.n, c.spacket, 20); got != c.want {
+			t.Errorf("STotal(%d,%d) = %d, want %d", c.n, c.spacket, got, c.want)
+		}
+	}
+}
+
+func TestSTotalSeeSaw(t *testing.T) {
+	// Fig. 5's see-saw: crossing a power of two adds a tree level and
+	// shrinks the per-packet payload.
+	per8 := PerPacketPayload(8, 512, 20)
+	per9 := PerPacketPayload(9, 512, 20)
+	if per9 != per8-20 {
+		t.Fatalf("payload at n=9 should drop one hash: %d vs %d", per9, per8)
+	}
+	// But total still grows in the long run.
+	if STotal(16, 512, 20) <= STotal(8, 512, 20) {
+		t.Fatalf("total signed bytes should keep growing past the dip")
+	}
+}
+
+func TestOverheadRatioShape(t *testing.T) {
+	// Fig. 6: ratios grow with n and are worse for small packets.
+	if OverheadRatio(1024, 128, 20) <= OverheadRatio(1024, 1280, 20) {
+		t.Fatalf("small packets must pay higher overhead")
+	}
+	if OverheadRatio(1<<16, 1280, 20) <= OverheadRatio(2, 1280, 20) {
+		t.Fatalf("overhead must grow with tree depth")
+	}
+	if !math.IsInf(OverheadRatio(1024, 128, 20), 1) {
+		t.Fatalf("ratio must be +Inf when no payload fits")
+	}
+	// At n=1 and big packets the ratio approaches 1 from above.
+	r := OverheadRatio(1, 1280, 20)
+	if r < 1 || r > 1.05 {
+		t.Fatalf("n=1 ratio %f out of expected band", r)
+	}
+}
+
+func TestQuickSTotalInvariants(t *testing.T) {
+	f := func(nSel, spSel uint16) bool {
+		n := 1 + int(nSel)%100000
+		sp := 64 + int(spSel)%4096
+		got := STotal(n, sp, 20)
+		if got < 0 {
+			return false
+		}
+		// Total never exceeds n × packet budget.
+		if got > int64(n)*int64(sp) {
+			return false
+		}
+		// And equals n × per-packet payload when positive.
+		per := PerPacketPayload(n, sp, 20)
+		if per > 0 && got != int64(n)*int64(per) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigSeriesMonotoneN(t *testing.T) {
+	pts := Fig5Series(1280, 20, 1<<20)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].N != pts[i-1].N*2 {
+			t.Fatalf("series spacing broken at %d", i)
+		}
+	}
+	ratios := Fig6Series(1280, 20, 1<<20)
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i].Ratio+1e-9 < ratios[i-1].Ratio {
+			t.Fatalf("Fig6 ratio decreased at n=%d: %f -> %f", ratios[i].N, ratios[i-1].Ratio, ratios[i].Ratio)
+		}
+	}
+}
+
+func TestTable1ModelValues(t *testing.T) {
+	// Spot-check against the paper's printed Table 1.
+	base := Table1(ALPHA, Signer, 1)
+	if base.Signature != 1 || base.HCCreate != 2 || base.HCVerify != 1 || base.AckNack != 1 {
+		t.Fatalf("ALPHA signer row wrong: %+v", base)
+	}
+	relay := Table1(ALPHA, RelayRole, 1)
+	if relay.HCCreate != 0 {
+		t.Fatalf("relays never create chains: %+v", relay)
+	}
+	c := Table1(ALPHAC, Verifier, 16)
+	if c.HCVerify != 1.0/16 || c.AckNack != 2 {
+		t.Fatalf("ALPHA-C verifier row wrong: %+v", c)
+	}
+	m := Table1(ALPHAM, Verifier, 16)
+	if m.Signature != 1+4 { // 1* + log2(16)
+		t.Fatalf("ALPHA-M verifier signature ops: %+v", m)
+	}
+	if got := Table1(ALPHAM, Signer, 16).Signature; math.Abs(got-(3-1.0/16)) > 1e-9 {
+		t.Fatalf("ALPHA-M signer signature ops: %v", got)
+	}
+}
+
+func TestTable2ModelValues(t *testing.T) {
+	// Paper Table 2 with n=16, m=1024, h=20.
+	got := Table2(ALPHA, 16, 1024, 20)
+	if got.Signer != 16*(1024+20) || got.Verifier != 16*20 || got.Relay != 16*20 {
+		t.Fatalf("ALPHA row: %+v", got)
+	}
+	m := Table2(ALPHAM, 16, 1024, 20)
+	if m.Signer != 16*1024+31*20 || m.Verifier != 20 || m.Relay != 20 {
+		t.Fatalf("ALPHA-M row: %+v", m)
+	}
+	// The paper's headline: ALPHA-M relay state is independent of n.
+	if Table2(ALPHAM, 1024, 1024, 20).Relay != Table2(ALPHAM, 1, 1024, 20).Relay {
+		t.Fatalf("ALPHA-M relay memory must not grow with n")
+	}
+}
+
+func TestTable3ModelValues(t *testing.T) {
+	got := Table3(ALPHA, 8, 20, 20)
+	if got.Signer != 2*8*20 || got.Verifier != 2*8*20 || got.Relay != 2*8*20 {
+		t.Fatalf("ALPHA row: %+v", got)
+	}
+	m := Table3(ALPHAM, 8, 20, 20)
+	if m.Signer != 20 || m.Verifier != 8*20+31*20 || m.Relay != 20 {
+		t.Fatalf("ALPHA-M row: %+v", m)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	rows := Table6([]int{16, 32, 64, 128, 256, 512, 1024}, 1024, 20, time.Microsecond, 10*time.Microsecond)
+	if len(rows) != 7 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		prev, cur := rows[i-1], rows[i]
+		if cur.Processing <= prev.Processing {
+			t.Fatalf("processing must grow with leaves: %v -> %v", prev.Processing, cur.Processing)
+		}
+		if cur.Payload != prev.Payload-20 {
+			t.Fatalf("payload must shrink one hash per level: %d -> %d", prev.Payload, cur.Payload)
+		}
+		if cur.ThroughputBitPerS >= prev.ThroughputBitPerS {
+			t.Fatalf("throughput must decline with leaves")
+		}
+		if cur.DataPerS1 <= prev.DataPerS1 {
+			t.Fatalf("data per S1 must grow with leaves")
+		}
+		// Roughly doubling per row, as in the paper's rightmost column.
+		ratio := float64(cur.DataPerS1) / float64(prev.DataPerS1)
+		if ratio < 1.7 || ratio > 2.1 {
+			t.Fatalf("data-per-S1 growth ratio %f outside ~2x", ratio)
+		}
+	}
+}
+
+func TestWSNEstimateShape(t *testing.T) {
+	// With the paper's CC2430-ish constants (0.78 ms small, 2.01 ms for
+	// an 84 B input ≈ a 100 B MAC), the estimate must land near the
+	// published 244 / 156.56 Kbit/s split.
+	plain := WSN(100, 16, 5, 780*time.Microsecond, 2010*time.Microsecond, false)
+	acked := WSN(100, 16, 5, 780*time.Microsecond, 2010*time.Microsecond, true)
+	if plain.VerifiableKbps < 150 || plain.VerifiableKbps > 350 {
+		t.Fatalf("plain estimate %f Kbit/s implausible vs paper's 244", plain.VerifiableKbps)
+	}
+	if acked.VerifiableKbps >= plain.VerifiableKbps {
+		t.Fatalf("pre-acks must cost throughput")
+	}
+	ratio := plain.VerifiableKbps / acked.VerifiableKbps
+	if ratio < 1.2 || ratio > 2.2 {
+		t.Fatalf("pre-ack cost ratio %f far from paper's ~1.56", ratio)
+	}
+	if plain.PayloadPerPacket <= 0 || plain.PayloadPerPacket >= 100 {
+		t.Fatalf("payload per packet %d out of range", plain.PayloadPerPacket)
+	}
+}

@@ -1,0 +1,196 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"alpha/internal/core"
+	"alpha/internal/netsim"
+	"alpha/internal/packet"
+)
+
+// line builds s - mid - v with mid being the node under test.
+func line(t *testing.T, seed int64, mid func(n *netsim.Network)) (*netsim.Network, *netsim.EndpointNode, *netsim.EndpointNode) {
+	t.Helper()
+	n := netsim.New(seed)
+	cfg := core.Config{Mode: packet.ModeBase, ChainLen: 64, RTO: 50 * time.Millisecond}
+	epS, err := core.NewEndpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epV, err := core.NewEndpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := netsim.NewEndpointNode(n, "s", "v", epS)
+	v := netsim.NewEndpointNode(n, "v", "s", epV)
+	mid(n)
+	link := netsim.LinkConfig{Latency: time.Millisecond}
+	n.AddDuplexLink("s", "mid", link)
+	n.AddDuplexLink("mid", "v", link)
+	n.AutoRoute()
+	if err := s.Start(n.Now()); err != nil {
+		t.Fatal(err)
+	}
+	n.RunFor(time.Second)
+	if !epS.Established() {
+		t.Fatal("no association")
+	}
+	return n, s, v
+}
+
+func TestTamperNodeRewritesS2(t *testing.T) {
+	var tn *TamperNode
+	n, s, v := line(t, 1, func(n *netsim.Network) {
+		tn = NewTamperNode(n, "mid", []byte("evil"))
+	})
+	if _, err := s.Send(n.Now(), []byte("honest")); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush(n.Now())
+	n.RunFor(time.Second)
+	if tn.Tampered != 1 {
+		t.Fatalf("tampered %d packets", tn.Tampered)
+	}
+	// The endpoint (verifier) detects the tamper end-to-end.
+	if got := len(v.DeliveredPayloads()); got != 0 {
+		t.Fatalf("tampered payload delivered")
+	}
+	if v.CountEvents(core.EventDropped) == 0 {
+		t.Fatalf("verifier never flagged the tampered packet")
+	}
+}
+
+func TestTamperNodeLimit(t *testing.T) {
+	var tn *TamperNode
+	n, s, v := line(t, 2, func(n *netsim.Network) {
+		tn = NewTamperNode(n, "mid", []byte("evil"))
+		tn.Limit = 1
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := s.Send(n.Now(), []byte("m")); err != nil {
+			t.Fatal(err)
+		}
+		s.Flush(n.Now())
+		n.RunFor(500 * time.Millisecond)
+	}
+	if tn.Tampered != 1 {
+		t.Fatalf("limit ignored: %d", tn.Tampered)
+	}
+	if got := len(v.DeliveredPayloads()); got != 2 {
+		t.Fatalf("delivered %d, want 2 (one tampered)", got)
+	}
+}
+
+func TestReplayNodeCapturesAndFilters(t *testing.T) {
+	var rn *ReplayNode
+	n, s, _ := line(t, 3, func(n *netsim.Network) {
+		rn = NewReplayNode(n, "mid", packet.TypeS2)
+	})
+	if _, err := s.Send(n.Now(), []byte("captured")); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush(n.Now())
+	n.RunFor(time.Second)
+	if len(rn.Captured) != 1 {
+		t.Fatalf("captured %d packets, want 1 (S2 filter)", len(rn.Captured))
+	}
+	hdr, _, err := packet.Decode(rn.Captured[0].Data)
+	if err != nil || hdr.Type != packet.TypeS2 {
+		t.Fatalf("captured wrong type: %v", hdr.Type)
+	}
+}
+
+func TestFloodNodeForgesParseablePackets(t *testing.T) {
+	n := netsim.New(4)
+	fn := NewFloodNode(n, "mallory", "victim", 0x1234)
+	raw := fn.forge()
+	hdr, _, err := packet.Decode(raw)
+	if err != nil {
+		t.Fatalf("forged packet must parse (it attacks the verifier, not the codec): %v", err)
+	}
+	if hdr.Assoc != 0x1234 {
+		t.Fatalf("forged assoc %x", hdr.Assoc)
+	}
+}
+
+func TestFloodForSchedulesCount(t *testing.T) {
+	n := netsim.New(5)
+	got := 0
+	n.AddNode("victim", netsim.HandlerFunc(func(*netsim.Network, time.Time, netsim.Packet) { got++ }))
+	fn := NewFloodNode(n, "mallory", "victim", 7)
+	n.AddLink("mallory", "victim", netsim.LinkConfig{Latency: time.Millisecond})
+	fn.FloodFor(n, n.Now(), time.Second, 50)
+	n.RunFor(2 * time.Second)
+	if fn.Sent != 50 || got != 50 {
+		t.Fatalf("sent %d, delivered %d", fn.Sent, got)
+	}
+}
+
+func TestBypassPairDivertsOnlyTargetTraffic(t *testing.T) {
+	// Topology: s -> bp -> victim -> acc2 -> v, with a bp->acc2 tunnel.
+	n := netsim.New(9)
+	var victimSaw []packet.Type
+	n.AddNode("s", netsim.HandlerFunc(func(*netsim.Network, time.Time, netsim.Packet) {}))
+	n.AddNode("v", netsim.HandlerFunc(func(*netsim.Network, time.Time, netsim.Packet) {}))
+	bp := NewBypassPair(n, "bp", "victim", "acc2")
+	n.AddNode("victim", netsim.HandlerFunc(func(net *netsim.Network, now time.Time, pkt netsim.Packet) {
+		if hdr, _, err := packet.Decode(pkt.Data); err == nil {
+			victimSaw = append(victimSaw, hdr.Type)
+		}
+		net.Forward("victim", pkt)
+	}))
+	n.AddNode("acc2", netsim.HandlerFunc(func(net *netsim.Network, now time.Time, pkt netsim.Packet) {
+		net.Forward("acc2", pkt)
+	}))
+	link := netsim.LinkConfig{Latency: time.Millisecond}
+	for _, pair := range [][2]string{{"s", "bp"}, {"bp", "victim"}, {"victim", "acc2"}, {"acc2", "v"}} {
+		n.AddDuplexLink(pair[0], pair[1], link)
+	}
+	n.AddLink("bp", "acc2", link)
+	n.AutoRoute()
+
+	// Craft one handshake-type and one S1-type packet toward v.
+	cfg := core.Config{Mode: packet.ModeBase, ChainLen: 16}
+	ep, err := core.NewEndpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1, err := ep.StartHandshake(n.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Inject("s", "v", hs1)
+	s1 := forgedS1(t, ep.Assoc())
+	n.Inject("s", "v", s1)
+	n.RunFor(time.Second)
+
+	if bp.Diverted != 1 {
+		t.Fatalf("diverted %d, want 1 (only the S1)", bp.Diverted)
+	}
+	// The victim saw the handshake but never the S1.
+	sawHS, sawS1 := false, false
+	for _, ty := range victimSaw {
+		if ty == packet.TypeHS1 {
+			sawHS = true
+		}
+		if ty == packet.TypeS1 {
+			sawS1 = true
+		}
+	}
+	if !sawHS || sawS1 {
+		t.Fatalf("victim saw HS=%v S1=%v, want true/false", sawHS, sawS1)
+	}
+}
+
+func forgedS1(t *testing.T, assoc uint64) []byte {
+	t.Helper()
+	junk := make([]byte, 20)
+	raw, err := packet.Encode(packet.Header{
+		Type: packet.TypeS1, Suite: 1, Flags: core.FlagInitiator, Assoc: assoc, Seq: 1,
+	}, &packet.S1{Mode: packet.ModeBase, AuthIdx: 1, Auth: junk, KeyIdx: 2, MACs: [][]byte{junk}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}

@@ -1,0 +1,124 @@
+// Package baseline implements the comparison points of the paper's
+// evaluation: RSA-1024 and DSA-1024 per-packet signatures (Table 4), plain
+// hashing (Table 5), and conventional shared-secret end-to-end HMAC
+// protection — the scheme ALPHA replaces because relays cannot verify it
+// (§1). The package exists so the benchmark harness compares ALPHA against
+// real implementations of the alternatives rather than against citations.
+package baseline
+
+import (
+	"crypto"
+	"crypto/dsa" //lint:ignore SA1019 the paper benchmarks DSA-1024; this is the baseline, not a recommendation
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha1"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"alpha/internal/suite"
+)
+
+// RSASigner signs and verifies packets with RSA-PKCS#1v1.5 over SHA-1,
+// mirroring the HIP configuration measured in Table 4.
+type RSASigner struct {
+	key *rsa.PrivateKey
+}
+
+// NewRSASigner generates an RSA signer with the given modulus size.
+func NewRSASigner(bits int) (*RSASigner, error) {
+	key, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: generating RSA key: %w", err)
+	}
+	return &RSASigner{key: key}, nil
+}
+
+// Sign produces a signature over msg.
+func (s *RSASigner) Sign(msg []byte) ([]byte, error) {
+	digest := sha1.Sum(msg)
+	return rsa.SignPKCS1v15(nil, s.key, crypto.SHA1, digest[:])
+}
+
+// Verify checks a signature over msg.
+func (s *RSASigner) Verify(msg, sig []byte) error {
+	digest := sha1.Sum(msg)
+	return rsa.VerifyPKCS1v15(&s.key.PublicKey, crypto.SHA1, digest[:], sig)
+}
+
+// DSASigner signs and verifies with DSA (L1024/N160), the second public-key
+// baseline of Table 4.
+type DSASigner struct {
+	key dsa.PrivateKey
+}
+
+// NewDSASigner generates DSA parameters and a key. Parameter generation is
+// slow by design; callers should reuse the signer.
+func NewDSASigner() (*DSASigner, error) {
+	s := &DSASigner{}
+	if err := dsa.GenerateParameters(&s.key.Parameters, rand.Reader, dsa.L1024N160); err != nil {
+		return nil, fmt.Errorf("baseline: generating DSA parameters: %w", err)
+	}
+	if err := dsa.GenerateKey(&s.key, rand.Reader); err != nil {
+		return nil, fmt.Errorf("baseline: generating DSA key: %w", err)
+	}
+	return s, nil
+}
+
+// Signature is a DSA signature pair.
+type Signature struct{ R, S *big.Int }
+
+// Sign produces a DSA signature over msg.
+func (s *DSASigner) Sign(msg []byte) (Signature, error) {
+	digest := sha1.Sum(msg)
+	r, sv, err := dsa.Sign(rand.Reader, &s.key, digest[:])
+	if err != nil {
+		return Signature{}, err
+	}
+	return Signature{R: r, S: sv}, nil
+}
+
+// Verify checks a DSA signature over msg.
+func (s *DSASigner) Verify(msg []byte, sig Signature) error {
+	digest := sha1.Sum(msg)
+	if !dsa.Verify(&s.key.PublicKey, digest[:], sig.R, sig.S) {
+		return errors.New("baseline: DSA signature invalid")
+	}
+	return nil
+}
+
+// HMACChannel is conventional shared-secret end-to-end integrity
+// protection: both hosts know the key, every packet carries an HMAC, and —
+// the limitation motivating ALPHA — any relay shown the key could forge
+// traffic, so relays are shown nothing and can verify nothing.
+type HMACChannel struct {
+	st  suite.Suite
+	key []byte
+}
+
+// NewHMACChannel creates a channel with a fresh random key.
+func NewHMACChannel(st suite.Suite) (*HMACChannel, error) {
+	key := make([]byte, st.Size())
+	if _, err := rand.Read(key); err != nil {
+		return nil, err
+	}
+	return &HMACChannel{st: st, key: key}, nil
+}
+
+// Seal returns msg's authentication tag.
+func (c *HMACChannel) Seal(msg []byte) []byte {
+	return c.st.MAC(c.key, msg)
+}
+
+// Open verifies a tag produced by Seal.
+func (c *HMACChannel) Open(msg, tag []byte) error {
+	if !suite.Equal(tag, c.st.MAC(c.key, msg)) {
+		return errors.New("baseline: HMAC tag invalid")
+	}
+	return nil
+}
+
+// RelayCanVerify reports whether an on-path relay (which by construction
+// has no key material) can verify a packet. It always returns false: this
+// is the structural deficit of the shared-secret baseline, stated as code.
+func (c *HMACChannel) RelayCanVerify() bool { return false }

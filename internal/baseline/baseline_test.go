@@ -1,0 +1,75 @@
+package baseline
+
+import (
+	"testing"
+
+	"alpha/internal/suite"
+)
+
+func TestRSASignVerify(t *testing.T) {
+	s, err := NewRSASigner(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("per-packet signature baseline")
+	sig, err := s.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(msg, sig); err != nil {
+		t.Fatalf("genuine signature rejected: %v", err)
+	}
+	if err := s.Verify([]byte("other message"), sig); err == nil {
+		t.Fatalf("signature verified for the wrong message")
+	}
+	sig[0] ^= 1
+	if err := s.Verify(msg, sig); err == nil {
+		t.Fatalf("corrupted signature verified")
+	}
+}
+
+func TestDSASignVerify(t *testing.T) {
+	s, err := NewDSASigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("dsa baseline")
+	sig, err := s.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(msg, sig); err != nil {
+		t.Fatalf("genuine signature rejected: %v", err)
+	}
+	if err := s.Verify([]byte("forged"), sig); err == nil {
+		t.Fatalf("signature verified for the wrong message")
+	}
+}
+
+func TestHMACChannel(t *testing.T) {
+	c, err := NewHMACChannel(suite.SHA1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("end-to-end only")
+	tag := c.Seal(msg)
+	if err := c.Open(msg, tag); err != nil {
+		t.Fatalf("genuine tag rejected: %v", err)
+	}
+	if err := c.Open([]byte("tampered"), tag); err == nil {
+		t.Fatalf("tampered message accepted")
+	}
+	// The structural point of the baseline: relays cannot verify.
+	if c.RelayCanVerify() {
+		t.Fatalf("shared-secret HMAC must not be relay-verifiable")
+	}
+}
+
+func TestHMACChannelsIndependent(t *testing.T) {
+	c1, _ := NewHMACChannel(suite.SHA1())
+	c2, _ := NewHMACChannel(suite.SHA1())
+	msg := []byte("cross-channel")
+	if err := c2.Open(msg, c1.Seal(msg)); err == nil {
+		t.Fatalf("tag from one channel verified on another")
+	}
+}

@@ -1,0 +1,234 @@
+// A simplified TESLA implementation (Perrig et al., the paper's [18]):
+// time-based hash chain signatures, adapted to unicast.
+//
+// TESLA divides time into fixed epochs. Epoch i's packets carry a MAC keyed
+// with k_i, an element of a one-way key chain; k_i itself is disclosed d
+// epochs later, so receivers buffer packets until the key arrives. Security
+// rests on a *time* safety condition: a packet claiming epoch i is only
+// acceptable while the receiver can be certain (given loose clock
+// synchronization) that the sender has not yet disclosed k_i. ALPHA's §2.1.1
+// argues this makes time-based schemes brittle exactly where wireless
+// multi-hop networks hurt: "jitter may lead to packets being delivered to a
+// verifier after the corresponding hash-chain link was disclosed. The
+// verifier consequently discards such packets." This implementation exists
+// so the benchmark harness can demonstrate that trade-off against ALPHA's
+// interaction-based signatures on the same simulated paths.
+
+package baseline
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"time"
+
+	"alpha/internal/suite"
+)
+
+// TESLAPacket is one authenticated message plus the piggybacked key
+// disclosure of an earlier epoch.
+type TESLAPacket struct {
+	Epoch   uint32 // epoch whose (undisclosed) key signs this packet
+	MAC     []byte
+	Payload []byte
+	// DisclosedEpoch/DisclosedKey reveal the key of an older epoch
+	// (Epoch - lag); DisclosedKey is nil for the first lag epochs.
+	DisclosedEpoch uint32
+	DisclosedKey   []byte
+}
+
+// TESLASender signs packets against a pre-generated key chain.
+type TESLASender struct {
+	st     suite.Suite
+	start  time.Time
+	epoch  time.Duration
+	lag    uint32
+	keys   [][]byte // keys[i] = k_i; derived k_i = H(k_{i+1})
+	epochs int
+}
+
+// NewTESLASender creates a sender whose epoch 0 begins at start. The key
+// chain supports `epochs` epochs; lag is the disclosure delay d.
+func NewTESLASender(st suite.Suite, start time.Time, epoch time.Duration, lag uint32, epochs int) (*TESLASender, error) {
+	if epochs < 1 || epoch <= 0 || lag < 1 {
+		return nil, errors.New("baseline: invalid TESLA parameters")
+	}
+	keys := make([][]byte, epochs)
+	last := make([]byte, st.Size())
+	if _, err := rand.Read(last); err != nil {
+		return nil, err
+	}
+	keys[epochs-1] = st.Hash([]byte("TESLA-seed"), last)
+	for i := epochs - 2; i >= 0; i-- {
+		keys[i] = st.Hash([]byte("TESLA-key"), keys[i+1])
+	}
+	return &TESLASender{st: st, start: start, epoch: epoch, lag: lag, keys: keys, epochs: epochs}, nil
+}
+
+// Commitment returns k_0's hash image — the value receivers are
+// bootstrapped with (TESLA's analogue of ALPHA's anchor).
+func (s *TESLASender) Commitment() []byte {
+	return s.st.Hash([]byte("TESLA-key"), s.keys[0])
+}
+
+// EpochAt maps a wall-clock instant to an epoch number.
+func (s *TESLASender) EpochAt(now time.Time) int {
+	if now.Before(s.start) {
+		return -1
+	}
+	return int(now.Sub(s.start) / s.epoch)
+}
+
+// Seal authenticates payload for transmission at time now.
+func (s *TESLASender) Seal(now time.Time, payload []byte) (*TESLAPacket, error) {
+	i := s.EpochAt(now)
+	if i < 0 || i >= s.epochs {
+		return nil, fmt.Errorf("baseline: time outside TESLA key chain (epoch %d)", i)
+	}
+	pkt := &TESLAPacket{
+		Epoch:   uint32(i),
+		MAC:     s.st.MAC(s.keys[i], payload),
+		Payload: payload,
+	}
+	if uint32(i) >= s.lag {
+		j := uint32(i) - s.lag
+		pkt.DisclosedEpoch = j
+		pkt.DisclosedKey = s.keys[j]
+	}
+	return pkt, nil
+}
+
+// KeyFor exposes an epoch key after it is disclosable; used to flush
+// receiver buffers at stream end (a real deployment would keep sending).
+func (s *TESLASender) KeyFor(now time.Time, epoch uint32) ([]byte, bool) {
+	if s.EpochAt(now) < int(epoch+s.lag) || int(epoch) >= s.epochs {
+		return nil, false
+	}
+	return s.keys[epoch], true
+}
+
+// TESLAReceiver verifies a unicast TESLA stream under loose time
+// synchronization.
+type TESLAReceiver struct {
+	st    suite.Suite
+	start time.Time
+	epoch time.Duration
+	lag   uint32
+	// skew bounds |receiver clock - sender clock|.
+	skew time.Duration
+
+	// commitment is the hash image of the newest verified key, walking
+	// toward older epochs; keyEpoch is that key's epoch (-1: only k_0's
+	// commitment known).
+	commitment []byte
+	keyEpoch   int
+	keys       map[uint32][]byte
+
+	pending map[uint32][]*TESLAPacket
+
+	// Stats.
+	Accepted, Unsafe, BadMAC, BadKey uint64
+	delivered                        [][]byte
+}
+
+// NewTESLAReceiver mirrors the sender's parameters plus the clock skew
+// bound.
+func NewTESLAReceiver(st suite.Suite, start time.Time, epoch time.Duration, lag uint32, skew time.Duration, commitment []byte) *TESLAReceiver {
+	return &TESLAReceiver{
+		st: st, start: start, epoch: epoch, lag: lag, skew: skew,
+		commitment: append([]byte(nil), commitment...),
+		keyEpoch:   -1,
+		keys:       make(map[uint32][]byte),
+		pending:    make(map[uint32][]*TESLAPacket),
+	}
+}
+
+// ErrTESLAUnsafe marks packets that failed the time safety condition: by
+// the receiver's (skew-padded) clock the sender may already have disclosed
+// the signing key, so authenticity can no longer be established.
+var ErrTESLAUnsafe = errors.New("baseline: TESLA safety condition violated (key may already be public)")
+
+// Receive processes one packet at receiver-clock time now. Safe packets are
+// buffered until their key arrives; key disclosures trigger verification of
+// buffered packets (collect results with Delivered).
+func (r *TESLAReceiver) Receive(now time.Time, pkt *TESLAPacket) error {
+	// Safety condition: the sender discloses k_i at epoch i+lag. The
+	// sender's clock could be ahead of ours by up to skew, so the packet
+	// is only safe if even that pessimistic clock has not reached the
+	// disclosure epoch.
+	senderLatest := now.Add(r.skew)
+	discloseAt := r.start.Add(time.Duration(pkt.Epoch+r.lag) * r.epoch)
+	if !senderLatest.Before(discloseAt) {
+		r.Unsafe++
+		return ErrTESLAUnsafe
+	}
+	r.pending[pkt.Epoch] = append(r.pending[pkt.Epoch], pkt)
+	r.Accepted++
+	if pkt.DisclosedKey != nil {
+		r.learnKey(pkt.DisclosedEpoch, pkt.DisclosedKey)
+	}
+	return nil
+}
+
+// LearnKey ingests an out-of-band key disclosure (stream-end flush).
+func (r *TESLAReceiver) LearnKey(epoch uint32, key []byte) { r.learnKey(epoch, key) }
+
+func (r *TESLAReceiver) learnKey(epoch uint32, key []byte) {
+	if _, known := r.keys[epoch]; known {
+		return
+	}
+	// Authenticate the key against the newest verified commitment by
+	// hashing toward it.
+	steps := int(epoch) - r.keyEpoch
+	if steps <= 0 {
+		return
+	}
+	cur := key
+	for s := 0; s < steps; s++ {
+		cur = r.st.Hash([]byte("TESLA-key"), cur)
+	}
+	if !suite.Equal(cur, r.commitment) {
+		r.BadKey++
+		return
+	}
+	// Key genuine: derive and record every epoch key it reveals.
+	cur = key
+	for e := int(epoch); e > r.keyEpoch; e-- {
+		r.keys[uint32(e)] = cur
+		cur = r.st.Hash([]byte("TESLA-key"), cur)
+	}
+	r.commitment = append(r.commitment[:0], key...)
+	r.keyEpoch = int(epoch)
+	// Verify everything the new keys unlock.
+	for e, pkts := range r.pending {
+		k, ok := r.keys[e]
+		if !ok {
+			continue
+		}
+		for _, p := range pkts {
+			if suite.Equal(p.MAC, r.st.MAC(k, p.Payload)) {
+				r.delivered = append(r.delivered, p.Payload)
+			} else {
+				r.BadMAC++
+			}
+		}
+		delete(r.pending, e)
+	}
+}
+
+// Delivered drains the verified payloads.
+func (r *TESLAReceiver) Delivered() [][]byte {
+	out := r.delivered
+	r.delivered = nil
+	return out
+}
+
+// PendingPackets reports how many packets await key disclosure — TESLA's
+// receiver-side buffering cost, which ALPHA's pre-signatures avoid.
+func (r *TESLAReceiver) PendingPackets() int {
+	n := 0
+	for _, pkts := range r.pending {
+		n += len(pkts)
+	}
+	return n
+}

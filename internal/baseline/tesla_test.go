@@ -1,0 +1,163 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"alpha/internal/suite"
+)
+
+func teslaPair(t *testing.T, epoch time.Duration, lag uint32, skew time.Duration) (*TESLASender, *TESLAReceiver, time.Time) {
+	t.Helper()
+	start := time.Unix(1_700_000_000, 0)
+	s, err := NewTESLASender(suite.SHA1(), start, epoch, lag, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewTESLAReceiver(suite.SHA1(), start, epoch, lag, skew, s.Commitment())
+	return s, r, start
+}
+
+func TestTESLAHappyPath(t *testing.T) {
+	epoch := 100 * time.Millisecond
+	s, r, start := teslaPair(t, epoch, 1, 5*time.Millisecond)
+	// Send one packet per epoch for 5 epochs with small delay.
+	for i := 0; i < 5; i++ {
+		at := start.Add(time.Duration(i)*epoch + 10*time.Millisecond)
+		pkt, err := s.Seal(at, []byte(fmt.Sprintf("epoch-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Receive(at.Add(5*time.Millisecond), pkt); err != nil {
+			t.Fatalf("packet %d rejected: %v", i, err)
+		}
+	}
+	// Packets 0..3 were unlocked by the disclosures piggybacked on 1..4;
+	// flush the last key to deliver packet 4.
+	flushAt := start.Add(6 * epoch)
+	if k, ok := s.KeyFor(flushAt, 4); ok {
+		r.LearnKey(4, k)
+	} else {
+		t.Fatal("key 4 not disclosable")
+	}
+	got := r.Delivered()
+	if len(got) != 5 {
+		t.Fatalf("delivered %d/5: %q", len(got), got)
+	}
+	if r.BadMAC != 0 || r.BadKey != 0 || r.Unsafe != 0 {
+		t.Fatalf("unexpected failures: %+v", r)
+	}
+}
+
+func TestTESLASafetyConditionDiscardsLatePackets(t *testing.T) {
+	// The §2.1.1 critique: a packet delayed past its key's disclosure
+	// time must be discarded even though it is genuine.
+	epoch := 50 * time.Millisecond
+	s, r, start := teslaPair(t, epoch, 1, 0)
+	pkt, err := s.Seal(start.Add(10*time.Millisecond), []byte("too slow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrives after epoch 0+lag began: key k_0 is already public.
+	late := start.Add(1*epoch + 10*time.Millisecond)
+	if err := r.Receive(late, pkt); err != ErrTESLAUnsafe {
+		t.Fatalf("late genuine packet not discarded: %v", err)
+	}
+	if r.Unsafe != 1 {
+		t.Fatalf("unsafe counter %d", r.Unsafe)
+	}
+}
+
+func TestTESLAClockSkewTightensTheWindow(t *testing.T) {
+	epoch := 50 * time.Millisecond
+	_, rTight, start := teslaPair(t, epoch, 1, 0)
+	s, rSkewed, _ := teslaPair(t, epoch, 1, 20*time.Millisecond)
+	pkt, err := s.Seal(start.Add(5*time.Millisecond), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrival at 40ms: fine with perfect clocks, unsafe with 20ms skew
+	// (the pessimistic sender clock reads 60ms ≥ 50ms disclosure time).
+	at := start.Add(40 * time.Millisecond)
+	if err := rTight.Receive(at, pkt); err != nil {
+		t.Fatalf("zero-skew receiver rejected safe packet: %v", err)
+	}
+	if err := rSkewed.Receive(at, pkt); err != ErrTESLAUnsafe {
+		t.Fatalf("skewed receiver accepted unsafe packet: %v", err)
+	}
+}
+
+func TestTESLARejectsForgery(t *testing.T) {
+	epoch := 100 * time.Millisecond
+	s, r, start := teslaPair(t, epoch, 1, 0)
+	pkt, err := s.Seal(start.Add(10*time.Millisecond), []byte("real"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt.Payload = []byte("forged")
+	if err := r.Receive(start.Add(20*time.Millisecond), pkt); err != nil {
+		t.Fatal(err) // buffered: cannot verify yet
+	}
+	if k, ok := s.KeyFor(start.Add(3*epoch), 0); ok {
+		r.LearnKey(0, k)
+	}
+	if got := r.Delivered(); len(got) != 0 {
+		t.Fatalf("forged payload delivered: %q", got)
+	}
+	if r.BadMAC != 1 {
+		t.Fatalf("BadMAC %d", r.BadMAC)
+	}
+}
+
+func TestTESLARejectsForgedKey(t *testing.T) {
+	epoch := 100 * time.Millisecond
+	s, r, start := teslaPair(t, epoch, 1, 0)
+	pkt, _ := s.Seal(start.Add(10*time.Millisecond), []byte("m"))
+	r.Receive(start.Add(20*time.Millisecond), pkt)
+	r.LearnKey(0, suite.SHA1().Hash([]byte("not the key")))
+	if got := r.Delivered(); len(got) != 0 {
+		t.Fatalf("forged key unlocked delivery")
+	}
+	if r.BadKey != 1 {
+		t.Fatalf("BadKey %d", r.BadKey)
+	}
+}
+
+func TestTESLAKeyGapRecovery(t *testing.T) {
+	// Losing the packets of several epochs must not break the key chain:
+	// a later disclosure authenticates across the gap.
+	epoch := 100 * time.Millisecond
+	s, r, start := teslaPair(t, epoch, 1, 0)
+	// Packet in epoch 0, then nothing until epoch 5.
+	p0, _ := s.Seal(start.Add(10*time.Millisecond), []byte("early"))
+	r.Receive(start.Add(20*time.Millisecond), p0)
+	p5, _ := s.Seal(start.Add(5*epoch+10*time.Millisecond), []byte("late"))
+	if err := r.Receive(start.Add(5*epoch+20*time.Millisecond), p5); err != nil {
+		t.Fatal(err)
+	}
+	// p5 disclosed k_4, which authenticates down to k_0 and unlocks p0.
+	got := r.Delivered()
+	if len(got) != 1 || string(got[0]) != "early" {
+		t.Fatalf("gap recovery failed: %q", got)
+	}
+}
+
+func TestTESLABuffering(t *testing.T) {
+	// Until keys are disclosed the receiver buffers whole packets —
+	// exactly the memory cost ALPHA's pre-signatures avoid (Table 2).
+	epoch := time.Second
+	s, r, start := teslaPair(t, epoch, 2, 0)
+	for i := 0; i < 8; i++ {
+		pkt, err := s.Seal(start.Add(time.Duration(i)*10*time.Millisecond), []byte("buffered payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Receive(start.Add(time.Duration(i)*10*time.Millisecond), pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.PendingPackets(); got != 8 {
+		t.Fatalf("pending %d, want 8 full packets buffered", got)
+	}
+}

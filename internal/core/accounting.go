@@ -1,0 +1,35 @@
+// Buffer accounting, used to reproduce the memory columns of Tables 2 and 3
+// of the paper from live protocol state instead of trusting the formulas.
+
+package core
+
+// RxBufferedBytes reports the verifier-side buffer usage of all open
+// exchanges: preSig counts buffered pre-signatures (MACs or Merkle roots,
+// the Table 2 "Verifier" column) and ack counts the reliable-mode
+// pre-(n)ack material (Table 3).
+func (e *Endpoint) RxBufferedBytes() (preSig, ack int) {
+	for _, rx := range e.rx {
+		preSig += rx.bufferedBytes()
+		ack += rx.ackBytes()
+	}
+	return preSig, ack
+}
+
+// TxBufferedBytes reports the signer-side buffer usage of all in-flight
+// exchanges: payload bytes awaiting acknowledgment plus retained signature
+// packets (the Table 2 "Signer" column, measured on encoded state).
+func (e *Endpoint) TxBufferedBytes() (payload, sig int) {
+	for _, x := range e.tx {
+		for _, m := range x.msgs {
+			payload += len(m.payload)
+		}
+		sig += len(x.s1)
+		for _, raw := range x.s2s {
+			sig += len(raw)
+		}
+	}
+	return payload, sig
+}
+
+// RxExchanges returns the number of open receiver-side exchanges.
+func (e *Endpoint) RxExchanges() int { return len(e.rx) }

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"alpha/internal/packet"
+)
+
+// freezeAtS1 sends a batch and withholds the A1 so both sides sit at their
+// buffer peak.
+func freezeAtS1(t *testing.T, mode packet.Mode, n, msgSize int) *harness {
+	t.Helper()
+	cfg := baseConfig(mode, true)
+	cfg.BatchSize = n
+	cfg.ChainLen = 128
+	cfg.MaxOutstanding = 1
+	h := newHarness(t, cfg)
+	h.handshake()
+	h.dropBtoA = func(raw []byte) bool {
+		hdr, _, err := packet.Decode(raw)
+		return err == nil && hdr.Type == packet.TypeA1
+	}
+	for i := 0; i < n; i++ {
+		if _, err := h.a.Send(h.now, bytes.Repeat([]byte{byte(i)}, msgSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.a.Flush(h.now)
+	h.run(5)
+	return h
+}
+
+func TestBufferAccountingMatchesTable2(t *testing.T) {
+	const n, msgSize = 8, 512
+	h := freezeAtS1(t, packet.ModeC, n, msgSize)
+	payload, sig := h.a.TxBufferedBytes()
+	if payload != n*msgSize {
+		t.Fatalf("signer payload bytes %d, want %d", payload, n*msgSize)
+	}
+	if sig == 0 {
+		t.Fatalf("signer retains no signature state")
+	}
+	vSig, vAck := h.b.RxBufferedBytes()
+	if vSig != n*20 {
+		t.Fatalf("verifier pre-signature bytes %d, want n·h=%d", vSig, n*20)
+	}
+	// Reliable multi-message batch: AMT state present.
+	if vAck == 0 {
+		t.Fatalf("verifier holds no acknowledgment state in reliable mode")
+	}
+	if h.b.RxExchanges() != 1 {
+		t.Fatalf("rx exchanges %d", h.b.RxExchanges())
+	}
+}
+
+func TestBufferAccountingModeM(t *testing.T) {
+	h := freezeAtS1(t, packet.ModeM, 16, 256)
+	vSig, _ := h.b.RxBufferedBytes()
+	if vSig != 20 {
+		t.Fatalf("ALPHA-M verifier buffers %d, want a single digest (20)", vSig)
+	}
+}
+
+func TestBufferAccountingDrainsAfterCompletion(t *testing.T) {
+	cfg := baseConfig(packet.ModeC, true)
+	cfg.BatchSize = 4
+	h := newHarness(t, cfg)
+	h.handshake()
+	for i := 0; i < 4; i++ {
+		if _, err := h.a.Send(h.now, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.a.Flush(h.now)
+	h.run(40)
+	payload, sig := h.a.TxBufferedBytes()
+	if payload != 0 || sig != 0 {
+		t.Fatalf("signer still buffers %d+%d bytes after full ack", payload, sig)
+	}
+}
+
+func TestUpdateAnchorsHelper(t *testing.T) {
+	st := baseConfig(packet.ModeBase, false).withDefaults().Suite
+	p := RekeyPayload{
+		SigAnchor: make([]byte, st.Size()),
+		AckAnchor: make([]byte, st.Size()),
+		ChainLen:  64,
+	}
+	sig, ack, err := UpdateAnchors(st, p)
+	if err != nil || sig == nil || ack == nil {
+		t.Fatalf("UpdateAnchors: %v", err)
+	}
+	bad := p
+	bad.SigAnchor = []byte("short")
+	if _, _, err := UpdateAnchors(st, bad); err == nil {
+		t.Fatalf("short anchor accepted")
+	}
+}
+
+func TestRxExchangeEviction(t *testing.T) {
+	cfg := baseConfig(packet.ModeBase, false)
+	cfg.MaxRxExchanges = 2
+	cfg.MaxOutstanding = 8
+	cfg.ChainLen = 64
+	h := newHarness(t, cfg)
+	h.handshake()
+	// Complete several exchanges; the receiver must retain at most 2.
+	for i := 0; i < 5; i++ {
+		if _, err := h.a.Send(h.now, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		h.a.Flush(h.now)
+		h.run(20)
+	}
+	if got := h.b.RxExchanges(); got > 2 {
+		t.Fatalf("receiver retains %d exchanges, cap is 2", got)
+	}
+	if got := len(h.payloadsDelivered(h.b)); got != 5 {
+		t.Fatalf("delivered %d/5", got)
+	}
+}
+
+func TestAckLatencyTracked(t *testing.T) {
+	h := newHarness(t, baseConfig(packet.ModeBase, true))
+	h.handshake()
+	if _, err := h.a.Send(h.now, []byte("timed")); err != nil {
+		t.Fatal(err)
+	}
+	h.a.Flush(h.now)
+	h.run(30)
+	st := h.a.Stats()
+	if st.Acked != 1 {
+		t.Fatalf("not acked")
+	}
+	// The harness advances 5 ms per round and the exchange needs at
+	// least two round trips' worth of steps.
+	if st.MeanAckLatency() <= 0 || st.AckLatencyMax < st.MeanAckLatency() {
+		t.Fatalf("latency stats implausible: mean=%v max=%v", st.MeanAckLatency(), st.AckLatencyMax)
+	}
+	if (Stats{}).MeanAckLatency() != 0 {
+		t.Fatalf("zero-value latency not zero")
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"alpha/internal/packet"
+)
+
+// chaosNet delivers packets between two endpoints with seeded random loss,
+// delay (reordering), and duplication — the property-test substrate: under
+// any such schedule, reliable mode must deliver exactly the sent payload
+// multiset, with no spurious deliveries and no false acks.
+type chaosNet struct {
+	t    *testing.T
+	rng  *rand.Rand
+	a, b *Endpoint
+	now  time.Time
+	// in-flight packets with arrival times.
+	queue []chaosPkt
+	seq   int
+
+	loss, dup float64
+	maxDelay  time.Duration
+
+	aEvents, bEvents []Event
+}
+
+type chaosPkt struct {
+	at  time.Time
+	seq int
+	to  *Endpoint
+	raw []byte
+}
+
+func newChaosNet(t *testing.T, seed int64, cfg Config, loss, dup float64, maxDelay time.Duration) *chaosNet {
+	t.Helper()
+	a, err := NewEndpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEndpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &chaosNet{
+		t: t, rng: rand.New(rand.NewSource(seed)),
+		a: a, b: b,
+		now:  time.Unix(1_700_000_000, 0),
+		loss: loss, dup: dup, maxDelay: maxDelay,
+	}
+}
+
+// post schedules raw for chaotic delivery to dst.
+func (c *chaosNet) post(dst *Endpoint, raw []byte) {
+	n := 1
+	if c.rng.Float64() < c.loss {
+		n = 0
+	} else if c.rng.Float64() < c.dup {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		delay := time.Duration(c.rng.Int63n(int64(c.maxDelay)))
+		c.seq++
+		c.queue = append(c.queue, chaosPkt{at: c.now.Add(delay), seq: c.seq, to: dst, raw: raw})
+	}
+}
+
+// step advances virtual time, delivering due packets and pumping engines.
+func (c *chaosNet) step(dt time.Duration) {
+	c.now = c.now.Add(dt)
+	// Deliver everything due, in (time, seq) order for determinism.
+	for {
+		best := -1
+		for i, p := range c.queue {
+			if p.at.After(c.now) {
+				continue
+			}
+			if best == -1 || p.at.Before(c.queue[best].at) ||
+				(p.at.Equal(c.queue[best].at) && p.seq < c.queue[best].seq) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		p := c.queue[best]
+		c.queue = append(c.queue[:best], c.queue[best+1:]...)
+		evs, err := p.to.Handle(c.now, p.raw)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		c.record(p.to, evs)
+	}
+	outA, evA := c.a.Poll(c.now)
+	c.record(c.a, evA)
+	for _, raw := range outA {
+		c.post(c.b, raw)
+	}
+	outB, evB := c.b.Poll(c.now)
+	c.record(c.b, evB)
+	for _, raw := range outB {
+		c.post(c.a, raw)
+	}
+}
+
+func (c *chaosNet) record(e *Endpoint, evs []Event) {
+	if e == c.a {
+		c.aEvents = append(c.aEvents, evs...)
+	} else {
+		c.bEvents = append(c.bEvents, evs...)
+	}
+}
+
+// TestChaosReliableDelivery is the protocol's core liveness+safety property
+// under adversarial-but-fair networks: across seeds, modes and chaos
+// parameters, every message is delivered exactly once and acked, and
+// nothing not sent is ever delivered.
+func TestChaosReliableDelivery(t *testing.T) {
+	modes := []packet.Mode{packet.ModeBase, packet.ModeC, packet.ModeM, packet.ModeCM}
+	for seed := int64(1); seed <= 6; seed++ {
+		mode := modes[seed%int64(len(modes))]
+		t.Run(fmt.Sprintf("seed=%d/%v", seed, mode), func(t *testing.T) {
+			cfg := Config{
+				Mode:       mode,
+				BatchSize:  3,
+				Reliable:   true,
+				ChainLen:   1024,
+				RTO:        80 * time.Millisecond,
+				MaxRetries: 40,
+				Coalesce:   seed%2 == 0, // alternate bundling on/off
+			}
+			loss := 0.05 + 0.03*float64(seed%3) // 5-11%
+			dup := 0.05 * float64(seed%2)       // 0 or 5%
+			maxDelay := 30 * time.Millisecond   // heavy reordering vs 80ms RTO
+			c := newChaosNet(t, seed, cfg, loss, dup, maxDelay)
+
+			// Handshake under chaos.
+			hs1, err := c.a.StartHandshake(c.now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.post(c.b, hs1)
+			for i := 0; i < 2000 && !(c.a.Established() && c.b.Established()); i++ {
+				c.step(10 * time.Millisecond)
+			}
+			if !c.a.Established() || !c.b.Established() {
+				t.Fatalf("handshake never completed under chaos")
+			}
+
+			const total = 30
+			sent := map[string]int{}
+			for i := 0; i < total; i++ {
+				payload := fmt.Sprintf("chaos-%d-%02d", seed, i)
+				sent[payload]++
+				if _, err := c.a.Send(c.now, []byte(payload)); err != nil {
+					t.Fatal(err)
+				}
+				if i%3 == 2 {
+					c.step(5 * time.Millisecond)
+				}
+			}
+			c.a.Flush(c.now)
+			acked := func() int {
+				n := 0
+				for _, ev := range c.aEvents {
+					if ev.Kind == EventAcked {
+						n++
+					}
+				}
+				return n
+			}
+			for i := 0; i < 6000 && acked() < total; i++ {
+				c.step(10 * time.Millisecond)
+			}
+
+			// Safety: delivered exactly the sent multiset.
+			got := map[string]int{}
+			for _, ev := range c.bEvents {
+				if ev.Kind == EventDelivered {
+					got[string(ev.Payload)]++
+				}
+			}
+			for payload, n := range sent {
+				if got[payload] != n {
+					t.Fatalf("payload %q delivered %d times, want %d", payload, got[payload], n)
+				}
+			}
+			for payload := range got {
+				if sent[payload] == 0 {
+					t.Fatalf("spurious delivery %q", payload)
+				}
+			}
+			// Liveness: everything acked.
+			if acked() != total {
+				t.Fatalf("acked %d/%d under chaos (loss=%.2f dup=%.2f)", acked(), total, loss, dup)
+			}
+			// No false sends reported failed.
+			for _, ev := range c.aEvents {
+				if ev.Kind == EventSendFailed {
+					t.Fatalf("send failed under fair chaos: %v", ev.Err)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosSoak is a longer randomized campaign, skipped under -short: more
+// seeds, more messages, meaner networks.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	modes := []packet.Mode{packet.ModeBase, packet.ModeC, packet.ModeM, packet.ModeCM}
+	for seed := int64(10); seed < 22; seed++ {
+		mode := modes[seed%int64(len(modes))]
+		t.Run(fmt.Sprintf("seed=%d/%v", seed, mode), func(t *testing.T) {
+			cfg := Config{
+				Mode:       mode,
+				BatchSize:  1 + int(seed%5),
+				Reliable:   true,
+				ChainLen:   4096,
+				RTO:        60 * time.Millisecond,
+				MaxRetries: 60,
+				Coalesce:   seed%3 == 0,
+				AutoRekey:  seed%2 == 0,
+			}
+			if cfg.AutoRekey {
+				cfg.ChainLen = 64 // force several rotations mid-soak
+			}
+			c := newChaosNet(t, seed, cfg, 0.10, 0.05, 50*time.Millisecond)
+			hs1, err := c.a.StartHandshake(c.now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.post(c.b, hs1)
+			for i := 0; i < 3000 && !(c.a.Established() && c.b.Established()); i++ {
+				c.step(10 * time.Millisecond)
+			}
+			if !c.a.Established() {
+				t.Fatalf("soak handshake failed")
+			}
+			const total = 120
+			for i := 0; i < total; i++ {
+				if _, err := c.a.Send(c.now, []byte(fmt.Sprintf("soak-%d-%03d", seed, i))); err != nil {
+					t.Fatal(err)
+				}
+				c.step(8 * time.Millisecond)
+			}
+			c.a.Flush(c.now)
+			acked := func() int {
+				n := 0
+				for _, ev := range c.aEvents {
+					if ev.Kind == EventAcked {
+						n++
+					}
+				}
+				return n
+			}
+			for i := 0; i < 30000 && acked() < total; i++ {
+				c.step(10 * time.Millisecond)
+			}
+			if acked() != total {
+				t.Fatalf("soak acked %d/%d (mode %v autorekey %v)", acked(), total, mode, cfg.AutoRekey)
+			}
+			delivered := map[string]bool{}
+			for _, ev := range c.bEvents {
+				if ev.Kind == EventDelivered {
+					if delivered[string(ev.Payload)] {
+						t.Fatalf("duplicate delivery %q", ev.Payload)
+					}
+					delivered[string(ev.Payload)] = true
+				}
+			}
+			if len(delivered) != total {
+				t.Fatalf("soak delivered %d/%d distinct", len(delivered), total)
+			}
+		})
+	}
+}

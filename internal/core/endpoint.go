@@ -1,0 +1,490 @@
+// Endpoint construction, handshake handling, datagram dispatch and timers.
+
+package core
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"alpha/internal/hashchain"
+	"alpha/internal/packet"
+	"alpha/internal/suite"
+)
+
+// FlagInitiator marks packets sent by the association's initiator so that
+// responders and relays can attribute them to the correct chain set without
+// relying on network addresses.
+const FlagInitiator = 1 << 2
+
+// Endpoint is one end of an ALPHA association. It is not safe for
+// concurrent use; transports serialize access.
+type Endpoint struct {
+	cfg   Config
+	suite suite.Suite
+
+	assoc       uint64
+	initiator   bool
+	established bool
+	hsRetries   int
+	hsDeadline  time.Time
+	hsPacket    []byte // encoded local HS for retransmission
+
+	// Local chains: signing our outgoing channel, acknowledging our
+	// incoming one.
+	sigChain hashchain.Owner
+	ackChain hashchain.Owner
+
+	// Walkers over the peer's chains. The prev* walkers are retained
+	// during a rekey grace window so that a peer that announced new
+	// anchors but failed to commit (lost ack, exhausted retries) can
+	// still be verified; see verifyPeerSig.
+	peerSig     *hashchain.Walker
+	peerAck     *hashchain.Walker
+	prevPeerSig *hashchain.Walker
+	prevPeerAck *hashchain.Walker
+
+	// rekey tracks an in-flight local chain rotation.
+	rekey *rekeyState
+
+	// Sender half.
+	nextSeq   uint32
+	nextMsgID uint64
+	queue     []*outMsg
+	queuedAt  time.Time
+	tx        map[uint32]*txExchange
+	txOrder   []uint32
+
+	// Receiver half.
+	rx      map[uint32]*rxExchange
+	rxOrder []uint32
+
+	outbox   [][]byte
+	events   []Event
+	chainLow bool
+	nonce    []byte
+
+	stats Stats
+}
+
+// Stats counts endpoint activity, exported for experiments and examples.
+type Stats struct {
+	SentS1, SentA1, SentS2, SentA2     uint64
+	RecvS1, RecvA1, RecvS2, RecvA2     uint64
+	Retransmits                        uint64
+	Delivered, Acked, Nacked, Dropped  uint64
+	BytesSent, BytesReceived, Payloads uint64
+	// AckLatencySum/Max track Send-to-verified-ack time (reliable mode);
+	// mean latency = AckLatencySum / Acked.
+	AckLatencySum time.Duration
+	AckLatencyMax time.Duration
+}
+
+// MeanAckLatency returns the average Send-to-ack latency, or 0 before the
+// first acknowledgment.
+func (s Stats) MeanAckLatency() time.Duration {
+	if s.Acked == 0 {
+		return 0
+	}
+	return s.AckLatencySum / time.Duration(s.Acked)
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// NewEndpoint creates an endpoint with fresh hash chains. The endpoint
+// becomes usable after a handshake: initiators call StartHandshake and feed
+// the HS2 response to Handle; responders simply Handle the incoming HS1.
+func NewEndpoint(cfg Config) (*Endpoint, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Endpoint{
+		cfg:     cfg,
+		suite:   cfg.Suite,
+		nextSeq: 1,
+		tx:      make(map[uint32]*txExchange),
+		rx:      make(map[uint32]*rxExchange),
+	}
+	var err error
+	if e.sigChain, err = newOwner(cfg, hashchain.TagS1, hashchain.TagS2); err != nil {
+		return nil, err
+	}
+	if e.ackChain, err = newOwner(cfg, hashchain.TagA1, hashchain.TagA2); err != nil {
+		return nil, err
+	}
+	e.nonce = make([]byte, cfg.Suite.Size())
+	if _, err := rand.Read(e.nonce); err != nil {
+		return nil, fmt.Errorf("core: generating nonce: %w", err)
+	}
+	return e, nil
+}
+
+func newOwner(cfg Config, tagOdd, tagEven []byte) (hashchain.Owner, error) {
+	secret := make([]byte, cfg.Suite.Size())
+	if _, err := rand.Read(secret); err != nil {
+		return nil, fmt.Errorf("core: generating chain secret: %w", err)
+	}
+	if cfg.CheckpointInterval > 0 {
+		return hashchain.NewCheckpoint(cfg.Suite, tagOdd, tagEven, secret, cfg.ChainLen, cfg.CheckpointInterval)
+	}
+	return hashchain.New(cfg.Suite, tagOdd, tagEven, secret, cfg.ChainLen)
+}
+
+// Assoc returns the association identifier (0 before the handshake).
+func (e *Endpoint) Assoc() uint64 { return e.assoc }
+
+// Established reports whether the handshake has completed.
+func (e *Endpoint) Established() bool { return e.established }
+
+// Initiator reports whether this endpoint started the handshake.
+func (e *Endpoint) Initiator() bool { return e.initiator }
+
+// ChainRemaining returns how many signature-chain elements are undisclosed.
+func (e *Endpoint) ChainRemaining() int { return e.sigChain.Remaining() }
+
+// StartHandshake begins an association as initiator. The returned HS1
+// packet must be delivered to the responder; it is also queued internally
+// for retransmission until the HS2 arrives.
+func (e *Endpoint) StartHandshake(now time.Time) ([]byte, error) {
+	if e.established || e.assoc != 0 {
+		return nil, fmt.Errorf("core: handshake already started")
+	}
+	var aid [8]byte
+	if _, err := rand.Read(aid[:]); err != nil {
+		return nil, fmt.Errorf("core: generating association id: %w", err)
+	}
+	e.assoc = binary.BigEndian.Uint64(aid[:])
+	if e.assoc == 0 {
+		e.assoc = 1
+	}
+	e.initiator = true
+	hs, err := e.buildHandshake(true)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := packet.Encode(e.header(packet.TypeHS1, 0), hs)
+	if err != nil {
+		return nil, err
+	}
+	e.hsPacket = raw
+	e.hsDeadline = now.Add(e.cfg.RTO)
+	e.stats.BytesSent += uint64(len(raw))
+	return raw, nil
+}
+
+// header builds the common header for an outgoing packet.
+func (e *Endpoint) header(t packet.Type, seq uint32) packet.Header {
+	var flags uint8
+	if e.initiator {
+		flags |= FlagInitiator
+	}
+	if e.cfg.Reliable {
+		flags |= packet.FlagReliable
+	}
+	if e.cfg.Identity != nil {
+		flags |= packet.FlagProtected
+	}
+	return packet.Header{
+		Type:  t,
+		Suite: e.suite.ID(),
+		Flags: flags,
+		Assoc: e.assoc,
+		Seq:   seq,
+	}
+}
+
+// buildHandshake assembles the local HS body, signing the anchors when a
+// protected handshake is configured.
+func (e *Endpoint) buildHandshake(initiator bool) (*packet.Handshake, error) {
+	hs := &packet.Handshake{
+		Initiator: initiator,
+		SigAnchor: e.sigChain.Anchor(),
+		AckAnchor: e.ackChain.Anchor(),
+		ChainLen:  uint32(e.cfg.ChainLen),
+		Nonce:     e.nonce,
+	}
+	if e.cfg.Identity != nil {
+		if err := signHandshake(e.cfg.Identity, e.assoc, hs); err != nil {
+			return nil, err
+		}
+	}
+	return hs, nil
+}
+
+// Handle processes one received datagram, appending any response packets to
+// the internal outbox (drained by Poll) and returning events for the
+// application. Malformed or unverifiable packets are reported as
+// EventDropped; Handle only returns an error for misuse, never for hostile
+// input.
+func (e *Endpoint) Handle(now time.Time, datagram []byte) ([]Event, error) {
+	e.stats.BytesReceived += uint64(len(datagram))
+	return e.handleRaw(now, datagram, true), nil
+}
+
+// handleRaw decodes and dispatches one packet; allowBundle guards against
+// nested bundles (the codec rejects them too, belt and braces).
+func (e *Endpoint) handleRaw(now time.Time, datagram []byte, allowBundle bool) []Event {
+	hdr, msg, err := packet.Decode(datagram)
+	if err != nil {
+		return e.drop(0, fmt.Errorf("undecodable packet: %w", err))
+	}
+	if hdr.Suite != e.suite.ID() {
+		return e.drop(hdr.Seq, fmt.Errorf("suite mismatch: %d", hdr.Suite))
+	}
+	switch m := msg.(type) {
+	case *packet.Bundle:
+		if !allowBundle {
+			return e.drop(hdr.Seq, packet.ErrBadType)
+		}
+		var evs []Event
+		for _, raw := range m.Packets {
+			evs = append(evs, e.handleRaw(now, raw, false)...)
+		}
+		return evs
+	case *packet.Handshake:
+		return e.handleHandshake(now, hdr, m)
+	case *packet.S1:
+		return e.handleDataPacket(now, hdr, func() []Event { return e.handleS1(now, hdr, m) })
+	case *packet.A1:
+		return e.handleDataPacket(now, hdr, func() []Event { return e.handleA1(now, hdr, m) })
+	case *packet.S2:
+		return e.handleDataPacket(now, hdr, func() []Event { return e.handleS2(now, hdr, m) })
+	case *packet.A2:
+		return e.handleDataPacket(now, hdr, func() []Event { return e.handleA2(now, hdr, m) })
+	default:
+		return e.drop(hdr.Seq, packet.ErrBadType)
+	}
+}
+
+// handleDataPacket performs the checks common to S1/A1/S2/A2 before
+// dispatching.
+func (e *Endpoint) handleDataPacket(now time.Time, hdr packet.Header, dispatch func() []Event) []Event {
+	if !e.established {
+		return e.drop(hdr.Seq, ErrNotEstablished)
+	}
+	if hdr.Assoc != e.assoc {
+		return e.drop(hdr.Seq, ErrUnknownAssoc)
+	}
+	// A packet must come from the opposite side of the association.
+	if (hdr.Flags&FlagInitiator != 0) == e.initiator {
+		return e.drop(hdr.Seq, ErrBadDirection)
+	}
+	return dispatch()
+}
+
+// drop records a dropped packet and returns the corresponding event slice.
+func (e *Endpoint) drop(seq uint32, reason error) []Event {
+	e.stats.Dropped++
+	ev := Event{Kind: EventDropped, Seq: seq, Err: reason}
+	e.events = append(e.events, ev)
+	evs := e.events
+	e.events = nil
+	return evs
+}
+
+// emit queues an event to be returned from the current Handle/Poll call.
+func (e *Endpoint) emit(ev Event) { e.events = append(e.events, ev) }
+
+// send encodes and queues a packet on the outbox.
+func (e *Endpoint) send(hdr packet.Header, msg packet.Message) error {
+	raw, err := packet.Encode(hdr, msg)
+	if err != nil {
+		return err
+	}
+	e.outbox = append(e.outbox, raw)
+	e.stats.BytesSent += uint64(len(raw))
+	return nil
+}
+
+// takeEvents returns and clears the pending event queue.
+func (e *Endpoint) takeEvents() []Event {
+	evs := e.events
+	e.events = nil
+	return evs
+}
+
+// handleHandshake processes HS1 (as responder) and HS2 (as initiator).
+func (e *Endpoint) handleHandshake(now time.Time, hdr packet.Header, hs *packet.Handshake) []Event {
+	switch {
+	case hdr.Type == packet.TypeHS1 && !e.initiator:
+		if e.established {
+			// Duplicate HS1: retransmit our HS2 so a lost response
+			// does not deadlock the initiator.
+			if hdr.Assoc == e.assoc && e.hsPacket != nil {
+				e.outbox = append(e.outbox, e.hsPacket)
+				e.stats.BytesSent += uint64(len(e.hsPacket))
+			}
+			return e.takeEvents()
+		}
+		if err := e.adoptPeer(hdr, hs); err != nil {
+			return e.drop(0, err)
+		}
+		e.assoc = hdr.Assoc
+		resp, err := e.buildHandshake(false)
+		if err != nil {
+			return e.drop(0, err)
+		}
+		raw, err := packet.Encode(e.header(packet.TypeHS2, 0), resp)
+		if err != nil {
+			return e.drop(0, err)
+		}
+		e.hsPacket = raw
+		e.outbox = append(e.outbox, raw)
+		e.stats.BytesSent += uint64(len(raw))
+		e.established = true
+		e.emit(Event{Kind: EventEstablished})
+		return e.takeEvents()
+
+	case hdr.Type == packet.TypeHS2 && e.initiator:
+		if e.established {
+			return e.takeEvents() // duplicate HS2
+		}
+		if hdr.Assoc != e.assoc {
+			return e.drop(0, ErrUnknownAssoc)
+		}
+		if err := e.adoptPeer(hdr, hs); err != nil {
+			return e.drop(0, err)
+		}
+		e.established = true
+		e.hsPacket = nil
+		e.emit(Event{Kind: EventEstablished})
+		return e.takeEvents()
+
+	default:
+		return e.drop(0, fmt.Errorf("%w: unexpected %v", ErrBadHandshake, hdr.Type))
+	}
+}
+
+// adoptPeer validates a peer handshake body and installs walkers over the
+// peer's chains.
+func (e *Endpoint) adoptPeer(hdr packet.Header, hs *packet.Handshake) error {
+	if len(hs.SigAnchor) != e.suite.Size() || len(hs.AckAnchor) != e.suite.Size() {
+		return fmt.Errorf("%w: anchor size", ErrBadHandshake)
+	}
+	if hs.ChainLen == 0 || hs.ChainLen > 1<<24 {
+		return fmt.Errorf("%w: chain length %d", ErrBadHandshake, hs.ChainLen)
+	}
+	if hdr.Flags&packet.FlagProtected != 0 || hs.Scheme != 0 {
+		if err := verifyHandshake(hdr.Assoc, hs, e.cfg.VerifyPeer); err != nil {
+			return err
+		}
+	} else if e.cfg.VerifyPeer != nil {
+		return fmt.Errorf("%w: peer did not sign anchors", ErrBadHandshake)
+	}
+	var err error
+	if e.peerSig, err = hashchain.NewSignatureWalker(e.suite, hs.SigAnchor); err != nil {
+		return err
+	}
+	if e.peerAck, err = hashchain.NewAcknowledgmentWalker(e.suite, hs.AckAnchor); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Poll drives timers and flushes batched work. It returns the datagrams to
+// transmit and any events raised since the last call.
+func (e *Endpoint) Poll(now time.Time) ([][]byte, []Event) {
+	// Handshake retransmission (initiator only: responder HS2 resends
+	// are triggered by duplicate HS1s).
+	if !e.established && e.initiator && e.hsPacket != nil && !e.hsDeadline.IsZero() && !now.Before(e.hsDeadline) {
+		if e.hsRetries < e.cfg.MaxRetries {
+			e.hsRetries++
+			e.stats.Retransmits++
+			e.outbox = append(e.outbox, e.hsPacket)
+			e.stats.BytesSent += uint64(len(e.hsPacket))
+			e.hsDeadline = now.Add(backoff(e.cfg.RTO, e.hsRetries))
+		}
+	}
+	if e.established {
+		e.flushQueue(now, false)
+		e.pollExchanges(now)
+		if e.cfg.AutoRekey && e.cfg.Reliable && e.chainLow && e.rekey == nil &&
+			len(e.tx) == 0 {
+			if _, err := e.Rekey(now); err != nil {
+				// A failed attempt (e.g. too few elements left to
+				// sign the announcement) will not get better;
+				// surface it once and stop retrying.
+				e.chainLow = false
+				e.emit(Event{Kind: EventSendFailed, Err: fmt.Errorf("alpha: auto-rekey: %w", err)})
+			}
+		}
+	}
+	out := e.outbox
+	e.outbox = nil
+	if e.cfg.Coalesce && len(out) > 1 {
+		out = e.coalesce(out)
+	}
+	return out, e.takeEvents()
+}
+
+// coalesce greedily packs consecutive outgoing packets into bundles of at
+// most CoalesceLimit bytes (§3.2.1's combined transmissions). Handshake
+// packets travel alone: the responder may not know the association yet.
+func (e *Endpoint) coalesce(raws [][]byte) [][]byte {
+	result := make([][]byte, 0, len(raws))
+	var group [][]byte
+	size := packet.HeaderSize + 1
+	flush := func() {
+		switch len(group) {
+		case 0:
+		case 1:
+			result = append(result, group[0])
+		default:
+			b, err := packet.EncodeBundle(e.suite.ID(), e.assoc, e.header(packet.TypeBundle, 0).Flags, group)
+			if err != nil {
+				result = append(result, group...)
+			} else {
+				result = append(result, b)
+			}
+		}
+		group = nil
+		size = packet.HeaderSize + 1
+	}
+	for _, raw := range raws {
+		if len(raw) >= packet.HeaderSize && (packet.Type(raw[3]) == packet.TypeHS1 || packet.Type(raw[3]) == packet.TypeHS2) {
+			flush()
+			result = append(result, raw)
+			continue
+		}
+		if len(group) == packet.MaxBundlePackets || (len(group) > 0 && size+2+len(raw) > e.cfg.CoalesceLimit) {
+			flush()
+		}
+		group = append(group, raw)
+		size += 2 + len(raw)
+	}
+	flush()
+	return result
+}
+
+// NextTimeout returns the earliest deadline the caller should Poll at.
+func (e *Endpoint) NextTimeout() (time.Time, bool) {
+	var min time.Time
+	add := func(t time.Time) {
+		if t.IsZero() {
+			return
+		}
+		if min.IsZero() || t.Before(min) {
+			min = t
+		}
+	}
+	if !e.established && e.initiator {
+		add(e.hsDeadline)
+	}
+	// The flush deadline only matters while an exchange slot is free and
+	// no rekey is serializing the queue; otherwise the queue drains on
+	// exchange completions and timers instead.
+	if len(e.queue) > 0 && e.cfg.FlushDelay >= 0 && !e.queuedAt.IsZero() &&
+		len(e.tx) < e.cfg.MaxOutstanding && e.rekey == nil &&
+		!(e.cfg.AutoRekey && e.cfg.Reliable && e.sigChain.Remaining() < 4) {
+		add(e.queuedAt.Add(e.cfg.FlushDelay))
+	}
+	for _, seq := range e.txOrder {
+		if x, ok := e.tx[seq]; ok {
+			add(x.deadline)
+		}
+	}
+	return min, !min.IsZero()
+}

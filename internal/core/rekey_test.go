@@ -1,0 +1,243 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"alpha/internal/packet"
+)
+
+func TestRekeyRoundTrip(t *testing.T) {
+	h := newHarness(t, baseConfig(packet.ModeBase, true))
+	h.handshake()
+	// Some traffic on the original chains first.
+	if _, err := h.a.Send(h.now, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	h.a.Flush(h.now)
+	h.run(30)
+
+	remBefore := h.a.ChainRemaining()
+	id, err := h.a.Rekey(h.now)
+	if err != nil {
+		t.Fatalf("Rekey: %v", err)
+	}
+	h.run(30)
+	if h.countKind(h.a, EventRekeyed) != 1 {
+		t.Fatalf("local rekey never completed: %v", h.eventsOf(h.a))
+	}
+	if h.countKind(h.b, EventPeerRekeyed) != 1 {
+		t.Fatalf("peer never adopted the rekey: %v", h.eventsOf(h.b))
+	}
+	// The announcement must not surface as an application payload.
+	for _, p := range h.payloadsDelivered(h.b) {
+		if bytes.HasPrefix(p, []byte("AREK")) {
+			t.Fatalf("rekey control payload leaked to the application")
+		}
+	}
+	if got := h.a.ChainRemaining(); got <= remBefore {
+		t.Fatalf("chain not refreshed: %d -> %d", remBefore, got)
+	}
+	_ = id
+	// And traffic flows on the new chains, in both directions.
+	if _, err := h.a.Send(h.now, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	h.a.Flush(h.now)
+	if _, err := h.b.Send(h.now, []byte("reverse")); err != nil {
+		t.Fatal(err)
+	}
+	h.b.Flush(h.now)
+	h.run(40)
+	if got := h.payloadsDelivered(h.b); len(got) != 2 || string(got[1]) != "after" {
+		t.Fatalf("post-rekey delivery failed: %q", got)
+	}
+	if got := h.payloadsDelivered(h.a); len(got) != 1 || string(got[0]) != "reverse" {
+		t.Fatalf("post-rekey reverse delivery failed: %q", got)
+	}
+}
+
+func TestRekeyRequiresIdleAndReliable(t *testing.T) {
+	h := newHarness(t, baseConfig(packet.ModeBase, true))
+	h.handshake()
+	if _, err := h.a.Send(h.now, []byte("in flight")); err != nil {
+		t.Fatal(err)
+	}
+	h.a.Flush(h.now)
+	if _, err := h.a.Rekey(h.now); !errors.Is(err, ErrRekeyBusy) {
+		t.Fatalf("busy rekey: %v", err)
+	}
+	h.run(30)
+	if _, err := h.a.Rekey(h.now); err != nil {
+		t.Fatalf("idle rekey refused: %v", err)
+	}
+	if _, err := h.a.Rekey(h.now); !errors.Is(err, ErrRekeyPending) {
+		t.Fatalf("double rekey: %v", err)
+	}
+
+	hu := newHarness(t, baseConfig(packet.ModeBase, false))
+	hu.handshake()
+	if _, err := hu.a.Rekey(hu.now); err == nil {
+		t.Fatalf("unreliable rekey should be refused")
+	}
+}
+
+func TestRekeySurvivesPacketLoss(t *testing.T) {
+	h := newHarness(t, baseConfig(packet.ModeBase, true))
+	h.handshake()
+	drops := 0
+	h.dropBtoA = func(raw []byte) bool {
+		hdr, _, err := packet.Decode(raw)
+		if err == nil && hdr.Type == packet.TypeA2 && drops < 2 {
+			drops++
+			return true
+		}
+		return false
+	}
+	if _, err := h.a.Rekey(h.now); err != nil {
+		t.Fatal(err)
+	}
+	h.runFor(5 * time.Second)
+	if drops != 2 {
+		t.Fatalf("A2 drops %d", drops)
+	}
+	if h.countKind(h.a, EventRekeyed) != 1 {
+		t.Fatalf("rekey did not survive ack loss")
+	}
+	// Traffic flows on new chains.
+	if _, err := h.a.Send(h.now, []byte("post-loss")); err != nil {
+		t.Fatal(err)
+	}
+	h.a.Flush(h.now)
+	h.run(30)
+	if got := h.payloadsDelivered(h.b); len(got) != 1 {
+		t.Fatalf("post-rekey traffic lost")
+	}
+}
+
+func TestRekeyAbortFallsBackToOldChain(t *testing.T) {
+	// Every A2 for the rekey exchange is lost: the signer exhausts its
+	// retries and aborts, but the verifier already adopted the new
+	// anchors. The grace window must keep the association alive on the
+	// old chains.
+	cfg := baseConfig(packet.ModeBase, true)
+	cfg.MaxRetries = 2
+	h := newHarness(t, cfg)
+	h.handshake()
+	h.dropBtoA = func(raw []byte) bool {
+		hdr, _, err := packet.Decode(raw)
+		return err == nil && hdr.Type == packet.TypeA2
+	}
+	if _, err := h.a.Rekey(h.now); err != nil {
+		t.Fatal(err)
+	}
+	h.runFor(5 * time.Second)
+	if h.countKind(h.a, EventRekeyed) != 0 {
+		t.Fatalf("rekey completed despite total ack loss")
+	}
+	if h.countKind(h.a, EventSendFailed) == 0 {
+		t.Fatalf("rekey abort not surfaced")
+	}
+	if h.countKind(h.b, EventPeerRekeyed) != 1 {
+		t.Fatalf("verifier should have adopted (and then tolerate the abort)")
+	}
+	// Stop dropping; the signer continues on the old chain and the
+	// verifier's grace window accepts it.
+	h.dropBtoA = nil
+	if _, err := h.a.Send(h.now, []byte("still alive")); err != nil {
+		t.Fatal(err)
+	}
+	h.a.Flush(h.now)
+	h.runFor(3 * time.Second)
+	if got := h.payloadsDelivered(h.b); len(got) != 1 || string(got[0]) != "still alive" {
+		t.Fatalf("association died after aborted rekey: %q", got)
+	}
+	if h.countKind(h.a, EventAcked) != 1 {
+		t.Fatalf("old-chain exchange not acked after aborted rekey")
+	}
+}
+
+func TestAutoRekeyKeepsAssociationAlive(t *testing.T) {
+	cfg := baseConfig(packet.ModeBase, true)
+	cfg.ChainLen = 16 // 8 exchanges per generation
+	cfg.AutoRekey = true
+	h := newHarness(t, cfg)
+	h.handshake()
+	const total = 40 // far beyond one generation
+	for i := 0; i < total; i++ {
+		if _, err := h.a.Send(h.now, []byte(fmt.Sprintf("m%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		h.a.Flush(h.now)
+		h.run(30)
+	}
+	h.runFor(2 * time.Second)
+	if got := len(h.payloadsDelivered(h.b)); got != total {
+		t.Fatalf("delivered %d/%d across rekeys", got, total)
+	}
+	if h.countKind(h.a, EventRekeyed) < 2 {
+		t.Fatalf("expected multiple auto-rekeys, got %d", h.countKind(h.a, EventRekeyed))
+	}
+	if h.countKind(h.a, EventSendFailed) != 0 {
+		t.Fatalf("sends failed despite auto-rekey: %v", h.eventsOf(h.a))
+	}
+}
+
+func TestRekeyBothDirections(t *testing.T) {
+	h := newHarness(t, baseConfig(packet.ModeBase, true))
+	h.handshake()
+	if _, err := h.a.Rekey(h.now); err != nil {
+		t.Fatal(err)
+	}
+	h.run(30)
+	if _, err := h.b.Rekey(h.now); err != nil {
+		t.Fatal(err)
+	}
+	h.run(30)
+	if h.countKind(h.a, EventRekeyed) != 1 || h.countKind(h.b, EventRekeyed) != 1 {
+		t.Fatalf("both sides should rekey independently")
+	}
+	if _, err := h.a.Send(h.now, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.b.Send(h.now, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	h.a.Flush(h.now)
+	h.b.Flush(h.now)
+	h.run(40)
+	if len(h.payloadsDelivered(h.a)) != 1 || len(h.payloadsDelivered(h.b)) != 1 {
+		t.Fatalf("traffic broken after dual rekey")
+	}
+}
+
+func TestRekeyPayloadCodec(t *testing.T) {
+	p := RekeyPayload{
+		SigAnchor: bytes.Repeat([]byte{1}, 20),
+		AckAnchor: bytes.Repeat([]byte{2}, 20),
+		ChainLen:  512,
+	}
+	enc := EncodeRekey(p)
+	if !IsRekeyPayload(enc) {
+		t.Fatalf("IsRekeyPayload false on encoded payload")
+	}
+	got, ok := DecodeRekey(enc, 20)
+	if !ok {
+		t.Fatalf("decode failed")
+	}
+	if got.ChainLen != 512 || !bytes.Equal(got.SigAnchor, p.SigAnchor) || !bytes.Equal(got.AckAnchor, p.AckAnchor) {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if _, ok := DecodeRekey(enc[:len(enc)-1], 20); ok {
+		t.Fatalf("truncated payload decoded")
+	}
+	if _, ok := DecodeRekey([]byte("ordinary message"), 20); ok {
+		t.Fatalf("ordinary payload decoded as rekey")
+	}
+	if IsRekeyPayload([]byte("AR")) {
+		t.Fatalf("short payload misidentified")
+	}
+}

@@ -1,0 +1,465 @@
+// Sender half: queuing messages, building S1/S2 packets, processing A1/A2.
+
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"alpha/internal/hashchain"
+	"alpha/internal/merkle"
+	"alpha/internal/packet"
+	"alpha/internal/suite"
+)
+
+// outMsg is a queued outgoing message.
+type outMsg struct {
+	id      uint64
+	payload []byte
+	sentAt  time.Time // when Send accepted it; basis for ack latency
+}
+
+// txState is the sender-side exchange state machine.
+type txState int
+
+const (
+	txAwaitA1 txState = iota // S1 sent, waiting for the acknowledgment
+	txAwaitA2                // S2s sent, waiting for (n)acks (reliable)
+	txDone
+)
+
+// txExchange tracks one in-flight signature exchange (one S1/A1 round plus
+// its S2 payload packets).
+type txExchange struct {
+	seq   uint32
+	state txState
+	msgs  []*outMsg
+	pair  hashchain.Pair // our signature-chain elements for this exchange
+	trees []*merkle.Tree // modes M (one tree) and CM (k subtrees)
+
+	s1  []byte   // encoded S1 for retransmission
+	s2s [][]byte // encoded S2 packets, indexed by message
+
+	// Acknowledgment material learned from the A1 (reliable mode).
+	// ackAuth is the A1's verified element; the A2's key must hash to it.
+	ackAuth   []byte
+	ackKeyIdx uint32
+	preAck    []byte
+	preNack   []byte
+	amtRoot   []byte
+	amtLeaves int
+
+	acked    []bool
+	ackCount int
+
+	retries  int
+	deadline time.Time
+}
+
+// Send queues payload for integrity-protected transmission and returns a
+// message ID that Acked/Nacked/SendFailed events will reference. Messages
+// are batched per the configured mode; Poll (or Flush) turns full or
+// lingering batches into signature exchanges.
+func (e *Endpoint) Send(now time.Time, payload []byte) (uint64, error) {
+	if !e.established {
+		return 0, ErrNotEstablished
+	}
+	if len(payload) > packet.MaxPayload {
+		return 0, fmt.Errorf("core: payload of %d bytes exceeds %d", len(payload), packet.MaxPayload)
+	}
+	e.nextMsgID++
+	m := &outMsg{id: e.nextMsgID, payload: append([]byte(nil), payload...), sentAt: now}
+	if len(e.queue) == 0 {
+		e.queuedAt = now
+	}
+	e.queue = append(e.queue, m)
+	e.flushQueue(now, false)
+	return m.id, nil
+}
+
+// Flush forces any partially filled batch into an exchange immediately.
+func (e *Endpoint) Flush(now time.Time) {
+	e.flushQueue(now, true)
+}
+
+// QueueLen returns the number of messages waiting for a batch slot.
+func (e *Endpoint) QueueLen() int { return len(e.queue) }
+
+// InFlight returns the number of open signature exchanges.
+func (e *Endpoint) InFlight() int { return len(e.tx) }
+
+// flushQueue starts exchanges for queued messages. Unless force is set,
+// a partial batch is only flushed after FlushDelay has elapsed. While a
+// rekey announcement is in flight no new exchanges start: serializing the
+// generation change means verifiers and relays never see two chain
+// generations interleaved, which keeps their grace-window logic trivial.
+func (e *Endpoint) flushQueue(now time.Time, force bool) {
+	if e.rekey != nil {
+		return
+	}
+	for len(e.queue) > 0 && len(e.tx) < e.cfg.MaxOutstanding {
+		// Under AutoRekey, the final chain pair is reserved for signing
+		// the rekey announcement itself; queued messages wait out the
+		// rotation instead of exhausting the chain.
+		if e.cfg.AutoRekey && e.cfg.Reliable && e.sigChain.Remaining() < 4 {
+			return
+		}
+		if len(e.queue) < e.cfg.BatchSize && !force {
+			if e.cfg.FlushDelay < 0 || now.Sub(e.queuedAt) < e.cfg.FlushDelay {
+				return
+			}
+		}
+		n := len(e.queue)
+		if n > e.cfg.BatchSize {
+			n = e.cfg.BatchSize
+		}
+		batch := e.queue[:n:n]
+		e.queue = e.queue[n:]
+		if len(e.queue) > 0 {
+			e.queuedAt = now
+		}
+		if err := e.startExchange(now, batch); err != nil {
+			for _, m := range batch {
+				e.emit(Event{Kind: EventSendFailed, MsgID: m.id, Err: err})
+				e.abortRekey(m.id)
+			}
+		}
+	}
+}
+
+// startExchange consumes a signature-chain pair and emits the S1 for a
+// batch of messages.
+func (e *Endpoint) startExchange(now time.Time, batch []*outMsg) error {
+	pair, err := e.sigChain.NextPair()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrChainExhausted, err)
+	}
+	if !e.chainLow && e.sigChain.Remaining() < e.sigChain.Len()/3 {
+		e.chainLow = true
+		e.emit(Event{Kind: EventChainLow})
+	}
+	seq := e.nextSeq
+	e.nextSeq++
+	x := &txExchange{
+		seq:   seq,
+		msgs:  batch,
+		pair:  pair,
+		acked: make([]bool, len(batch)),
+	}
+	s1 := &packet.S1{
+		Mode:    e.cfg.Mode,
+		AuthIdx: pair.AuthIdx,
+		Auth:    pair.Auth,
+		KeyIdx:  pair.KeyIdx,
+	}
+	switch e.cfg.Mode {
+	case packet.ModeBase, packet.ModeC:
+		s1.MACs = make([][]byte, len(batch))
+		for i, m := range batch {
+			s1.MACs[i] = e.suite.MAC(pair.Key, MACInput(e.assoc, seq, uint32(i), m.payload))
+		}
+	case packet.ModeM:
+		msgs := make([][]byte, len(batch))
+		for i, m := range batch {
+			msgs[i] = MerkleLeafInput(m.payload)
+		}
+		tree, err := merkle.Build(e.suite, pair.Key, msgs)
+		if err != nil {
+			return err
+		}
+		x.trees = []*merkle.Tree{tree}
+		s1.LeafCount = uint32(len(batch))
+		s1.Root = tree.Root()
+	case packet.ModeCM:
+		n := len(batch)
+		k := e.cfg.CMRoots
+		if k > n {
+			k = n
+		}
+		sub := CMSubSize(n, k)
+		for off := 0; off < n; off += sub {
+			end := off + sub
+			if end > n {
+				end = n
+			}
+			msgs := make([][]byte, end-off)
+			for i := off; i < end; i++ {
+				msgs[i-off] = MerkleLeafInput(batch[i].payload)
+			}
+			tree, err := merkle.Build(e.suite, pair.Key, msgs)
+			if err != nil {
+				return err
+			}
+			x.trees = append(x.trees, tree)
+			s1.Roots = append(s1.Roots, tree.Root())
+		}
+		s1.LeafCount = uint32(n)
+	}
+	raw, err := packet.Encode(e.header(packet.TypeS1, seq), s1)
+	if err != nil {
+		return err
+	}
+	x.s1 = raw
+	x.deadline = now.Add(e.cfg.RTO)
+	e.tx[seq] = x
+	e.txOrder = append(e.txOrder, seq)
+	e.outbox = append(e.outbox, raw)
+	e.stats.BytesSent += uint64(len(raw))
+	e.stats.SentS1++
+	return nil
+}
+
+// handleA1 processes the verifier's acknowledgment of an S1: it validates
+// the acknowledgment-chain element, records the pre-(n)ack material, and
+// releases the exchange's S2 packets.
+func (e *Endpoint) handleA1(now time.Time, hdr packet.Header, a1 *packet.A1) []Event {
+	e.stats.RecvA1++
+	x, ok := e.tx[hdr.Seq]
+	if !ok {
+		return e.drop(hdr.Seq, ErrUnsolicited)
+	}
+	if x.state != txAwaitA1 {
+		// §3.2.2: after sending S2 the signer must discard pre-(n)acks
+		// arriving in further A1 packets to preserve the temporal
+		// separation between pre-ack creation and key disclosure.
+		return e.takeEvents()
+	}
+	if a1.AuthIdx%2 != 1 || a1.KeyIdx != a1.AuthIdx+1 {
+		return e.drop(hdr.Seq, ErrBadAuthElement)
+	}
+	if err := e.verifyPeerAck(a1.Auth, a1.AuthIdx); err != nil {
+		return e.drop(hdr.Seq, fmt.Errorf("%w: %v", ErrBadAuthElement, err))
+	}
+	if e.cfg.Reliable {
+		x.ackAuth = append([]byte(nil), a1.Auth...)
+		x.ackKeyIdx = a1.KeyIdx
+		switch {
+		case a1.PreAck != nil && a1.PreNack != nil && len(x.msgs) == 1:
+			x.preAck = a1.PreAck
+			x.preNack = a1.PreNack
+		case a1.AMTRoot != nil && int(a1.AMTLeaves) == len(x.msgs):
+			x.amtRoot = a1.AMTRoot
+			x.amtLeaves = int(a1.AMTLeaves)
+		default:
+			return e.drop(hdr.Seq, fmt.Errorf("%w: missing pre-acknowledgment material", ErrBadAck))
+		}
+	}
+	if err := e.sendS2s(now, x); err != nil {
+		return e.drop(hdr.Seq, err)
+	}
+	return e.takeEvents()
+}
+
+// sendS2s encodes and transmits every S2 packet of the exchange.
+func (e *Endpoint) sendS2s(now time.Time, x *txExchange) error {
+	x.s2s = make([][]byte, len(x.msgs))
+	for i, m := range x.msgs {
+		s2 := &packet.S2{
+			Mode:     e.cfg.Mode,
+			KeyIdx:   x.pair.KeyIdx,
+			Key:      x.pair.Key,
+			MsgIndex: uint32(i),
+			Payload:  m.payload,
+		}
+		switch e.cfg.Mode {
+		case packet.ModeM:
+			proof, err := x.trees[0].Proof(i)
+			if err != nil {
+				return err
+			}
+			s2.LeafCount = uint32(x.trees[0].Leaves())
+			s2.Proof = proof
+		case packet.ModeCM:
+			root, leaf, _, ok := CMLocate(i, len(x.msgs), len(x.trees))
+			if !ok {
+				return fmt.Errorf("core: CM locate failed for message %d", i)
+			}
+			proof, err := x.trees[root].Proof(leaf)
+			if err != nil {
+				return err
+			}
+			s2.LeafCount = uint32(len(x.msgs))
+			s2.Proof = proof
+		}
+		raw, err := packet.Encode(e.header(packet.TypeS2, x.seq), s2)
+		if err != nil {
+			return err
+		}
+		x.s2s[i] = raw
+		e.outbox = append(e.outbox, raw)
+		e.stats.BytesSent += uint64(len(raw))
+		e.stats.SentS2++
+	}
+	if e.cfg.Reliable {
+		x.state = txAwaitA2
+		x.retries = 0
+		x.deadline = now.Add(e.cfg.RTO)
+	} else {
+		e.finishExchange(x)
+	}
+	return nil
+}
+
+// finishExchange retires a completed exchange.
+func (e *Endpoint) finishExchange(x *txExchange) {
+	x.state = txDone
+	x.deadline = time.Time{}
+	delete(e.tx, x.seq)
+	for i, seq := range e.txOrder {
+		if seq == x.seq {
+			e.txOrder = append(e.txOrder[:i], e.txOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// handleA2 processes a pre-(n)ack opening from the verifier.
+func (e *Endpoint) handleA2(now time.Time, hdr packet.Header, a2 *packet.A2) []Event {
+	e.stats.RecvA2++
+	x, ok := e.tx[hdr.Seq]
+	if !ok || x.state != txAwaitA2 {
+		return e.drop(hdr.Seq, ErrUnsolicited)
+	}
+	if int(a2.MsgIndex) >= len(x.msgs) {
+		return e.drop(hdr.Seq, fmt.Errorf("%w: message index out of range", ErrBadAck))
+	}
+	if a2.KeyIdx != x.ackKeyIdx || a2.KeyIdx%2 != 0 {
+		return e.drop(hdr.Seq, fmt.Errorf("%w: key index mismatch", ErrBadAck))
+	}
+	// The A2's key element must be the pre-image of this exchange's A1
+	// element: verification pinned to the exchange, immune to rekeys.
+	if x.ackAuth == nil || !hashchain.VerifyLink(e.suite, hashchain.TagA1, hashchain.TagA2, x.ackAuth, a2.Key, a2.KeyIdx) {
+		return e.drop(hdr.Seq, fmt.Errorf("%w: key element does not extend the exchange's A1", ErrBadAck))
+	}
+	if !e.verifyAckOpening(x, a2) {
+		return e.drop(hdr.Seq, ErrBadAck)
+	}
+	if x.acked[a2.MsgIndex] {
+		return e.takeEvents() // duplicate A2
+	}
+	x.acked[a2.MsgIndex] = true
+	x.ackCount++
+	m := x.msgs[a2.MsgIndex]
+	if a2.Ack {
+		// The rekey announcement is protocol-internal: its verified ack
+		// commits the chain swap and surfaces as EventRekeyed, not as an
+		// application acknowledgment.
+		if e.rekey != nil && e.rekey.msgID == m.id {
+			e.maybeCompleteRekey(m.id)
+			if x.ackCount == len(x.msgs) {
+				e.finishExchange(x)
+			}
+			return e.takeEvents()
+		}
+		e.stats.Acked++
+		if !m.sentAt.IsZero() {
+			lat := now.Sub(m.sentAt)
+			e.stats.AckLatencySum += lat
+			if lat > e.stats.AckLatencyMax {
+				e.stats.AckLatencyMax = lat
+			}
+		}
+		e.emit(Event{Kind: EventAcked, MsgID: m.id, Seq: x.seq, MsgIndex: a2.MsgIndex})
+	} else {
+		e.stats.Nacked++
+		e.emit(Event{Kind: EventNacked, MsgID: m.id, Seq: x.seq, MsgIndex: a2.MsgIndex})
+		// A verified nack means the S2 arrived damaged or not at all;
+		// retransmit it immediately (selective repeat, §3.3.3).
+		x.acked[a2.MsgIndex] = false
+		x.ackCount--
+		e.retransmitS2(x, int(a2.MsgIndex))
+	}
+	if x.ackCount == len(x.msgs) {
+		e.finishExchange(x)
+	}
+	return e.takeEvents()
+}
+
+// verifyAckOpening checks an A2 against the pre-(n)ack material buffered
+// from the exchange's A1.
+func (e *Endpoint) verifyAckOpening(x *txExchange, a2 *packet.A2) bool {
+	switch {
+	case x.preAck != nil:
+		if a2.MsgIndex != 0 {
+			return false
+		}
+		var want []byte
+		if a2.Ack {
+			want = PreAckDigest(e.suite, a2.Key, a2.Secret)
+			return equalDigest(want, x.preAck)
+		}
+		want = PreNackDigest(e.suite, a2.Key, a2.Secret)
+		return equalDigest(want, x.preNack)
+	case x.amtRoot != nil:
+		o := &merkle.Opening{
+			Index:  a2.MsgIndex,
+			Ack:    a2.Ack,
+			Secret: a2.Secret,
+			Proof:  a2.Proof,
+			Other:  a2.Other,
+		}
+		return merkle.VerifyOpening(e.suite, a2.Key, x.amtRoot, x.amtLeaves, o)
+	default:
+		return false
+	}
+}
+
+// retransmitS2 re-queues one S2 packet.
+func (e *Endpoint) retransmitS2(x *txExchange, i int) {
+	if x.s2s == nil || i >= len(x.s2s) {
+		return
+	}
+	e.outbox = append(e.outbox, x.s2s[i])
+	e.stats.BytesSent += uint64(len(x.s2s[i]))
+	e.stats.Retransmits++
+}
+
+// pollExchanges fires retransmission timers.
+func (e *Endpoint) pollExchanges(now time.Time) {
+	for _, seq := range append([]uint32(nil), e.txOrder...) {
+		x, ok := e.tx[seq]
+		if !ok || x.deadline.IsZero() || now.Before(x.deadline) {
+			continue
+		}
+		if x.retries >= e.cfg.MaxRetries {
+			for i, m := range x.msgs {
+				if !x.acked[i] {
+					e.emit(Event{Kind: EventSendFailed, MsgID: m.id, Seq: x.seq, MsgIndex: uint32(i), Err: fmt.Errorf("alpha: retransmission limit reached")})
+					e.abortRekey(m.id)
+				}
+			}
+			e.finishExchange(x)
+			continue
+		}
+		x.retries++
+		x.deadline = now.Add(backoff(e.cfg.RTO, x.retries))
+		switch x.state {
+		case txAwaitA1:
+			e.outbox = append(e.outbox, x.s1)
+			e.stats.BytesSent += uint64(len(x.s1))
+			e.stats.Retransmits++
+		case txAwaitA2:
+			for i := range x.msgs {
+				if !x.acked[i] {
+					e.retransmitS2(x, i)
+				}
+			}
+		}
+	}
+}
+
+// backoff doubles the retransmission timeout per retry, capped at 16×RTO:
+// the paper calls for "robust and fast retransmission" of the small control
+// packets (§3.5), so unbounded exponential backoff would be wrong for the
+// lossy networks ALPHA targets.
+func backoff(rto time.Duration, retries int) time.Duration {
+	if retries > 4 {
+		retries = 4
+	}
+	return rto << uint(retries)
+}
+
+// equalDigest compares two digests in constant time.
+func equalDigest(a, b []byte) bool {
+	return len(a) > 0 && suite.Equal(a, b)
+}

@@ -1,0 +1,156 @@
+// Checkpointed chain owner for memory-constrained nodes.
+//
+// A full Chain keeps all n elements in memory (n·h bytes), which is fine on
+// mesh routers and phones but heavy on 8-KB-RAM sensor nodes (§4.1.3 of the
+// paper evaluates a platform with exactly that budget). CheckpointChain
+// trades CPU for memory: it stores every k-th element plus the deepest
+// secret and recomputes the segment containing each disclosure on demand,
+// for ceil(n/k)·h bytes of storage and at most k-1 extra hash operations per
+// disclosure. These extra hashes are the "HC create" entries of Table 1 that
+// the paper marks as computable off-line.
+
+package hashchain
+
+import (
+	"errors"
+	"fmt"
+
+	"alpha/internal/suite"
+)
+
+// CheckpointChain is a chain owner that stores only every interval-th
+// element. It discloses exactly the same sequence as a Chain built from the
+// same secret.
+type CheckpointChain struct {
+	s        suite.Suite
+	tagOdd   []byte
+	tagEven  []byte
+	n        int
+	interval int
+	// checkpoints[i] holds d[i*interval]; checkpoints[0] is the anchor.
+	checkpoints [][]byte
+	deepest     []byte // d[n]
+	next        int
+	// segment caches the elements of the segment currently being
+	// disclosed, so a burst of disclosures costs one recomputation.
+	segment      [][]byte
+	segmentStart int
+}
+
+// NewCheckpoint derives a checkpointed chain of n elements from secret,
+// storing one checkpoint every interval elements.
+func NewCheckpoint(s suite.Suite, tagOdd, tagEven, secret []byte, n, interval int) (*CheckpointChain, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("hashchain: invalid length %d", n)
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("hashchain: invalid checkpoint interval %d", interval)
+	}
+	if len(secret) == 0 {
+		return nil, errors.New("hashchain: empty secret")
+	}
+	c := &CheckpointChain{
+		s: s, tagOdd: tagOdd, tagEven: tagEven,
+		n: n, interval: interval,
+		checkpoints:  make([][]byte, n/interval+1),
+		segmentStart: -1,
+		next:         1,
+	}
+	cur := s.Hash([]byte("ALPHA-seed"), secret)
+	c.deepest = cur
+	if n%interval == 0 {
+		c.checkpoints[n/interval] = cur
+	}
+	for j := n; j >= 1; j-- {
+		cur = c.s.Hash(tagFor(j, tagOdd, tagEven), cur)
+		if (j-1)%interval == 0 {
+			c.checkpoints[(j-1)/interval] = cur
+		}
+	}
+	return c, nil
+}
+
+// Anchor returns d[0].
+func (c *CheckpointChain) Anchor() []byte { return c.checkpoints[0] }
+
+// Len returns the number of disclosable elements.
+func (c *CheckpointChain) Len() int { return c.n }
+
+// Remaining returns how many elements are still undisclosed.
+func (c *CheckpointChain) Remaining() int { return c.n + 1 - c.next }
+
+// StoredElements returns how many digests the owner keeps resident,
+// excluding the transient segment cache. Exposed for the Table 2 memory
+// ablation.
+func (c *CheckpointChain) StoredElements() int { return len(c.checkpoints) + 1 }
+
+// element returns d[j], recomputing the enclosing segment if necessary.
+func (c *CheckpointChain) element(j int) []byte {
+	if j == c.n {
+		return c.deepest
+	}
+	if j%c.interval == 0 {
+		return c.checkpoints[j/c.interval]
+	}
+	segStart := (j / c.interval) * c.interval
+	if c.segmentStart != segStart {
+		// Recompute d[segStart..segEnd-1] downward from the next
+		// checkpoint (or the deepest secret for the final partial
+		// segment).
+		segEnd := segStart + c.interval
+		var cur []byte
+		if segEnd >= c.n {
+			segEnd = c.n
+			cur = c.deepest
+		} else {
+			cur = c.checkpoints[segEnd/c.interval]
+		}
+		seg := make([][]byte, c.interval)
+		for k := segEnd; k > segStart; k-- {
+			if k < segEnd {
+				cur = c.s.Hash(tagFor(k+1, c.tagOdd, c.tagEven), cur)
+			}
+			seg[k-segStart-1] = cur
+		}
+		c.segment = seg
+		c.segmentStart = segStart
+	}
+	return c.segment[j-segStart-1]
+}
+
+// Next discloses the next element, exactly as Chain.Next does.
+func (c *CheckpointChain) Next() (elem []byte, index uint32, err error) {
+	if c.next > c.n {
+		return nil, 0, ErrExhausted
+	}
+	elem, index = c.element(c.next), uint32(c.next)
+	c.next++
+	return elem, index, nil
+}
+
+// Peek returns a future element without disclosing it.
+func (c *CheckpointChain) Peek(ahead int) (elem []byte, index uint32, err error) {
+	j := c.next + ahead
+	if ahead < 0 || j > c.n {
+		return nil, 0, ErrExhausted
+	}
+	return c.element(j), uint32(j), nil
+}
+
+// NextPair discloses one exchange's auth/key element pair.
+func (c *CheckpointChain) NextPair() (Pair, error) {
+	if c.next%2 != 1 {
+		return Pair{}, fmt.Errorf("hashchain: chain misaligned at index %d", c.next)
+	}
+	if c.next+1 > c.n {
+		return Pair{}, ErrExhausted
+	}
+	p := Pair{
+		Auth:    c.element(c.next),
+		AuthIdx: uint32(c.next),
+		Key:     c.element(c.next + 1),
+		KeyIdx:  uint32(c.next + 1),
+	}
+	c.next += 2
+	return p, nil
+}

@@ -1,0 +1,306 @@
+// Package hashchain implements the purpose-bound one-way hash chains at the
+// heart of ALPHA (§2.1, §3.2.1 of the paper).
+//
+// A chain is a sequence of digests linked by a hash function, generated from
+// a random secret and consumed in reverse order of creation. The final
+// element of the generation pass, the anchor, is exchanged during
+// bootstrapping; from then on the owner authenticates itself by disclosing
+// previously undisclosed elements one at a time, and any party holding the
+// anchor (or any later verified element) can verify a disclosure by hashing
+// it forward.
+//
+// ALPHA binds each element to a purpose by mixing a tag into every link:
+//
+//	d[j-1] = H(tag(j) | d[j])     tag(j) = tagOdd for odd j, tagEven otherwise
+//
+// where d[0] is the anchor and d[1], d[2], ... are disclosed in that order.
+// Odd disclosure indices authenticate announcement packets (S1, or A1 on the
+// acknowledgment chain); even indices serve as MAC keys disclosed in payload
+// packets (S2/A2). Without the tags, an attacker observing an S2 and the
+// following S1 could recombine their elements into a fresh, seemingly valid
+// S1 — the reformatting attack of §3.2.1. The tags make the two roles
+// cryptographically incompatible; TestReformattingAttack demonstrates both
+// sides of this.
+package hashchain
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+
+	"alpha/internal/suite"
+)
+
+// Standard purpose tags. Signature chains alternate TagS1/TagS2; the
+// acknowledgment chains of a verifier alternate TagA1/TagA2.
+var (
+	TagS1 = []byte("ALPHA-S1")
+	TagS2 = []byte("ALPHA-S2")
+	TagA1 = []byte("ALPHA-A1")
+	TagA2 = []byte("ALPHA-A2")
+)
+
+// Common errors returned by chain and walker operations.
+var (
+	// ErrExhausted is returned when a chain has no undisclosed elements
+	// left. The association must be re-bootstrapped with a fresh chain.
+	ErrExhausted = errors.New("hashchain: chain exhausted")
+	// ErrVerifyFailed is returned when a disclosed element does not hash
+	// forward to a trusted element under the purpose tags.
+	ErrVerifyFailed = errors.New("hashchain: element verification failed")
+	// ErrStaleIndex is returned when a disclosure index lies behind the
+	// walker's trusted position and is not in its recent-element memory.
+	ErrStaleIndex = errors.New("hashchain: stale disclosure index")
+	// ErrTooFarAhead is returned when a disclosure index would require
+	// more forward hashing than the walker's configured advance limit, a
+	// guard against CPU-exhaustion by absurd indices.
+	ErrTooFarAhead = errors.New("hashchain: disclosure index beyond advance limit")
+)
+
+// Chain is the owner's side of a purpose-bound hash chain. It stores every
+// element and discloses them in order; see NewCheckpoint for a
+// memory-constrained variant. The zero value is not usable; construct with
+// New or Generate.
+type Chain struct {
+	s       suite.Suite
+	tagOdd  []byte
+	tagEven []byte
+	// elems[j] holds d[j]: elems[0] is the anchor, elems[n] the deepest
+	// secret. Disclosure walks j = 1, 2, ..., n.
+	elems [][]byte
+	next  int
+}
+
+// New derives a chain of n disclosable elements from the given secret.
+// The secret itself is never disclosed; d[n] = H("seed"|secret). n must be
+// positive and, because ALPHA consumes elements in odd/even pairs, callers
+// typically pass an even n.
+func New(s suite.Suite, tagOdd, tagEven, secret []byte, n int) (*Chain, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("hashchain: invalid length %d", n)
+	}
+	if len(secret) == 0 {
+		return nil, errors.New("hashchain: empty secret")
+	}
+	elems := make([][]byte, n+1)
+	elems[n] = s.Hash([]byte("ALPHA-seed"), secret)
+	for j := n; j >= 1; j-- {
+		elems[j-1] = s.Hash(tagFor(j, tagOdd, tagEven), elems[j])
+	}
+	return &Chain{s: s, tagOdd: tagOdd, tagEven: tagEven, elems: elems, next: 1}, nil
+}
+
+// Generate creates a chain of n elements from a fresh random secret.
+func Generate(s suite.Suite, tagOdd, tagEven []byte, n int) (*Chain, error) {
+	secret := make([]byte, s.Size())
+	if _, err := rand.Read(secret); err != nil {
+		return nil, fmt.Errorf("hashchain: generating secret: %w", err)
+	}
+	return New(s, tagOdd, tagEven, secret, n)
+}
+
+// NewSignature creates a signature chain (TagS1/TagS2) of n elements.
+func NewSignature(s suite.Suite, n int) (*Chain, error) {
+	return Generate(s, TagS1, TagS2, n)
+}
+
+// NewAcknowledgment creates an acknowledgment chain (TagA1/TagA2).
+func NewAcknowledgment(s suite.Suite, n int) (*Chain, error) {
+	return Generate(s, TagA1, TagA2, n)
+}
+
+func tagFor(j int, tagOdd, tagEven []byte) []byte {
+	if j%2 == 1 {
+		return tagOdd
+	}
+	return tagEven
+}
+
+// Anchor returns d[0], the element exchanged during bootstrapping.
+func (c *Chain) Anchor() []byte { return c.elems[0] }
+
+// Len returns the number of disclosable elements.
+func (c *Chain) Len() int { return len(c.elems) - 1 }
+
+// Remaining returns how many elements are still undisclosed.
+func (c *Chain) Remaining() int { return len(c.elems) - c.next }
+
+// Suite returns the hash suite the chain was built with.
+func (c *Chain) Suite() suite.Suite { return c.s }
+
+// Next discloses the next element and returns it with its disclosure index
+// (1-based). It returns ErrExhausted once all elements are spent.
+func (c *Chain) Next() (elem []byte, index uint32, err error) {
+	if c.next >= len(c.elems) {
+		return nil, 0, ErrExhausted
+	}
+	elem, index = c.elems[c.next], uint32(c.next)
+	c.next++
+	return elem, index, nil
+}
+
+// Peek returns the element at offset ahead of the next disclosure without
+// disclosing it: Peek(0) is what Next would return. It must only be used by
+// the owner (e.g. to key a MAC with a still-undisclosed element).
+func (c *Chain) Peek(ahead int) (elem []byte, index uint32, err error) {
+	j := c.next + ahead
+	if ahead < 0 || j >= len(c.elems) {
+		return nil, 0, ErrExhausted
+	}
+	return c.elems[j], uint32(j), nil
+}
+
+// NextPair discloses the element pair protecting one signature exchange: the
+// odd-index auth element placed in the announcement packet and the following
+// even-index key element that keys the MAC and is disclosed in the payload
+// packet. It fails without consuming anything if fewer than two elements
+// remain or if the chain has drifted off pair alignment.
+func (c *Chain) NextPair() (p Pair, err error) {
+	if c.next%2 != 1 {
+		return Pair{}, fmt.Errorf("hashchain: chain misaligned at index %d", c.next)
+	}
+	if c.next+1 >= len(c.elems) {
+		return Pair{}, ErrExhausted
+	}
+	p = Pair{
+		Auth:    c.elems[c.next],
+		AuthIdx: uint32(c.next),
+		Key:     c.elems[c.next+1],
+		KeyIdx:  uint32(c.next + 1),
+	}
+	c.next += 2
+	return p, nil
+}
+
+// Pair is one exchange's worth of chain elements.
+type Pair struct {
+	Auth    []byte // odd-index element authenticating the announcement
+	AuthIdx uint32
+	Key     []byte // even-index element keying the MAC, disclosed later
+	KeyIdx  uint32
+}
+
+// VerifyLink reports whether child at disclosure index j hashes to parent
+// d[j-1] under the correct purpose tag.
+func VerifyLink(s suite.Suite, tagOdd, tagEven []byte, parent, child []byte, j uint32) bool {
+	if j == 0 {
+		return false
+	}
+	return suite.Equal(parent, s.Hash(tagFor(int(j), tagOdd, tagEven), child))
+}
+
+// DefaultMaxAdvance bounds how many hash steps a Walker performs for a
+// single verification, in either direction. Tens of thousands of packet
+// losses in a row is already an extreme outage; anything further is treated
+// as an attack on CPU time.
+const DefaultMaxAdvance = 1 << 16
+
+// Walker is the verifier's (or relay's) view of a peer's chain: the most
+// advanced trusted element and its disclosure index. Elements at or behind
+// the trusted position are verified by *deriving* them from the trusted
+// element (hashing toward the anchor), so out-of-order and duplicated
+// disclosures — routine under ALPHA-C/-M and reordering networks — verify
+// exactly without extra state. Walkers are not safe for concurrent use;
+// each association owns its own.
+type Walker struct {
+	s          suite.Suite
+	tagOdd     []byte
+	tagEven    []byte
+	last       []byte
+	lastIdx    uint32
+	maxAdvance uint32
+}
+
+// NewWalker creates a walker trusting the given anchor (disclosure index 0).
+// maxAdvance of 0 selects DefaultMaxAdvance.
+func NewWalker(s suite.Suite, tagOdd, tagEven, anchor []byte, maxAdvance uint32) (*Walker, error) {
+	if len(anchor) != s.Size() {
+		return nil, fmt.Errorf("hashchain: anchor size %d does not match suite digest size %d", len(anchor), s.Size())
+	}
+	if maxAdvance == 0 {
+		maxAdvance = DefaultMaxAdvance
+	}
+	w := &Walker{s: s, tagOdd: tagOdd, tagEven: tagEven, maxAdvance: maxAdvance}
+	w.last = append([]byte(nil), anchor...)
+	return w, nil
+}
+
+// NewSignatureWalker creates a walker for a peer's signature chain.
+func NewSignatureWalker(s suite.Suite, anchor []byte) (*Walker, error) {
+	return NewWalker(s, TagS1, TagS2, anchor, 0)
+}
+
+// NewAcknowledgmentWalker creates a walker for a peer's acknowledgment chain.
+func NewAcknowledgmentWalker(s suite.Suite, anchor []byte) (*Walker, error) {
+	return NewWalker(s, TagA1, TagA2, anchor, 0)
+}
+
+// Index returns the disclosure index of the most advanced verified element.
+func (w *Walker) Index() uint32 { return w.lastIdx }
+
+// Trusted returns the most advanced verified element. Callers must not
+// mutate the returned slice.
+func (w *Walker) Trusted() []byte { return w.last }
+
+// Verify checks that elem is the chain element at disclosure index idx and,
+// if idx advances past the current position, moves the walker forward.
+// An index at or behind the current position is verified by deriving the
+// expected element from the trusted one; this is what lets the out-of-order
+// packets of ALPHA-C, ALPHA-M and reordering paths verify after the chain
+// position has already moved on.
+func (w *Walker) Verify(elem []byte, idx uint32) error {
+	if err := w.Probe(elem, idx); err != nil {
+		return err
+	}
+	if idx > w.lastIdx {
+		w.last = append([]byte(nil), elem...)
+		w.lastIdx = idx
+	}
+	return nil
+}
+
+// Probe is like Verify but never advances the walker. Relays use it when
+// they want to check authenticity without committing state (e.g. while a
+// packet might still be dropped for other reasons).
+func (w *Walker) Probe(elem []byte, idx uint32) error {
+	if len(elem) != w.s.Size() {
+		return ErrVerifyFailed
+	}
+	switch {
+	case idx == 0:
+		// Index 0 is the anchor, which is never *disclosed*; treating
+		// it as a disclosure would let an attacker replay the public
+		// anchor as proof of ownership.
+		return ErrStaleIndex
+	case idx == w.lastIdx:
+		if suite.Equal(elem, w.last) {
+			return nil
+		}
+		return ErrVerifyFailed
+	case idx < w.lastIdx:
+		// Derive the expected older element from the trusted one:
+		// d[j-1] = H(tag(j)|d[j]) walks from lastIdx down to idx.
+		if w.lastIdx-idx > w.maxAdvance {
+			return ErrTooFarAhead
+		}
+		cur := w.last
+		for j := w.lastIdx; j > idx; j-- {
+			cur = w.s.Hash(tagFor(int(j), w.tagOdd, w.tagEven), cur)
+		}
+		if suite.Equal(cur, elem) {
+			return nil
+		}
+		return ErrVerifyFailed
+	case idx-w.lastIdx > w.maxAdvance:
+		return ErrTooFarAhead
+	}
+	// Hash forward from the candidate down to the trusted element.
+	cur := elem
+	for j := idx; j > w.lastIdx; j-- {
+		cur = w.s.Hash(tagFor(int(j), w.tagOdd, w.tagEven), cur)
+	}
+	if !suite.Equal(cur, w.last) {
+		return ErrVerifyFailed
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package hashchain
+
+import "alpha/internal/suite"
+
+// Owner is the common interface of chain owners: the in-memory Chain and
+// the memory-constrained CheckpointChain. Protocol code is written against
+// Owner so that endpoints can pick a storage strategy per device class.
+type Owner interface {
+	// Anchor returns d[0], the element exchanged during bootstrapping.
+	Anchor() []byte
+	// Len returns the number of disclosable elements.
+	Len() int
+	// Remaining returns how many elements are still undisclosed.
+	Remaining() int
+	// Next discloses the next element with its 1-based disclosure index.
+	Next() (elem []byte, index uint32, err error)
+	// Peek returns a future element without disclosing it; Peek(0) is the
+	// next disclosure.
+	Peek(ahead int) (elem []byte, index uint32, err error)
+	// NextPair discloses one exchange's auth/key element pair.
+	NextPair() (Pair, error)
+}
+
+var (
+	_ Owner = (*Chain)(nil)
+	_ Owner = (*CheckpointChain)(nil)
+)
+
+// Suite returns the hash suite of the checkpointed chain.
+func (c *CheckpointChain) Suite() suite.Suite { return c.s }

@@ -1,0 +1,185 @@
+package mmo
+
+import (
+	"bytes"
+	"crypto/aes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigestSize(t *testing.T) {
+	h := New()
+	if h.Size() != Size || Size != 16 {
+		t.Fatalf("Size() = %d, want 16", h.Size())
+	}
+	if h.BlockSize() != BlockSize || BlockSize != 16 {
+		t.Fatalf("BlockSize() = %d, want 16", h.BlockSize())
+	}
+	if got := h.Sum(nil); len(got) != Size {
+		t.Fatalf("digest length %d, want %d", len(got), Size)
+	}
+}
+
+func TestEmptyInputDeterministic(t *testing.T) {
+	a := Sum(nil)
+	b := Sum([]byte{})
+	if a != b {
+		t.Fatalf("empty digests differ: %x vs %x", a, b)
+	}
+}
+
+func TestKnownCompression(t *testing.T) {
+	// One full block with no partial data: the first compression must be
+	// exactly E_iv(m) XOR m, followed by one padding block.
+	m := bytes.Repeat([]byte{0x42}, 16)
+	c, err := aes.NewCipher(iv[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc [16]byte
+	c.Encrypt(enc[:], m)
+	var h1 [16]byte
+	for i := range h1 {
+		h1[i] = enc[i] ^ m[i]
+	}
+	// Now apply the padding block by hand: 0x80, zeros, 64-bit bit length
+	// (128 bits = 0x80).
+	pad := make([]byte, 16)
+	pad[0] = 0x80
+	pad[15] = 0x80 // 128 bits, big endian in last 8 bytes
+	c2, err := aes.NewCipher(h1[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc2, want [16]byte
+	c2.Encrypt(enc2[:], pad)
+	for i := range want {
+		want[i] = enc2[i] ^ pad[i]
+	}
+	if got := Sum(m); got != want {
+		t.Fatalf("Sum = %x, want %x", got, want)
+	}
+}
+
+func TestIncrementalMatchesOneShot(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog, repeatedly and at length")
+	for _, chunk := range []int{1, 3, 7, 16, 17, 64} {
+		h := New()
+		for i := 0; i < len(data); i += chunk {
+			end := i + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			h.Write(data[i:end])
+		}
+		got := h.Sum(nil)
+		want := Sum(data)
+		if !bytes.Equal(got, want[:]) {
+			t.Fatalf("chunk %d: incremental %x != one-shot %x", chunk, got, want)
+		}
+	}
+}
+
+func TestSumDoesNotDisturbState(t *testing.T) {
+	h := New()
+	h.Write([]byte("partial"))
+	first := h.Sum(nil)
+	second := h.Sum(nil)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("repeated Sum differs: %x vs %x", first, second)
+	}
+	h.Write([]byte(" more"))
+	cont := h.Sum(nil)
+	want := Sum([]byte("partial more"))
+	if !bytes.Equal(cont, want[:]) {
+		t.Fatalf("continuing after Sum broke state: %x vs %x", cont, want)
+	}
+}
+
+func TestResetRestartsHash(t *testing.T) {
+	h := New()
+	h.Write([]byte("garbage"))
+	h.Reset()
+	h.Write([]byte("clean"))
+	got := h.Sum(nil)
+	want := Sum([]byte("clean"))
+	if !bytes.Equal(got, want[:]) {
+		t.Fatalf("Reset did not restart: %x vs %x", got, want)
+	}
+}
+
+func TestLengthExtensionDistinct(t *testing.T) {
+	// Inputs that are prefixes of each other must not collide (the
+	// Merkle-Damgård strengthening at work).
+	msgs := [][]byte{
+		nil,
+		{0x00},
+		bytes.Repeat([]byte{0x00}, 15),
+		bytes.Repeat([]byte{0x00}, 16),
+		bytes.Repeat([]byte{0x00}, 17),
+		bytes.Repeat([]byte{0x00}, 32),
+	}
+	seen := map[[Size]byte]int{}
+	for i, m := range msgs {
+		d := Sum(m)
+		if j, dup := seen[d]; dup {
+			t.Fatalf("inputs %d and %d collide: %x", i, j, d)
+		}
+		seen[d] = i
+	}
+}
+
+func TestQuickDeterministicAndSensitive(t *testing.T) {
+	// Property: equal inputs hash equal; flipping any single bit changes
+	// the digest.
+	f := func(data []byte, flipByte uint16, flipBit uint8) bool {
+		a := Sum(data)
+		if a != Sum(data) {
+			return false
+		}
+		if len(data) == 0 {
+			return true
+		}
+		mut := append([]byte(nil), data...)
+		mut[int(flipByte)%len(mut)] ^= 1 << (flipBit % 8)
+		if bytes.Equal(mut, data) {
+			return true // flip was a no-op is impossible, but be safe
+		}
+		return Sum(mut) != a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctLengthsDistinctDigests(t *testing.T) {
+	// Smoke check for accidental state truncation across many sizes.
+	seen := map[[Size]byte]int{}
+	for n := 0; n < 200; n++ {
+		data := bytes.Repeat([]byte{0xA5}, n)
+		d := Sum(data)
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("lengths %d and %d collide", prev, n)
+		}
+		seen[d] = n
+	}
+}
+
+func BenchmarkMMO16B(b *testing.B) { benchMMO(b, 16) }
+func BenchmarkMMO84B(b *testing.B) { benchMMO(b, 84) }
+
+func benchMMO(b *testing.B, n int) {
+	data := bytes.Repeat([]byte{0x5A}, n)
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sum(data)
+	}
+}
+
+func ExampleSum() {
+	d := Sum([]byte("sensor reading 42"))
+	fmt.Println(len(d))
+	// Output: 16
+}

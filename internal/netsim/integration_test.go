@@ -1,0 +1,397 @@
+package netsim_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"alpha/internal/attack"
+	"alpha/internal/core"
+	"alpha/internal/netsim"
+	"alpha/internal/packet"
+	"alpha/internal/relay"
+	"alpha/internal/suite"
+)
+
+// mesh builds the paper's Figure 1 topology: s - r1 - r2 - r3 - v with
+// verifying relays, returning the network and the two endpoint nodes.
+func mesh(t *testing.T, cfg core.Config, link netsim.LinkConfig, relayCfg relay.Config) (*netsim.Network, *netsim.EndpointNode, *netsim.EndpointNode, []*netsim.RelayNode) {
+	t.Helper()
+	net := netsim.New(42)
+	epS, err := core.NewEndpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epV, err := core.NewEndpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := netsim.NewEndpointNode(net, "s", "v", epS)
+	v := netsim.NewEndpointNode(net, "v", "s", epV)
+	var relays []*netsim.RelayNode
+	names := []string{"r1", "r2", "r3"}
+	for _, name := range names {
+		relays = append(relays, netsim.NewRelayNode(net, name, relayCfg))
+	}
+	hops := append([]string{"s"}, append(names, "v")...)
+	for i := 0; i+1 < len(hops); i++ {
+		net.AddDuplexLink(hops[i], hops[i+1], link)
+	}
+	net.AutoRoute()
+	return net, s, v, relays
+}
+
+func quickLink() netsim.LinkConfig {
+	return netsim.LinkConfig{Latency: 2 * time.Millisecond, Jitter: time.Millisecond}
+}
+
+func establish(t *testing.T, net *netsim.Network, s *netsim.EndpointNode) {
+	t.Helper()
+	if err := s.Start(net.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// Lossy paths may need several handshake retransmissions.
+	for i := 0; i < 120 && !s.EP.Established(); i++ {
+		net.RunFor(250 * time.Millisecond)
+	}
+	if !s.EP.Established() {
+		t.Fatalf("association did not establish over the mesh")
+	}
+}
+
+func TestMeshEndToEndAllModes(t *testing.T) {
+	for _, mode := range []packet.Mode{packet.ModeBase, packet.ModeC, packet.ModeM, packet.ModeCM} {
+		for _, reliable := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%v/reliable=%v", mode, reliable), func(t *testing.T) {
+				cfg := core.Config{Mode: mode, Reliable: reliable, ChainLen: 256, BatchSize: 4, RTO: 100 * time.Millisecond}
+				net, s, v, relays := mesh(t, cfg, quickLink(), relay.Config{})
+				establish(t, net, s)
+				const total = 12
+				for i := 0; i < total; i++ {
+					if _, err := s.Send(net.Now(), []byte(fmt.Sprintf("msg-%02d", i))); err != nil {
+						t.Fatal(err)
+					}
+				}
+				s.Flush(net.Now())
+				net.RunFor(3 * time.Second)
+				if got := len(v.DeliveredPayloads()); got != total {
+					t.Fatalf("delivered %d/%d", got, total)
+				}
+				if reliable && s.CountEvents(core.EventAcked) != total {
+					t.Fatalf("acked %d/%d", s.CountEvents(core.EventAcked), total)
+				}
+				// Relays verified and extracted every payload.
+				for _, rn := range relays {
+					if len(rn.Extracted) != total {
+						t.Fatalf("relay %s extracted %d/%d payloads", rn.Name, len(rn.Extracted), total)
+					}
+					st := rn.R.Stats()
+					if st.BadPayload != 0 || st.Unsolicited != 0 {
+						t.Fatalf("relay %s saw unexpected bad traffic: %+v", rn.Name, st)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestMeshSurvivesLoss(t *testing.T) {
+	cfg := core.Config{Mode: packet.ModeC, Reliable: true, ChainLen: 512, BatchSize: 4, RTO: 60 * time.Millisecond, MaxRetries: 30}
+	link := quickLink()
+	link.Loss = 0.15 // 15% loss per hop, both directions
+	net, s, v, _ := mesh(t, cfg, link, relay.Config{})
+	establish(t, net, s)
+	const total = 20
+	for i := 0; i < total; i++ {
+		if _, err := s.Send(net.Now(), []byte(fmt.Sprintf("lossy-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush(net.Now())
+	net.RunFor(30 * time.Second)
+	if got := len(v.DeliveredPayloads()); got != total {
+		t.Fatalf("delivered %d/%d under loss", got, total)
+	}
+	if s.CountEvents(core.EventAcked) != total {
+		t.Fatalf("acked %d/%d under loss", s.CountEvents(core.EventAcked), total)
+	}
+	if s.EP.Stats().Retransmits == 0 {
+		t.Fatalf("no retransmissions under 15%% loss — drop logic suspicious")
+	}
+}
+
+func TestTamperDroppedAtFirstHonestRelay(t *testing.T) {
+	// Topology: s - evil - r2 - r3 - v. The tamperer rewrites S2 payloads;
+	// r2 (the first honest relay) must drop them, so nothing tampered
+	// reaches r3 or v.
+	cfg := core.Config{Mode: packet.ModeBase, ChainLen: 128, RTO: 100 * time.Millisecond}
+	net := netsim.New(7)
+	epS, _ := core.NewEndpoint(cfg)
+	epV, _ := core.NewEndpoint(cfg)
+	s := netsim.NewEndpointNode(net, "s", "v", epS)
+	v := netsim.NewEndpointNode(net, "v", "s", epV)
+	attack.NewTamperNode(net, "evil", []byte("evil payload"))
+	r2 := netsim.NewRelayNode(net, "r2", relay.Config{})
+	r3 := netsim.NewRelayNode(net, "r3", relay.Config{})
+	for _, pair := range [][2]string{{"s", "evil"}, {"evil", "r2"}, {"r2", "r3"}, {"r3", "v"}} {
+		net.AddDuplexLink(pair[0], pair[1], quickLink())
+	}
+	net.AutoRoute()
+	establish(t, net, s)
+	for i := 0; i < 5; i++ {
+		if _, err := s.Send(net.Now(), []byte("honest message")); err != nil {
+			t.Fatal(err)
+		}
+		s.Flush(net.Now())
+		net.RunFor(200 * time.Millisecond)
+	}
+	net.RunFor(2 * time.Second)
+	if got := len(v.DeliveredPayloads()); got != 0 {
+		t.Fatalf("verifier delivered %d tampered messages", got)
+	}
+	if r2.R.Stats().BadPayload == 0 {
+		t.Fatalf("first honest relay never dropped tampered S2s: %+v", r2.R.Stats())
+	}
+	if r3.R.Stats().BadPayload != 0 {
+		t.Fatalf("tampered packets leaked past the first honest relay")
+	}
+}
+
+func TestFloodSuppressedAtFirstRelay(t *testing.T) {
+	// A flooding attacker injects forged S2s for the victim association
+	// through r1. The relay drops them all as unsolicited; the victim
+	// sees none, and legitimate traffic still flows.
+	cfg := core.Config{Mode: packet.ModeBase, ChainLen: 128, RTO: 100 * time.Millisecond}
+	net, s, v, relays := mesh(t, cfg, quickLink(), relay.Config{})
+	establish(t, net, s)
+
+	flood := attack.NewFloodNode(net, "mallory", "v", s.EP.Assoc())
+	net.AddDuplexLink("mallory", "r1", quickLink())
+	net.AutoRoute()
+	flood.FloodFor(net, net.Now(), time.Second, 200)
+
+	if _, err := s.Send(net.Now(), []byte("legit")); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush(net.Now())
+	net.RunFor(5 * time.Second)
+
+	if flood.Sent != 200 {
+		t.Fatalf("flood sent %d", flood.Sent)
+	}
+	r1 := relays[0]
+	if got := r1.R.Stats().Unsolicited; got != 200 {
+		t.Fatalf("r1 dropped %d unsolicited, want 200", got)
+	}
+	// Nothing forged reached deeper relays or the victim.
+	if relays[1].R.Stats().Unsolicited != 0 {
+		t.Fatalf("forged packets leaked past r1")
+	}
+	vd := v.DeliveredPayloads()
+	if len(vd) != 1 || string(vd[0]) != "legit" {
+		t.Fatalf("legitimate traffic disturbed: %q", vd)
+	}
+}
+
+func TestS1RateLimiting(t *testing.T) {
+	// Even S1 packets — the only unconditionally forwarded type — are
+	// rate-limited per flow (§3.5).
+	cfg := core.Config{Mode: packet.ModeBase, ChainLen: 128, RTO: 100 * time.Millisecond}
+	relayCfg := relay.Config{S1Rate: 5, S1Burst: 5}
+	net, s, _, relays := mesh(t, cfg, quickLink(), relayCfg)
+	establish(t, net, s)
+	// Burst far above the rate limit.
+	for i := 0; i < 50; i++ {
+		if _, err := s.Send(net.Now(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		s.Flush(net.Now())
+	}
+	net.RunFor(300 * time.Millisecond)
+	if got := relays[0].R.Stats().RateLimited; got == 0 {
+		t.Fatalf("rate limiter never fired")
+	}
+}
+
+func TestReplayAcrossMeshRejected(t *testing.T) {
+	// Capture an entire exchange at r2, then replay it. Every replayed
+	// packet must be dropped or ignored: the verifier delivers nothing
+	// new and relays count replays as unsolicited/stale.
+	cfg := core.Config{Mode: packet.ModeBase, ChainLen: 128, RTO: 100 * time.Millisecond}
+	net := netsim.New(11)
+	epS, _ := core.NewEndpoint(cfg)
+	epV, _ := core.NewEndpoint(cfg)
+	s := netsim.NewEndpointNode(net, "s", "v", epS)
+	v := netsim.NewEndpointNode(net, "v", "s", epV)
+	cap := attack.NewReplayNode(net, "tap")
+	r2 := netsim.NewRelayNode(net, "r2", relay.Config{})
+	for _, pair := range [][2]string{{"s", "tap"}, {"tap", "r2"}, {"r2", "v"}} {
+		net.AddDuplexLink(pair[0], pair[1], quickLink())
+	}
+	net.AutoRoute()
+	establish(t, net, s)
+	if _, err := s.Send(net.Now(), []byte("captured once")); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush(net.Now())
+	net.RunFor(time.Second)
+	if len(v.DeliveredPayloads()) != 1 {
+		t.Fatalf("setup: message not delivered")
+	}
+	deliveredBefore := len(v.DeliveredPayloads())
+	cap.ReplayAll(net)
+	net.RunFor(2 * time.Second)
+	if got := len(v.DeliveredPayloads()); got != deliveredBefore {
+		t.Fatalf("replay caused %d extra deliveries", got-deliveredBefore)
+	}
+	_ = r2
+}
+
+func TestIncrementalDeploymentUnawareRelays(t *testing.T) {
+	// Only r2 verifies; r1 and r3 are plain forwarders. Traffic flows and
+	// the single ALPHA-aware relay still performs per-packet filtering.
+	cfg := core.Config{Mode: packet.ModeBase, ChainLen: 128, RTO: 100 * time.Millisecond}
+	net := netsim.New(3)
+	epS, _ := core.NewEndpoint(cfg)
+	epV, _ := core.NewEndpoint(cfg)
+	s := netsim.NewEndpointNode(net, "s", "v", epS)
+	v := netsim.NewEndpointNode(net, "v", "s", epV)
+	netsim.NewPlainRelayNode(net, "r1")
+	r2 := netsim.NewRelayNode(net, "r2", relay.Config{})
+	netsim.NewPlainRelayNode(net, "r3")
+	for _, pair := range [][2]string{{"s", "r1"}, {"r1", "r2"}, {"r2", "r3"}, {"r3", "v"}} {
+		net.AddDuplexLink(pair[0], pair[1], quickLink())
+	}
+	net.AutoRoute()
+	establish(t, net, s)
+	if _, err := s.Send(net.Now(), []byte("mixed deployment")); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush(net.Now())
+	net.RunFor(2 * time.Second)
+	if len(v.DeliveredPayloads()) != 1 {
+		t.Fatalf("message lost in mixed deployment")
+	}
+	if len(r2.Extracted) != 1 {
+		t.Fatalf("aware relay did not verify/extract")
+	}
+}
+
+func TestStrictRelayBlocksUnknownAssociations(t *testing.T) {
+	// Under the strict policy, a relay that never saw the handshake drops
+	// the flow's traffic.
+	cfg := core.Config{Mode: packet.ModeBase, ChainLen: 128, RTO: 50 * time.Millisecond}
+	net := netsim.New(5)
+	epS, _ := core.NewEndpoint(cfg)
+	epV, _ := core.NewEndpoint(cfg)
+	s := netsim.NewEndpointNode(net, "s", "v", epS)
+	netsim.NewEndpointNode(net, "v", "s", epV)
+	// Handshake goes over a direct path, then we reroute via the strict
+	// relay which missed it.
+	net.AddDuplexLink("s", "v", quickLink())
+	r := netsim.NewRelayNode(net, "strict", relay.Config{Strict: true})
+	net.AddDuplexLink("s", "strict", quickLink())
+	net.AddDuplexLink("strict", "v", quickLink())
+	establish(t, net, s) // direct link used (shortest)
+	// Now force the path through the strict relay.
+	net.SetRoute("s", "v", "strict")
+	if _, err := s.Send(net.Now(), []byte("blocked")); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush(net.Now())
+	net.RunFor(200 * time.Millisecond)
+	if got := r.R.Stats().Unknown; got == 0 {
+		t.Fatalf("strict relay never saw unknown traffic")
+	}
+	if got := r.R.Stats().Dropped; got == 0 {
+		t.Fatalf("strict relay forwarded unknown traffic")
+	}
+}
+
+func TestBypassAttackStalenessDetected(t *testing.T) {
+	// §3.1.1: colluding attackers divert S1/A1 around a victim relay.
+	// The victim's chain walkers go stale: when it later sees S2 traffic
+	// it cannot match it to a buffered pre-signature and refuses to
+	// extract data (it drops rather than trusting unverifiable payloads).
+	cfg := core.Config{Mode: packet.ModeBase, ChainLen: 128, RTO: 100 * time.Millisecond}
+	net := netsim.New(13)
+	epS, _ := core.NewEndpoint(cfg)
+	epV, _ := core.NewEndpoint(cfg)
+	s := netsim.NewEndpointNode(net, "s", "v", epS)
+	v := netsim.NewEndpointNode(net, "v", "s", epV)
+	bp := attack.NewBypassPair(net, "acc1", "victim", "acc2")
+	victim := netsim.NewRelayNode(net, "victim", relay.Config{})
+	netsim.NewPlainRelayNode(net, "acc2")
+	for _, pair := range [][2]string{{"s", "acc1"}, {"acc1", "victim"}, {"victim", "acc2"}, {"acc2", "v"}} {
+		net.AddDuplexLink(pair[0], pair[1], quickLink())
+	}
+	net.AddLink("acc1", "acc2", quickLink()) // the bypass tunnel
+	net.AutoRoute()
+	// Don't divert the handshake, only exchange traffic afterwards.
+	bp.Divert = false
+	establish(t, net, s)
+	bp.Divert = true
+	if _, err := s.Send(net.Now(), []byte("diverted exchange")); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush(net.Now())
+	net.RunFor(2 * time.Second)
+	if bp.Diverted == 0 {
+		t.Fatalf("bypass never diverted anything")
+	}
+	// End-to-end integrity survives (the paper's point: only on-path
+	// extraction at the victim suffers)...
+	if len(v.DeliveredPayloads()) != 1 {
+		t.Fatalf("end-to-end delivery broken by bypass: %d", len(v.DeliveredPayloads()))
+	}
+	// ...while the bypassed victim relay extracted nothing: the secure
+	// data extraction function is what the attack degrades (§3.1.1).
+	if len(victim.Extracted) != 0 {
+		t.Fatalf("victim relay extracted data despite bypass")
+	}
+	// Once the attackers stop diverting, the victim recovers on the next
+	// exchange: the walker re-authenticates across the gap (§2.1) and
+	// on-path extraction resumes. This is why the paper can keep the
+	// countermeasure (pinning the relay set) optional.
+	bp.Divert = false
+	if _, err := s.Send(net.Now(), []byte("post-bypass exchange")); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush(net.Now())
+	net.RunFor(2 * time.Second)
+	if len(v.DeliveredPayloads()) != 2 {
+		t.Fatalf("post-bypass delivery failed: %d", len(v.DeliveredPayloads()))
+	}
+	if len(victim.Extracted) != 1 {
+		t.Fatalf("victim relay did not recover after bypass: extracted %d", len(victim.Extracted))
+	}
+}
+
+func TestWSNLinkProfile(t *testing.T) {
+	// An 802.15.4-ish profile: 250 kbit/s, 100-byte MTU payloads would be
+	// exceeded by large packets, so use MMO + small payloads (§4.1.3).
+	cfg := core.Config{
+		Suite:     suite.MMO(),
+		Mode:      packet.ModeC,
+		Reliable:  false,
+		ChainLen:  128,
+		BatchSize: 5,
+		RTO:       250 * time.Millisecond,
+	}
+	link := netsim.LinkConfig{Latency: 4 * time.Millisecond, Jitter: 2 * time.Millisecond, Bandwidth: 250_000, MTU: 1024}
+	net, s, v, _ := mesh(t, cfg, link, relay.Config{})
+	establish(t, net, s)
+	const total = 15
+	for i := 0; i < total; i++ {
+		payload := make([]byte, 60) // small sensor readings
+		payload[0] = byte(i)
+		if _, err := s.Send(net.Now(), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush(net.Now())
+	net.RunFor(10 * time.Second)
+	if got := len(v.DeliveredPayloads()); got != total {
+		t.Fatalf("delivered %d/%d over WSN profile", got, total)
+	}
+}

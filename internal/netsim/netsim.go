@@ -1,0 +1,376 @@
+// Package netsim is a deterministic discrete-event simulator for multi-hop
+// networks. It substitutes for the paper's physical testbeds (mobile
+// devices, mesh routers, and IEEE 802.15.4 sensor networks) as the substrate
+// ALPHA runs over: nodes exchange datagrams across directed links with
+// configurable latency, jitter, loss and bandwidth, all under a virtual
+// clock with seeded randomness, so every run is exactly reproducible.
+//
+// The simulator is intentionally protocol-agnostic: a node is anything
+// implementing Handler. Adapters in this package connect the sans-IO ALPHA
+// engine (internal/core) and relays (internal/relay) to the event loop.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Packet is one datagram on one hop of its journey.
+type Packet struct {
+	// From and To are the link endpoints of the current hop.
+	From, To string
+	// Origin and Dest are the end-to-end addresses.
+	Origin, Dest string
+	// Data is the raw datagram.
+	Data []byte
+}
+
+// Handler consumes packets delivered to a node.
+type Handler interface {
+	// Receive is called when a packet arrives at the node. It may call
+	// back into the Network to transmit packets or schedule work.
+	Receive(net *Network, now time.Time, pkt Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(net *Network, now time.Time, pkt Packet)
+
+// Receive implements Handler.
+func (f HandlerFunc) Receive(net *Network, now time.Time, pkt Packet) { f(net, now, pkt) }
+
+// LinkConfig describes one direction of a link.
+type LinkConfig struct {
+	// Latency is the fixed propagation delay.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss is the independent drop probability in [0, 1).
+	Loss float64
+	// Bandwidth in bits per second; 0 means infinite (no serialization
+	// delay, no queueing).
+	Bandwidth int64
+	// MTU drops packets larger than this many bytes; 0 means unlimited.
+	MTU int
+}
+
+// DefaultLink returns a LinkConfig resembling one 802.11 mesh hop.
+func DefaultLink() LinkConfig {
+	return LinkConfig{Latency: 2 * time.Millisecond, Jitter: time.Millisecond, Bandwidth: 20_000_000}
+}
+
+// link is the runtime state of one directed link.
+type link struct {
+	cfg       LinkConfig
+	busyUntil time.Time
+
+	// Stats.
+	Sent, Delivered, Lost, MTUDrops uint64
+	Bytes                           uint64
+}
+
+// LinkStats is a snapshot of a directed link's counters.
+type LinkStats struct {
+	Sent, Delivered, Lost, MTUDrops uint64
+	Bytes                           uint64
+}
+
+type linkKey struct{ from, to string }
+
+// event is a scheduled callback.
+type event struct {
+	at  time.Time
+	seq uint64 // tie-break for determinism
+	fn  func(now time.Time)
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Network is the simulation: nodes, links, routes and the event loop.
+type Network struct {
+	now    time.Time
+	queue  eventQueue
+	seq    uint64
+	nodes  map[string]Handler
+	links  map[linkKey]*link
+	routes map[linkKey]string // (at, dest) -> next hop
+	rng    *rand.Rand
+	// radios holds per-node shared-medium state: wireless nodes have one
+	// half-duplex transmitter, not one per link.
+	radios map[string]*radio
+}
+
+// radio models a node's single half-duplex transmitter.
+type radio struct {
+	bandwidth int64
+	busyUntil time.Time
+}
+
+// New creates an empty network with the given random seed. Identical seeds
+// and identical operation sequences produce identical simulations.
+func New(seed int64) *Network {
+	return &Network{
+		now:    time.Unix(1_700_000_000, 0),
+		nodes:  make(map[string]Handler),
+		links:  make(map[linkKey]*link),
+		routes: make(map[linkKey]string),
+		rng:    rand.New(rand.NewSource(seed)),
+		radios: make(map[string]*radio),
+	}
+}
+
+// SetNodeRadio gives a node a single shared half-duplex transmitter of the
+// given bandwidth: all transmissions originating at the node serialize
+// through it, whichever link they use — the wireless reality that per-link
+// bandwidth alone does not capture. Pass 0 to remove the radio.
+func (n *Network) SetNodeRadio(name string, bitsPerSecond int64) {
+	if bitsPerSecond <= 0 {
+		delete(n.radios, name)
+		return
+	}
+	n.radios[name] = &radio{bandwidth: bitsPerSecond}
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Time { return n.now }
+
+// AddNode registers a node. Adding an existing name replaces its handler.
+func (n *Network) AddNode(name string, h Handler) {
+	n.nodes[name] = h
+}
+
+// AddLink creates a directed link.
+func (n *Network) AddLink(from, to string, cfg LinkConfig) {
+	n.links[linkKey{from, to}] = &link{cfg: cfg}
+}
+
+// AddDuplexLink creates both directions of a link with the same config.
+func (n *Network) AddDuplexLink(a, b string, cfg LinkConfig) {
+	n.AddLink(a, b, cfg)
+	n.AddLink(b, a, cfg)
+}
+
+// Link returns a directed link's statistics.
+func (n *Network) Link(from, to string) (LinkStats, bool) {
+	l, ok := n.links[linkKey{from, to}]
+	if !ok {
+		return LinkStats{}, false
+	}
+	return LinkStats{Sent: l.Sent, Delivered: l.Delivered, Lost: l.Lost, MTUDrops: l.MTUDrops, Bytes: l.Bytes}, true
+}
+
+// SetLoss changes a directed link's loss rate mid-simulation.
+func (n *Network) SetLoss(from, to string, loss float64) error {
+	l, ok := n.links[linkKey{from, to}]
+	if !ok {
+		return fmt.Errorf("netsim: no link %s->%s", from, to)
+	}
+	l.cfg.Loss = loss
+	return nil
+}
+
+// SetRoute pins the next hop used at node `at` for destination `dest`.
+func (n *Network) SetRoute(at, dest, nextHop string) {
+	n.routes[linkKey{at, dest}] = nextHop
+}
+
+// NextHop resolves the next hop from `at` toward `dest`, preferring pinned
+// routes and falling back to a direct link.
+func (n *Network) NextHop(at, dest string) (string, bool) {
+	if hop, ok := n.routes[linkKey{at, dest}]; ok {
+		return hop, true
+	}
+	if _, ok := n.links[linkKey{at, dest}]; ok {
+		return dest, true
+	}
+	return "", false
+}
+
+// AutoRoute computes shortest-path (hop count) routes between all node
+// pairs with BFS and installs them. Links are assumed symmetric for path
+// discovery; only existing directed links produce routes.
+func (n *Network) AutoRoute() {
+	adj := make(map[string][]string)
+	for k := range n.links {
+		adj[k.from] = append(adj[k.from], k.to)
+	}
+	// Deterministic neighbor order.
+	for _, v := range adj {
+		sortStrings(v)
+	}
+	names := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, src := range names {
+		// BFS from src recording first hop toward every destination.
+		type qe struct{ node, first string }
+		visited := map[string]bool{src: true}
+		var queue []qe
+		for _, nb := range adj[src] {
+			queue = append(queue, qe{nb, nb})
+			visited[nb] = true
+		}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			n.routes[linkKey{src, cur.node}] = cur.first
+			for _, nb := range adj[cur.node] {
+				if !visited[nb] {
+					visited[nb] = true
+					queue = append(queue, qe{nb, cur.first})
+				}
+			}
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Schedule runs fn at the given virtual time (or immediately if in the
+// past).
+func (n *Network) Schedule(at time.Time, fn func(now time.Time)) {
+	if at.Before(n.now) {
+		at = n.now
+	}
+	n.seq++
+	heap.Push(&n.queue, &event{at: at, seq: n.seq, fn: fn})
+}
+
+// ErrNoRoute is returned when a packet cannot be forwarded.
+var ErrNoRoute = errors.New("netsim: no route to destination")
+
+// Inject originates a datagram at origin toward dest, using origin's routes.
+func (n *Network) Inject(origin, dest string, data []byte) error {
+	hop, ok := n.NextHop(origin, dest)
+	if !ok {
+		return ErrNoRoute
+	}
+	n.Transmit(Packet{From: origin, To: hop, Origin: origin, Dest: dest, Data: data})
+	return nil
+}
+
+// Forward relays pkt from node `at` toward its destination.
+func (n *Network) Forward(at string, pkt Packet) error {
+	hop, ok := n.NextHop(at, pkt.Dest)
+	if !ok {
+		return ErrNoRoute
+	}
+	n.Transmit(Packet{From: at, To: hop, Origin: pkt.Origin, Dest: pkt.Dest, Data: pkt.Data})
+	return nil
+}
+
+// Transmit puts a packet on the link pkt.From -> pkt.To, applying MTU,
+// serialization, queueing, loss and latency.
+func (n *Network) Transmit(pkt Packet) {
+	l, ok := n.links[linkKey{pkt.From, pkt.To}]
+	if !ok {
+		return // no link: silently dropped, like a radio with no peer
+	}
+	l.Sent++
+	if l.cfg.MTU > 0 && len(pkt.Data) > l.cfg.MTU {
+		l.MTUDrops++
+		return
+	}
+	depart := n.now
+	if l.cfg.Bandwidth > 0 {
+		if l.busyUntil.After(depart) {
+			depart = l.busyUntil
+		}
+		ser := time.Duration(float64(len(pkt.Data)*8) / float64(l.cfg.Bandwidth) * float64(time.Second))
+		depart = depart.Add(ser)
+		l.busyUntil = depart
+	}
+	// A node with a shared radio additionally serializes all its
+	// transmissions through the one transmitter.
+	if r, ok := n.radios[pkt.From]; ok {
+		if r.busyUntil.After(depart) {
+			depart = r.busyUntil
+		}
+		ser := time.Duration(float64(len(pkt.Data)*8) / float64(r.bandwidth) * float64(time.Second))
+		depart = depart.Add(ser)
+		r.busyUntil = depart
+	}
+	if l.cfg.Loss > 0 && n.rng.Float64() < l.cfg.Loss {
+		l.Lost++
+		return
+	}
+	delay := l.cfg.Latency
+	if l.cfg.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(l.cfg.Jitter)))
+	}
+	arrive := depart.Add(delay)
+	data := append([]byte(nil), pkt.Data...)
+	n.Schedule(arrive, func(now time.Time) {
+		l.Delivered++
+		l.Bytes += uint64(len(data))
+		if h, ok := n.nodes[pkt.To]; ok {
+			h.Receive(n, now, Packet{From: pkt.From, To: pkt.To, Origin: pkt.Origin, Dest: pkt.Dest, Data: data})
+		}
+	})
+}
+
+// Run processes events until the queue empties or the virtual deadline
+// passes, and returns the number of events processed.
+func (n *Network) Run(until time.Time) int {
+	processed := 0
+	for n.queue.Len() > 0 {
+		e := n.queue[0]
+		if e.at.After(until) {
+			break
+		}
+		heap.Pop(&n.queue)
+		n.now = e.at
+		e.fn(n.now)
+		processed++
+	}
+	if n.now.Before(until) {
+		n.now = until
+	}
+	return processed
+}
+
+// RunFor advances the simulation by a virtual duration.
+func (n *Network) RunFor(d time.Duration) int {
+	return n.Run(n.now.Add(d))
+}
+
+// RunUntilIdle processes every pending event (with a safety cap) and
+// returns the number processed.
+func (n *Network) RunUntilIdle(maxEvents int) int {
+	processed := 0
+	for n.queue.Len() > 0 && processed < maxEvents {
+		e := heap.Pop(&n.queue).(*event)
+		n.now = e.at
+		e.fn(n.now)
+		processed++
+	}
+	return processed
+}

@@ -1,0 +1,67 @@
+// Topology builders: common multi-hop layouts for experiments.
+
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Line connects the named nodes in a chain with duplex links and returns
+// the names. Nodes must already be registered.
+func (n *Network) Line(cfg LinkConfig, names ...string) {
+	for i := 0; i+1 < len(names); i++ {
+		n.AddDuplexLink(names[i], names[i+1], cfg)
+	}
+}
+
+// Ring connects the named nodes in a cycle.
+func (n *Network) Ring(cfg LinkConfig, names ...string) {
+	n.Line(cfg, names...)
+	if len(names) > 2 {
+		n.AddDuplexLink(names[len(names)-1], names[0], cfg)
+	}
+}
+
+// Grid lays out rows×cols nodes named fmt.Sprintf(nameFmt, row, col) and
+// connects 4-neighbors. All nodes must already be registered under those
+// names. It returns the generated names in row-major order.
+func (n *Network) Grid(cfg LinkConfig, rows, cols int, nameFmt string) []string {
+	names := make([]string, 0, rows*cols)
+	at := func(r, c int) string { return fmt.Sprintf(nameFmt, r, c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			names = append(names, at(r, c))
+			if c+1 < cols {
+				n.AddDuplexLink(at(r, c), at(r, c+1), cfg)
+			}
+			if r+1 < rows {
+				n.AddDuplexLink(at(r, c), at(r+1, c), cfg)
+			}
+		}
+	}
+	return names
+}
+
+// RandomMesh connects the named nodes with a random connected topology:
+// first a random spanning tree (guaranteeing connectivity), then extra
+// random edges for path diversity. Determinism comes from the seed.
+func (n *Network) RandomMesh(seed int64, cfg LinkConfig, extraEdges int, names ...string) {
+	if len(names) < 2 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := append([]string(nil), names...)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	// Random spanning tree: each node links to a random earlier node.
+	for i := 1; i < len(order); i++ {
+		n.AddDuplexLink(order[i], order[rng.Intn(i)], cfg)
+	}
+	for e := 0; e < extraEdges; e++ {
+		a := order[rng.Intn(len(order))]
+		b := order[rng.Intn(len(order))]
+		if a != b {
+			n.AddDuplexLink(a, b, cfg)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func noopNodes(n *Network, names ...string) {
+	for _, name := range names {
+		n.AddNode(name, HandlerFunc(func(*Network, time.Time, Packet) {}))
+	}
+}
+
+// forwarderNodes register nodes that relay toward the destination.
+func forwarderNodes(n *Network, names ...string) {
+	for _, name := range names {
+		name := name
+		n.AddNode(name, HandlerFunc(func(net *Network, now time.Time, pkt Packet) {
+			if pkt.Dest != name {
+				net.Forward(name, pkt)
+			}
+		}))
+	}
+}
+
+func TestLineTopology(t *testing.T) {
+	n := New(1)
+	names := []string{"a", "b", "c", "d"}
+	noopNodes(n, names...)
+	n.Line(LinkConfig{}, names...)
+	if _, ok := n.NextHop("a", "b"); !ok {
+		t.Fatalf("line missing edge a-b")
+	}
+	if _, ok := n.NextHop("a", "d"); ok {
+		t.Fatalf("line should not connect a-d directly before AutoRoute")
+	}
+	n.AutoRoute()
+	if hop, _ := n.NextHop("a", "d"); hop != "b" {
+		t.Fatalf("route a->d via %q, want b", hop)
+	}
+}
+
+func TestRingTopology(t *testing.T) {
+	n := New(1)
+	names := []string{"a", "b", "c", "d", "e"}
+	noopNodes(n, names...)
+	n.Ring(LinkConfig{}, names...)
+	n.AutoRoute()
+	// Ring gives a shortcut: a->e is one hop around the back.
+	if hop, _ := n.NextHop("a", "e"); hop != "e" {
+		t.Fatalf("ring closure missing: a->e via %q", hop)
+	}
+	// And a->c goes forward.
+	if hop, _ := n.NextHop("a", "c"); hop != "b" {
+		t.Fatalf("a->c via %q, want b", hop)
+	}
+}
+
+func TestGridTopology(t *testing.T) {
+	n := New(1)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			noopNodes(n, fmt.Sprintf("g%d_%d", r, c))
+		}
+	}
+	names := n.Grid(LinkConfig{Latency: time.Millisecond}, 3, 3, "g%d_%d")
+	if len(names) != 9 {
+		t.Fatalf("grid returned %d names", len(names))
+	}
+	n.AutoRoute()
+	// Corner to corner is 4 hops; a shortest path exists.
+	hop, ok := n.NextHop("g0_0", "g2_2")
+	if !ok || (hop != "g0_1" && hop != "g1_0") {
+		t.Fatalf("grid route g0_0->g2_2 via %q", hop)
+	}
+	// Delivery works corner to corner.
+	delivered := false
+	n.AddNode("g2_2", HandlerFunc(func(_ *Network, _ time.Time, pkt Packet) {
+		if pkt.Dest == "g2_2" {
+			delivered = true
+		}
+	}))
+	forwarderNodes(n, "g0_1", "g1_0", "g1_1", "g0_2", "g2_0", "g1_2", "g2_1")
+	if err := n.Inject("g0_0", "g2_2", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	n.RunFor(time.Second)
+	if !delivered {
+		t.Fatalf("grid never delivered corner to corner")
+	}
+}
+
+func TestRandomMeshConnected(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		n := New(seed)
+		var names []string
+		for i := 0; i < 12; i++ {
+			names = append(names, fmt.Sprintf("n%02d", i))
+		}
+		noopNodes(n, names...)
+		n.RandomMesh(seed, LinkConfig{}, 4, names...)
+		n.AutoRoute()
+		// Every pair must be routable (spanning tree guarantees it).
+		for _, a := range names {
+			for _, b := range names {
+				if a == b {
+					continue
+				}
+				if _, ok := n.NextHop(a, b); !ok {
+					t.Fatalf("seed %d: no route %s -> %s", seed, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomMeshDeterministic(t *testing.T) {
+	build := func() *Network {
+		n := New(7)
+		names := []string{"a", "b", "c", "d", "e", "f"}
+		noopNodes(n, names...)
+		n.RandomMesh(7, LinkConfig{}, 3, names...)
+		n.AutoRoute()
+		return n
+	}
+	n1, n2 := build(), build()
+	for _, a := range []string{"a", "b", "c", "d", "e", "f"} {
+		for _, b := range []string{"a", "b", "c", "d", "e", "f"} {
+			h1, ok1 := n1.NextHop(a, b)
+			h2, ok2 := n2.NextHop(a, b)
+			if ok1 != ok2 || h1 != h2 {
+				t.Fatalf("same seed produced different meshes at %s->%s", a, b)
+			}
+		}
+	}
+}

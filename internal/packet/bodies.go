@@ -1,0 +1,573 @@
+// Typed packet bodies and their encodings.
+
+package packet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Limits on repeated fields, enforced on both encode and decode.
+const (
+	// MaxMACs bounds the cumulative pre-signatures in one ALPHA-C S1.
+	MaxMACs = 4096
+	// MaxProofDepth bounds Merkle proof length (2^32 leaves would be 32).
+	MaxProofDepth = 32
+	// MaxLeafCount bounds the advertised Merkle tree size.
+	MaxLeafCount = 1 << 20
+	// MaxPayload bounds a single S2 payload.
+	MaxPayload = 60 << 10
+	// MaxKeyBlob bounds handshake public keys and signatures.
+	MaxKeyBlob = 8 << 10
+)
+
+// Handshake is the body of HS1 and HS2: it carries the sender's hash chain
+// anchors (§3.4). In a protected handshake the anchors are additionally
+// signed with an asymmetric key, binding the chains to a strong identity.
+type Handshake struct {
+	// Initiator distinguishes HS1 from HS2; it is carried by the packet
+	// type, not the body.
+	Initiator bool
+	// SigAnchor is the anchor of the sender's signature chain.
+	SigAnchor []byte
+	// AckAnchor is the anchor of the sender's acknowledgment chain.
+	AckAnchor []byte
+	// ChainLen is the disclosable length of both chains.
+	ChainLen uint32
+	// Nonce is a fresh random value mixed into the association identity.
+	Nonce []byte
+	// Scheme identifies the asymmetric scheme of a protected handshake;
+	// 0 means unprotected.
+	Scheme uint8
+	// PubKey is the sender's encoded public key (protected only).
+	PubKey []byte
+	// Sig is the signature over the anchors (protected only).
+	Sig []byte
+}
+
+// Type implements Message.
+func (hs *Handshake) Type() Type {
+	if hs.Initiator {
+		return TypeHS1
+	}
+	return TypeHS2
+}
+
+func (hs *Handshake) encodeBody(w *writer, h int) error {
+	if err := w.digest(hs.SigAnchor, h); err != nil {
+		return fmt.Errorf("sig anchor: %w", err)
+	}
+	if err := w.digest(hs.AckAnchor, h); err != nil {
+		return fmt.Errorf("ack anchor: %w", err)
+	}
+	w.u32(hs.ChainLen)
+	if err := w.digest(hs.Nonce, h); err != nil {
+		return fmt.Errorf("nonce: %w", err)
+	}
+	w.u8(hs.Scheme)
+	if len(hs.PubKey) > MaxKeyBlob || len(hs.Sig) > MaxKeyBlob {
+		return errors.New("handshake key material too large")
+	}
+	if err := w.bytes16(hs.PubKey); err != nil {
+		return err
+	}
+	return w.bytes16(hs.Sig)
+}
+
+func (hs *Handshake) decodeBody(r *reader, h int) error {
+	var err error
+	if hs.SigAnchor, err = r.digest(h); err != nil {
+		return err
+	}
+	if hs.AckAnchor, err = r.digest(h); err != nil {
+		return err
+	}
+	if hs.ChainLen, err = r.u32(); err != nil {
+		return err
+	}
+	if hs.Nonce, err = r.digest(h); err != nil {
+		return err
+	}
+	if hs.Scheme, err = r.u8(); err != nil {
+		return err
+	}
+	if hs.PubKey, err = r.bytes16(); err != nil {
+		return err
+	}
+	if hs.Sig, err = r.bytes16(); err != nil {
+		return err
+	}
+	if len(hs.PubKey) > MaxKeyBlob || len(hs.Sig) > MaxKeyBlob {
+		return errors.New("handshake key material too large")
+	}
+	return nil
+}
+
+// S1 announces one exchange's pre-signatures. The auth element identifies
+// the signer; the MACs (base/C) or Merkle root (M) are keyed with the next,
+// still-undisclosed element at KeyIdx.
+type S1 struct {
+	Mode Mode
+	// AuthIdx/Auth are the signer's freshly disclosed signature-chain
+	// element (odd disclosure index).
+	AuthIdx uint32
+	Auth    []byte
+	// KeyIdx is the disclosure index of the undisclosed MAC-key element
+	// (AuthIdx+1); it is carried explicitly so verifiers need not infer.
+	KeyIdx uint32
+	// MACs holds one pre-signature per message (modes base and C; base
+	// always has exactly one).
+	MACs [][]byte
+	// LeafCount and Root describe the Merkle tree of mode M. In mode CM,
+	// LeafCount is the total message count and Roots holds the k subtree
+	// roots, each covering ⌈LeafCount/k⌉ consecutive messages.
+	LeafCount uint32
+	Root      []byte
+	Roots     [][]byte
+}
+
+// Type implements Message.
+func (*S1) Type() Type { return TypeS1 }
+
+func (p *S1) encodeBody(w *writer, h int) error {
+	w.u8(uint8(p.Mode))
+	w.u32(p.AuthIdx)
+	if err := w.digest(p.Auth, h); err != nil {
+		return fmt.Errorf("auth element: %w", err)
+	}
+	w.u32(p.KeyIdx)
+	switch p.Mode {
+	case ModeBase, ModeC:
+		if len(p.MACs) == 0 || len(p.MACs) > MaxMACs {
+			return fmt.Errorf("S1 carries %d MACs, want 1..%d", len(p.MACs), MaxMACs)
+		}
+		if p.Mode == ModeBase && len(p.MACs) != 1 {
+			return fmt.Errorf("base-mode S1 carries %d MACs, want exactly 1", len(p.MACs))
+		}
+		w.u16(uint16(len(p.MACs)))
+		for i, m := range p.MACs {
+			if err := w.digest(m, h); err != nil {
+				return fmt.Errorf("MAC %d: %w", i, err)
+			}
+		}
+	case ModeM:
+		if p.LeafCount == 0 || p.LeafCount > MaxLeafCount {
+			return fmt.Errorf("S1 leaf count %d out of range", p.LeafCount)
+		}
+		w.u32(p.LeafCount)
+		if err := w.digest(p.Root, h); err != nil {
+			return fmt.Errorf("root: %w", err)
+		}
+	case ModeCM:
+		if p.LeafCount == 0 || p.LeafCount > MaxLeafCount {
+			return fmt.Errorf("S1 leaf count %d out of range", p.LeafCount)
+		}
+		if len(p.Roots) == 0 || len(p.Roots) > MaxMACs || uint32(len(p.Roots)) > p.LeafCount {
+			return fmt.Errorf("S1 carries %d roots for %d messages", len(p.Roots), p.LeafCount)
+		}
+		w.u32(p.LeafCount)
+		w.u16(uint16(len(p.Roots)))
+		for i, rt := range p.Roots {
+			if err := w.digest(rt, h); err != nil {
+				return fmt.Errorf("root %d: %w", i, err)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown mode %v", p.Mode)
+	}
+	return nil
+}
+
+func (p *S1) decodeBody(r *reader, h int) error {
+	m, err := r.u8()
+	if err != nil {
+		return err
+	}
+	p.Mode = Mode(m)
+	if p.AuthIdx, err = r.u32(); err != nil {
+		return err
+	}
+	if p.Auth, err = r.digest(h); err != nil {
+		return err
+	}
+	if p.KeyIdx, err = r.u32(); err != nil {
+		return err
+	}
+	switch p.Mode {
+	case ModeBase, ModeC:
+		count, err := r.u16()
+		if err != nil {
+			return err
+		}
+		if count == 0 || int(count) > MaxMACs {
+			return fmt.Errorf("S1 MAC count %d out of range", count)
+		}
+		if p.Mode == ModeBase && count != 1 {
+			return fmt.Errorf("base-mode S1 MAC count %d, want 1", count)
+		}
+		if p.MACs, err = r.digests(int(count), h); err != nil {
+			return err
+		}
+	case ModeM:
+		if p.LeafCount, err = r.u32(); err != nil {
+			return err
+		}
+		if p.LeafCount == 0 || p.LeafCount > MaxLeafCount {
+			return fmt.Errorf("S1 leaf count %d out of range", p.LeafCount)
+		}
+		if p.Root, err = r.digest(h); err != nil {
+			return err
+		}
+	case ModeCM:
+		if p.LeafCount, err = r.u32(); err != nil {
+			return err
+		}
+		if p.LeafCount == 0 || p.LeafCount > MaxLeafCount {
+			return fmt.Errorf("S1 leaf count %d out of range", p.LeafCount)
+		}
+		count, err := r.u16()
+		if err != nil {
+			return err
+		}
+		if count == 0 || int(count) > MaxMACs || uint32(count) > p.LeafCount {
+			return fmt.Errorf("S1 root count %d out of range", count)
+		}
+		if p.Roots, err = r.digests(int(count), h); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown mode %d", m)
+	}
+	return nil
+}
+
+// A1 acknowledges an S1 and expresses the verifier's willingness to receive
+// the exchange's payload. In reliable mode it additionally carries the
+// pre-acknowledgment material: a pre-ack/pre-nack hash pair (base/C, §3.2.2)
+// or an Acknowledgment Merkle Tree root (M, §3.3.3).
+type A1 struct {
+	// AuthIdx/Auth are the verifier's freshly disclosed acknowledgment-
+	// chain element (odd disclosure index).
+	AuthIdx uint32
+	Auth    []byte
+	// KeyIdx is the index of the verifier's undisclosed element keying
+	// the pre-(n)acks (reliable mode only; AuthIdx+1).
+	KeyIdx uint32
+	// PreAck/PreNack are H(h|1|s_ack) and H(h|0|s_nack) (base/C reliable).
+	PreAck  []byte
+	PreNack []byte
+	// AMTRoot/AMTLeaves describe the acknowledgment Merkle tree (M
+	// reliable).
+	AMTRoot   []byte
+	AMTLeaves uint32
+}
+
+// Type implements Message.
+func (*A1) Type() Type { return TypeA1 }
+
+// a1 body presence flags.
+const (
+	a1HasPrePair uint8 = 1 << 0
+	a1HasAMT     uint8 = 1 << 1
+)
+
+func (p *A1) encodeBody(w *writer, h int) error {
+	var flags uint8
+	if p.PreAck != nil || p.PreNack != nil {
+		flags |= a1HasPrePair
+	}
+	if p.AMTRoot != nil {
+		flags |= a1HasAMT
+	}
+	if flags == a1HasPrePair|a1HasAMT {
+		return errors.New("A1 cannot carry both a pre-(n)ack pair and an AMT root")
+	}
+	w.u8(flags)
+	w.u32(p.AuthIdx)
+	if err := w.digest(p.Auth, h); err != nil {
+		return fmt.Errorf("auth element: %w", err)
+	}
+	w.u32(p.KeyIdx)
+	if flags&a1HasPrePair != 0 {
+		if err := w.digest(p.PreAck, h); err != nil {
+			return fmt.Errorf("pre-ack: %w", err)
+		}
+		if err := w.digest(p.PreNack, h); err != nil {
+			return fmt.Errorf("pre-nack: %w", err)
+		}
+	}
+	if flags&a1HasAMT != 0 {
+		if p.AMTLeaves == 0 || p.AMTLeaves > MaxLeafCount {
+			return fmt.Errorf("A1 AMT leaf count %d out of range", p.AMTLeaves)
+		}
+		if err := w.digest(p.AMTRoot, h); err != nil {
+			return fmt.Errorf("AMT root: %w", err)
+		}
+		w.u32(p.AMTLeaves)
+	}
+	return nil
+}
+
+func (p *A1) decodeBody(r *reader, h int) error {
+	flags, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if flags&^(a1HasPrePair|a1HasAMT) != 0 || flags == a1HasPrePair|a1HasAMT {
+		return fmt.Errorf("A1 flags %#x invalid", flags)
+	}
+	if p.AuthIdx, err = r.u32(); err != nil {
+		return err
+	}
+	if p.Auth, err = r.digest(h); err != nil {
+		return err
+	}
+	if p.KeyIdx, err = r.u32(); err != nil {
+		return err
+	}
+	if flags&a1HasPrePair != 0 {
+		if p.PreAck, err = r.digest(h); err != nil {
+			return err
+		}
+		if p.PreNack, err = r.digest(h); err != nil {
+			return err
+		}
+	}
+	if flags&a1HasAMT != 0 {
+		if p.AMTRoot, err = r.digest(h); err != nil {
+			return err
+		}
+		if p.AMTLeaves, err = r.u32(); err != nil {
+			return err
+		}
+		if p.AMTLeaves == 0 || p.AMTLeaves > MaxLeafCount {
+			return fmt.Errorf("A1 AMT leaf count %d out of range", p.AMTLeaves)
+		}
+	}
+	return nil
+}
+
+// S2 discloses the MAC key element and carries one message of the exchange.
+// In mode M it additionally carries the complementary branch set {Bc} that
+// lets the message be verified against the buffered root independently of
+// its siblings.
+type S2 struct {
+	Mode Mode
+	// KeyIdx/Key disclose the signature-chain element that keyed the
+	// exchange's MACs or Merkle root (even disclosure index).
+	KeyIdx uint32
+	Key    []byte
+	// MsgIndex is the message's index within the exchange batch.
+	MsgIndex uint32
+	// LeafCount repeats the batch's Merkle leaf count (mode M).
+	LeafCount uint32
+	// Proof is the complementary branch set, leaf level first (mode M).
+	Proof [][]byte
+	// Payload is the protected message m.
+	Payload []byte
+}
+
+// Type implements Message.
+func (*S2) Type() Type { return TypeS2 }
+
+func (p *S2) encodeBody(w *writer, h int) error {
+	w.u8(uint8(p.Mode))
+	w.u32(p.KeyIdx)
+	if err := w.digest(p.Key, h); err != nil {
+		return fmt.Errorf("key element: %w", err)
+	}
+	w.u32(p.MsgIndex)
+	switch p.Mode {
+	case ModeBase, ModeC:
+		if len(p.Proof) != 0 {
+			return errors.New("proof present outside mode M")
+		}
+	case ModeM, ModeCM:
+		if p.LeafCount == 0 || p.LeafCount > MaxLeafCount {
+			return fmt.Errorf("S2 leaf count %d out of range", p.LeafCount)
+		}
+		if len(p.Proof) > MaxProofDepth {
+			return fmt.Errorf("S2 proof depth %d exceeds %d", len(p.Proof), MaxProofDepth)
+		}
+		w.u32(p.LeafCount)
+		w.u8(uint8(len(p.Proof)))
+		for i, d := range p.Proof {
+			if err := w.digest(d, h); err != nil {
+				return fmt.Errorf("proof node %d: %w", i, err)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown mode %v", p.Mode)
+	}
+	if len(p.Payload) > MaxPayload {
+		return fmt.Errorf("payload of %d bytes exceeds %d", len(p.Payload), MaxPayload)
+	}
+	w.bytes32(p.Payload)
+	return nil
+}
+
+func (p *S2) decodeBody(r *reader, h int) error {
+	m, err := r.u8()
+	if err != nil {
+		return err
+	}
+	p.Mode = Mode(m)
+	if p.KeyIdx, err = r.u32(); err != nil {
+		return err
+	}
+	if p.Key, err = r.digest(h); err != nil {
+		return err
+	}
+	if p.MsgIndex, err = r.u32(); err != nil {
+		return err
+	}
+	switch p.Mode {
+	case ModeBase, ModeC:
+	case ModeM, ModeCM:
+		if p.LeafCount, err = r.u32(); err != nil {
+			return err
+		}
+		if p.LeafCount == 0 || p.LeafCount > MaxLeafCount {
+			return fmt.Errorf("S2 leaf count %d out of range", p.LeafCount)
+		}
+		depth, err := r.u8()
+		if err != nil {
+			return err
+		}
+		if int(depth) > MaxProofDepth {
+			return fmt.Errorf("S2 proof depth %d exceeds %d", depth, MaxProofDepth)
+		}
+		if p.Proof, err = r.digests(int(depth), h); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown mode %d", m)
+	}
+	if p.Payload, err = r.bytes32(MaxPayload); err != nil {
+		return err
+	}
+	return nil
+}
+
+// A2 opens a pre-acknowledgment: it discloses the verifier's even-index
+// acknowledgment-chain element together with either the base-mode secret
+// (s_ack or s_nack) or an AMT leaf opening (mode M).
+type A2 struct {
+	Mode Mode
+	// KeyIdx/Key disclose the acknowledgment-chain element that keyed the
+	// pre-(n)acks.
+	KeyIdx uint32
+	Key    []byte
+	// MsgIndex is the acknowledged message's index within the batch.
+	MsgIndex uint32
+	// Ack is true for a positive acknowledgment.
+	Ack bool
+	// Secret is s_ack or s_nack (base/C) or the AMT leaf secret (M).
+	Secret []byte
+	// Proof and Other carry the AMT opening (mode M): the complementary
+	// branches within the chosen subtree and the opposite subtree's root.
+	Proof [][]byte
+	Other []byte
+	// AMTLeaves repeats the AMT's message count (mode M).
+	AMTLeaves uint32
+}
+
+// Type implements Message.
+func (*A2) Type() Type { return TypeA2 }
+
+func (p *A2) encodeBody(w *writer, h int) error {
+	w.u8(uint8(p.Mode))
+	w.u32(p.KeyIdx)
+	if err := w.digest(p.Key, h); err != nil {
+		return fmt.Errorf("key element: %w", err)
+	}
+	w.u32(p.MsgIndex)
+	if p.Ack {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	if err := w.digest(p.Secret, h); err != nil {
+		return fmt.Errorf("secret: %w", err)
+	}
+	switch p.Mode {
+	case ModeBase, ModeC:
+		if len(p.Proof) != 0 || p.Other != nil {
+			return errors.New("AMT opening present outside mode M")
+		}
+	case ModeM:
+		if p.AMTLeaves == 0 || p.AMTLeaves > MaxLeafCount {
+			return fmt.Errorf("A2 AMT leaf count %d out of range", p.AMTLeaves)
+		}
+		if len(p.Proof) > MaxProofDepth {
+			return fmt.Errorf("A2 proof depth %d exceeds %d", len(p.Proof), MaxProofDepth)
+		}
+		w.u32(p.AMTLeaves)
+		w.u8(uint8(len(p.Proof)))
+		for i, d := range p.Proof {
+			if err := w.digest(d, h); err != nil {
+				return fmt.Errorf("proof node %d: %w", i, err)
+			}
+		}
+		if err := w.digest(p.Other, h); err != nil {
+			return fmt.Errorf("other subtree root: %w", err)
+		}
+	default:
+		return fmt.Errorf("unknown mode %v", p.Mode)
+	}
+	return nil
+}
+
+func (p *A2) decodeBody(r *reader, h int) error {
+	m, err := r.u8()
+	if err != nil {
+		return err
+	}
+	p.Mode = Mode(m)
+	if p.KeyIdx, err = r.u32(); err != nil {
+		return err
+	}
+	if p.Key, err = r.digest(h); err != nil {
+		return err
+	}
+	if p.MsgIndex, err = r.u32(); err != nil {
+		return err
+	}
+	ack, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if ack > 1 {
+		return fmt.Errorf("A2 ack flag %d invalid", ack)
+	}
+	p.Ack = ack == 1
+	if p.Secret, err = r.digest(h); err != nil {
+		return err
+	}
+	switch p.Mode {
+	case ModeBase, ModeC:
+	case ModeM:
+		if p.AMTLeaves, err = r.u32(); err != nil {
+			return err
+		}
+		if p.AMTLeaves == 0 || p.AMTLeaves > MaxLeafCount {
+			return fmt.Errorf("A2 AMT leaf count %d out of range", p.AMTLeaves)
+		}
+		depth, err := r.u8()
+		if err != nil {
+			return err
+		}
+		if int(depth) > MaxProofDepth {
+			return fmt.Errorf("A2 proof depth %d exceeds %d", depth, MaxProofDepth)
+		}
+		if p.Proof, err = r.digests(int(depth), h); err != nil {
+			return err
+		}
+		if p.Other, err = r.digest(h); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown mode %d", m)
+	}
+	return nil
+}

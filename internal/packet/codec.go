@@ -1,0 +1,159 @@
+// Binary codec helpers: a growing writer and a bounds-checked reader.
+//
+// The codecs are deliberately boring: fixed-width big-endian integers,
+// digests whose length is implied by the association's hash suite, and
+// explicit counts for anything repeated. Every read is bounds-checked and a
+// failed parse returns an error rather than panicking, because relays parse
+// packets from unauthenticated sources by design.
+
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is returned when a packet ends before a declared field.
+var ErrTruncated = errors.New("packet: truncated packet")
+
+// writer accumulates an encoded packet.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// digest appends a fixed-size digest, validating its length.
+func (w *writer) digest(d []byte, size int) error {
+	if len(d) != size {
+		return fmt.Errorf("packet: digest length %d, want %d", len(d), size)
+	}
+	w.buf = append(w.buf, d...)
+	return nil
+}
+
+// bytes32 appends a u32 length prefix followed by the raw bytes.
+func (w *writer) bytes32(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// bytes16 appends a u16 length prefix followed by the raw bytes.
+func (w *writer) bytes16(b []byte) error {
+	if len(b) > 0xFFFF {
+		return fmt.Errorf("packet: field of %d bytes exceeds 16-bit length prefix", len(b))
+	}
+	w.u16(uint16(len(b)))
+	w.buf = append(w.buf, b...)
+	return nil
+}
+
+// reader consumes an encoded packet.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) u8() (uint8, error) {
+	if r.remaining() < 1 {
+		return 0, ErrTruncated
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if r.remaining() < 2 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+// digest reads a fixed-size digest. The returned slice is a copy so parsed
+// packets do not alias transport buffers that may be reused.
+func (r *reader) digest(size int) ([]byte, error) {
+	if r.remaining() < size {
+		return nil, ErrTruncated
+	}
+	d := make([]byte, size)
+	copy(d, r.buf[r.off:])
+	r.off += size
+	return d, nil
+}
+
+// bytes32 reads a u32-length-prefixed byte field, enforcing a sanity cap.
+func (r *reader) bytes32(maxLen int) ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > maxLen || int(n) > r.remaining() {
+		return nil, ErrTruncated
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.off:])
+	r.off += int(n)
+	return b, nil
+}
+
+// bytes16 reads a u16-length-prefixed byte field. A zero-length field
+// decodes as nil so that encode/decode round-trips are exact.
+func (r *reader) bytes16() ([]byte, error) {
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > r.remaining() {
+		return nil, ErrTruncated
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.off:])
+	r.off += int(n)
+	return b, nil
+}
+
+// digests reads count fixed-size digests.
+func (r *reader) digests(count, size int) ([][]byte, error) {
+	if count < 0 || r.remaining() < count*size {
+		return nil, ErrTruncated
+	}
+	out := make([][]byte, count)
+	for i := range out {
+		d, err := r.digest(size)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}

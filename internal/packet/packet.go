@@ -1,0 +1,257 @@
+// Package packet defines ALPHA's wire format: the handshake packets (HS1,
+// HS2) that exchange hash chain anchors (§3.4 of the paper) and the four
+// protocol packets of the signature exchange (§3.1-§3.3):
+//
+//	S1  announces pre-signatures keyed with an undisclosed chain element
+//	A1  acknowledges the S1 and, in reliable mode, carries pre-(n)acks
+//	S2  discloses the MAC key and the message(s)
+//	A2  opens a pre-ack or pre-nack (reliable mode)
+//
+// Every packet starts with a fixed 20-byte header carrying the association
+// identifier, the hash suite, and the exchange sequence number. Digest
+// fields have no length prefix: their size is implied by the suite, which
+// the decoder resolves from the header before parsing the body. Everything
+// else is explicitly counted and bounds-checked.
+package packet
+
+import (
+	"errors"
+	"fmt"
+
+	"alpha/internal/suite"
+)
+
+// Magic identifies ALPHA packets on the wire.
+const Magic = 0xA1FA
+
+// Version is the wire format version this package implements.
+const Version = 1
+
+// HeaderSize is the encoded size of the fixed header in bytes:
+// magic(2) version(1) type(1) suite(1) flags(1) assoc(8) seq(4) reserved(1).
+const HeaderSize = 19
+
+// MaxPacketSize caps the size of any encoded packet the codec will emit or
+// accept; generous enough for jumbo frames, small enough to bound parsing.
+const MaxPacketSize = 64 << 10
+
+// Type enumerates the ALPHA packet types.
+type Type uint8
+
+const (
+	// TypeInvalid is the zero, invalid packet type.
+	TypeInvalid Type = 0
+	// TypeHS1 is the handshake initiator packet (anchors I → R).
+	TypeHS1 Type = 1
+	// TypeHS2 is the handshake responder packet (anchors R → I).
+	TypeHS2 Type = 2
+	// TypeS1 is the pre-signature announcement packet.
+	TypeS1 Type = 3
+	// TypeA1 is the acknowledgment of an S1.
+	TypeA1 Type = 4
+	// TypeS2 is the payload/disclosure packet.
+	TypeS2 Type = 5
+	// TypeA2 is the pre-(n)ack opening packet.
+	TypeA2 Type = 6
+)
+
+// String returns the conventional packet-type name from the paper.
+func (t Type) String() string {
+	switch t {
+	case TypeHS1:
+		return "HS1"
+	case TypeHS2:
+		return "HS2"
+	case TypeS1:
+		return "S1"
+	case TypeA1:
+		return "A1"
+	case TypeS2:
+		return "S2"
+	case TypeA2:
+		return "A2"
+	case TypeBundle:
+		return "Bundle"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Mode selects the operational mode of a signature exchange (§3.3).
+type Mode uint8
+
+const (
+	// ModeBase is the basic three-way exchange: one message per S1.
+	ModeBase Mode = 0
+	// ModeC is ALPHA-C: one S1 carries n cumulative pre-signatures.
+	ModeC Mode = 1
+	// ModeM is ALPHA-M: one S1 carries a Merkle tree root over n messages.
+	ModeM Mode = 2
+	// ModeCM combines C and M (§3.3.2, last paragraph): one S1 carries k
+	// Merkle roots, each over n/k messages, trading k·h bytes of relay
+	// buffer for log2(k) fewer proof hashes in every S2.
+	ModeCM Mode = 3
+)
+
+// String returns the paper's name for the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeBase:
+		return "ALPHA"
+	case ModeC:
+		return "ALPHA-C"
+	case ModeM:
+		return "ALPHA-M"
+	case ModeCM:
+		return "ALPHA-CM"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Header flags.
+const (
+	// FlagReliable requests pre-(n)acks for the exchange (§3.2.2).
+	FlagReliable uint8 = 1 << 0
+	// FlagProtected marks a handshake whose anchors carry an asymmetric
+	// signature (§3.4).
+	FlagProtected uint8 = 1 << 1
+)
+
+// Header is the fixed per-packet header.
+type Header struct {
+	Type  Type
+	Suite suite.ID
+	Flags uint8
+	// Assoc identifies the security association the packet belongs to.
+	Assoc uint64
+	// Seq is the exchange (batch) sequence number: every S1 opens a new
+	// exchange, and the matching A1/S2/A2 packets echo its Seq.
+	Seq uint32
+}
+
+// Message is any packet body that can be encoded under a Header.
+type Message interface {
+	// Type returns the packet type the body encodes as.
+	Type() Type
+	// encodeBody appends the body; h is the suite digest size.
+	encodeBody(w *writer, h int) error
+	// decodeBody parses the body; h is the suite digest size.
+	decodeBody(r *reader, h int) error
+}
+
+// Errors returned by the top-level codec.
+var (
+	ErrBadMagic   = errors.New("packet: bad magic")
+	ErrBadVersion = errors.New("packet: unsupported version")
+	ErrBadType    = errors.New("packet: unknown packet type")
+	ErrTrailing   = errors.New("packet: trailing bytes after body")
+	ErrOversize   = errors.New("packet: exceeds maximum packet size")
+)
+
+// Encode serializes a header and body into a fresh buffer.
+func Encode(hdr Header, msg Message) ([]byte, error) {
+	if hdr.Type != msg.Type() {
+		return nil, fmt.Errorf("packet: header type %v does not match body type %v", hdr.Type, msg.Type())
+	}
+	st, err := suite.ByID(hdr.Suite)
+	if err != nil {
+		return nil, err
+	}
+	w := &writer{buf: make([]byte, 0, 256)}
+	w.u16(Magic)
+	w.u8(Version)
+	w.u8(uint8(hdr.Type))
+	w.u8(uint8(hdr.Suite))
+	w.u8(hdr.Flags)
+	w.u64(hdr.Assoc)
+	w.u32(hdr.Seq)
+	// Reserved byte for future extensions; must be zero.
+	w.u8(0)
+	if err := msg.encodeBody(w, st.Size()); err != nil {
+		return nil, err
+	}
+	if len(w.buf) > MaxPacketSize {
+		return nil, ErrOversize
+	}
+	return w.buf, nil
+}
+
+// Decode parses a raw packet into its header and typed body.
+func Decode(b []byte) (Header, Message, error) {
+	if len(b) > MaxPacketSize {
+		return Header{}, nil, ErrOversize
+	}
+	r := &reader{buf: b}
+	magic, err := r.u16()
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if magic != Magic {
+		return Header{}, nil, ErrBadMagic
+	}
+	ver, err := r.u8()
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if ver != Version {
+		return Header{}, nil, ErrBadVersion
+	}
+	var hdr Header
+	t, err := r.u8()
+	if err != nil {
+		return Header{}, nil, err
+	}
+	hdr.Type = Type(t)
+	sid, err := r.u8()
+	if err != nil {
+		return Header{}, nil, err
+	}
+	hdr.Suite = suite.ID(sid)
+	if hdr.Flags, err = r.u8(); err != nil {
+		return Header{}, nil, err
+	}
+	if hdr.Assoc, err = r.u64(); err != nil {
+		return Header{}, nil, err
+	}
+	if hdr.Seq, err = r.u32(); err != nil {
+		return Header{}, nil, err
+	}
+	reserved, err := r.u8()
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if reserved != 0 {
+		return Header{}, nil, fmt.Errorf("packet: reserved header byte %#x must be zero", reserved)
+	}
+	st, err := suite.ByID(hdr.Suite)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	var msg Message
+	switch hdr.Type {
+	case TypeHS1:
+		msg = &Handshake{Initiator: true}
+	case TypeHS2:
+		msg = &Handshake{}
+	case TypeS1:
+		msg = &S1{}
+	case TypeA1:
+		msg = &A1{}
+	case TypeS2:
+		msg = &S2{}
+	case TypeA2:
+		msg = &A2{}
+	case TypeBundle:
+		msg = &Bundle{}
+	default:
+		return Header{}, nil, ErrBadType
+	}
+	if err := msg.decodeBody(r, st.Size()); err != nil {
+		return Header{}, nil, fmt.Errorf("packet: decoding %v body: %w", hdr.Type, err)
+	}
+	if r.remaining() != 0 {
+		return Header{}, nil, ErrTrailing
+	}
+	return hdr, msg, nil
+}

@@ -1,0 +1,730 @@
+// Package relay implements ALPHA's forwarding-node side: hop-by-hop
+// verification of traffic passing through a node that is neither the signer
+// nor the verifier of an association (§3.1, §3.5 of the paper).
+//
+// A relay learns hash chain anchors by observing handshakes, buffers the
+// small pre-signatures announced in S1 packets, and then checks every S2
+// against them before forwarding, so forged, tampered and unsolicited
+// payloads are dropped at the first honest hop instead of crossing the
+// network. Verified payloads are surfaced to the host node (the "secure
+// extraction of signed data" that enables middlebox signaling), and A2
+// acknowledgments are verified against buffered pre-(n)acks so on-path
+// nodes can react to confirmed delivery.
+//
+// Per §3.5 the only packets a relay forwards unconditionally are S1s, and
+// even those are rate- and size-limited per flow to bound the flooding
+// surface that remains.
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"alpha/internal/core"
+	"alpha/internal/hashchain"
+	"alpha/internal/merkle"
+	"alpha/internal/packet"
+	"alpha/internal/suite"
+)
+
+// Verdict says what to do with a packet.
+type Verdict int
+
+const (
+	// Forward passes the packet on toward its destination.
+	Forward Verdict = iota
+	// Drop discards the packet.
+	Drop
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	if v == Forward {
+		return "forward"
+	}
+	return "drop"
+}
+
+// Decision is the outcome of processing one packet.
+type Decision struct {
+	Verdict Verdict
+	// Reason explains a Drop (nil for Forward).
+	Reason error
+	// Type is the decoded ALPHA packet type (TypeInvalid if undecodable).
+	Type packet.Type
+	// Extracted holds the verified payload of a forwarded S2: data the
+	// relay may act upon (middlebox signaling).
+	Extracted []byte
+	// AckObserved is set when a verified A2 confirmed delivery of the
+	// message with this index (meaningful when AckSeen is true).
+	AckSeen     bool
+	AckPositive bool
+	AckIndex    uint32
+	// Rewritten, when non-nil, is the datagram to forward instead of the
+	// original: a bundle whose failing sub-packets were stripped.
+	Rewritten []byte
+	// Sub holds per-packet decisions when the datagram was a bundle.
+	Sub []Decision
+}
+
+// Extractions collects every verified payload of the decision, including
+// sub-packets of a bundle.
+func (d *Decision) Extractions() [][]byte {
+	var out [][]byte
+	if d.Extracted != nil {
+		out = append(out, d.Extracted)
+	}
+	for i := range d.Sub {
+		out = append(out, d.Sub[i].Extractions()...)
+	}
+	return out
+}
+
+// Drop reasons specific to relays; verification failures reuse core errors.
+var (
+	ErrMalformed    = errors.New("relay: malformed packet")
+	ErrRateLimited  = errors.New("relay: S1 rate limit exceeded")
+	ErrOversizedS1  = errors.New("relay: S1 exceeds per-sender size limit")
+	ErrStrictPolicy = errors.New("relay: unknown association under strict policy")
+)
+
+// Config parameterizes a relay.
+type Config struct {
+	// Strict drops traffic of unknown associations. The default (false)
+	// forwards it unverified, which is the incremental-deployment mode
+	// of §3.5: ALPHA-unaware traffic keeps flowing.
+	Strict bool
+	// MaxFlows bounds the association table.
+	MaxFlows int
+	// MaxExchanges bounds buffered exchanges per flow and direction.
+	MaxExchanges int
+	// S1Rate and S1Burst token-bucket S1 packets per flow per second.
+	// Zero S1Rate disables rate limiting.
+	S1Rate  float64
+	S1Burst float64
+	// InitialS1Limit and MaxS1Limit implement the adaptive S1 size
+	// policy of §3.5: a flow starts with the small initial budget, and
+	// the limit doubles after every verified S2 until MaxS1Limit.
+	// Zero InitialS1Limit disables size limiting.
+	InitialS1Limit int
+	MaxS1Limit     int
+	// RequireProtected makes the relay drop handshakes whose anchors are
+	// not signed (strong hop-by-hop authentication, §3.4).
+	RequireProtected bool
+	// SuiteOverride substitutes the hash suite resolved from packet
+	// headers, provided it matches the wire ID. The benchmark harness
+	// uses this to slot in an operation-counting suite (Table 1).
+	SuiteOverride suite.Suite
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxFlows == 0 {
+		c.MaxFlows = 1024
+	}
+	if c.MaxExchanges == 0 {
+		c.MaxExchanges = 64
+	}
+	if c.S1Burst == 0 {
+		c.S1Burst = 8
+	}
+	if c.MaxS1Limit == 0 {
+		c.MaxS1Limit = packet.MaxPacketSize
+	}
+	return c
+}
+
+// Stats counts relay activity.
+type Stats struct {
+	Forwarded, Dropped                uint64
+	Malformed, Unknown, RateLimited   uint64
+	BadElement, BadPayload, BadAck    uint64
+	Unsolicited, Oversized, Handshake uint64
+	ExtractedBytes                    uint64
+}
+
+// Relay is the per-node verification state. Not safe for concurrent use.
+type Relay struct {
+	cfg   Config
+	flows map[uint64]*flow
+	order []uint64
+	stats Stats
+}
+
+// New creates a relay.
+func New(cfg Config) *Relay {
+	return &Relay{cfg: cfg.withDefaults(), flows: make(map[uint64]*flow)}
+}
+
+// Stats returns a snapshot of the relay's counters.
+func (r *Relay) Stats() Stats { return r.stats }
+
+// Flows returns the number of tracked associations.
+func (r *Relay) Flows() int { return len(r.flows) }
+
+// flow is one observed association.
+type flow struct {
+	assoc uint64
+	st    suite.Suite
+
+	// Chain walkers for both hosts: index 0 = initiator, 1 = responder.
+	// prev* hold the pre-rekey generation during the grace window.
+	sig     [2]*hashchain.Walker
+	ack     [2]*hashchain.Walker
+	prevSig [2]*hashchain.Walker
+	prevAck [2]*hashchain.Walker
+
+	// Buffered exchanges per signing direction.
+	dirs [2]dirState
+
+	bucket  tokenBucket
+	s1Limit int
+}
+
+type dirState struct {
+	rx    map[uint32]*exchange
+	order []uint32
+}
+
+// exchange is the relay's buffered state for one signature exchange: the
+// S1's pre-signatures plus, once the A1 passes by, its pre-(n)ack material.
+// This is exactly the "Relay" column of Tables 2 and 3.
+type exchange struct {
+	mode      packet.Mode
+	keyIdx    uint32
+	macs      [][]byte
+	root      []byte
+	roots     [][]byte
+	leafCount int
+	// auth is the S1's verified chain element, the exchange's own trust
+	// anchor: S2 key elements must hash to it (immune to rekeys).
+	auth []byte
+	// key caches the verified MAC-key element after the first valid S2
+	// so duplicates verify by equality.
+	key []byte
+
+	// ackAuth is the A1's verified element (A2 keys must hash to it).
+	ackAuth   []byte
+	ackKeyIdx uint32
+	preAck    []byte
+	preNack   []byte
+	amtRoot   []byte
+	amtLeaves int
+
+	verified []bool
+}
+
+// bufferedBytes reports this exchange's pre-signature memory (Table 2).
+func (x *exchange) bufferedBytes() int {
+	n := len(x.root)
+	for _, m := range x.macs {
+		n += len(m)
+	}
+	for _, r := range x.roots {
+		n += len(r)
+	}
+	return n
+}
+
+// ackBytes reports the additional acknowledgment state (Table 3).
+func (x *exchange) ackBytes() int {
+	return len(x.preAck) + len(x.preNack) + len(x.amtRoot)
+}
+
+// BufferedBytes sums pre-signature buffer usage across all flows, for the
+// Table 2/3 reproduction.
+func (r *Relay) BufferedBytes() (preSig, ack int) {
+	for _, f := range r.flows {
+		for d := range f.dirs {
+			for _, x := range f.dirs[d].rx {
+				preSig += x.bufferedBytes()
+				ack += x.ackBytes()
+			}
+		}
+	}
+	return preSig, ack
+}
+
+// Seed installs a flow from provisioned anchors (§3.4's static
+// bootstrapping: "base stations can provide nodes with pair-wise anchors"),
+// so the relay verifies an association whose handshake it never saw — there
+// was none.
+func (r *Relay) Seed(st suite.Suite, anchors core.AnchorSet) error {
+	if len(r.flows) >= r.cfg.MaxFlows {
+		r.evictFlow()
+	}
+	f := &flow{
+		assoc:   anchors.Assoc,
+		st:      st,
+		bucket:  tokenBucket{rate: r.cfg.S1Rate, burst: r.cfg.S1Burst},
+		s1Limit: r.cfg.InitialS1Limit,
+	}
+	f.dirs[0].rx = make(map[uint32]*exchange)
+	f.dirs[1].rx = make(map[uint32]*exchange)
+	var err error
+	if f.sig[0], err = hashchain.NewSignatureWalker(st, anchors.InitSig); err != nil {
+		return err
+	}
+	if f.ack[0], err = hashchain.NewAcknowledgmentWalker(st, anchors.InitAck); err != nil {
+		return err
+	}
+	if f.sig[1], err = hashchain.NewSignatureWalker(st, anchors.RespSig); err != nil {
+		return err
+	}
+	if f.ack[1], err = hashchain.NewAcknowledgmentWalker(st, anchors.RespAck); err != nil {
+		return err
+	}
+	r.flows[anchors.Assoc] = f
+	r.order = append(r.order, anchors.Assoc)
+	return nil
+}
+
+// verifySig verifies a signature-chain element for direction d, with the
+// same rekey grace-window semantics as core.Endpoint.verifyPeerSig: two
+// generations stay live until the next rotation replaces the older one;
+// S2/A2 elements never reach these walkers (exchange-pinned verification).
+func (f *flow) verifySig(d int, elem []byte, idx uint32) error {
+	err := f.sig[d].Verify(elem, idx)
+	if err == nil {
+		return nil
+	}
+	if f.prevSig[d] == nil {
+		return err
+	}
+	if f.prevSig[d].Verify(elem, idx) == nil {
+		return nil
+	}
+	return err
+}
+
+// verifyAck is verifySig for the acknowledgment chain of direction d.
+func (f *flow) verifyAck(d int, elem []byte, idx uint32) error {
+	err := f.ack[d].Verify(elem, idx)
+	if err == nil {
+		return nil
+	}
+	if f.prevAck[d] == nil {
+		return err
+	}
+	if f.prevAck[d].Verify(elem, idx) == nil {
+		return nil
+	}
+	return err
+}
+
+// tokenBucket is a simple rate limiter under injected time.
+type tokenBucket struct {
+	rate, burst float64
+	tokens      float64
+	last        time.Time
+}
+
+func (b *tokenBucket) take(now time.Time) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+	} else {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Process inspects one datagram and decides its fate.
+func (r *Relay) Process(now time.Time, data []byte) Decision {
+	hdr, msg, err := packet.Decode(data)
+	if err != nil {
+		r.stats.Malformed++
+		return r.drop(packet.TypeInvalid, fmt.Errorf("%w: %v", ErrMalformed, err))
+	}
+	switch m := msg.(type) {
+	case *packet.Bundle:
+		return r.processBundle(now, hdr, m)
+	case *packet.Handshake:
+		return r.processHandshake(hdr, m)
+	case *packet.S1:
+		return r.processS1(now, hdr, m, len(data))
+	case *packet.A1:
+		return r.processA1(hdr, m)
+	case *packet.S2:
+		return r.processS2(hdr, m)
+	case *packet.A2:
+		return r.processA2(hdr, m)
+	default:
+		r.stats.Malformed++
+		return r.drop(hdr.Type, ErrMalformed)
+	}
+}
+
+func (r *Relay) drop(t packet.Type, reason error) Decision {
+	r.stats.Dropped++
+	return Decision{Verdict: Drop, Reason: reason, Type: t}
+}
+
+func (r *Relay) forward(t packet.Type) Decision {
+	r.stats.Forwarded++
+	return Decision{Verdict: Forward, Type: t}
+}
+
+// processBundle verifies every sub-packet of a bundle independently,
+// forwarding the survivors: a tampered S2 inside a bundle dies here while
+// its honest companions travel on (re-framed without it). The codec forbids
+// nested bundles, so the recursion is one level deep.
+func (r *Relay) processBundle(now time.Time, hdr packet.Header, b *packet.Bundle) Decision {
+	dec := Decision{Type: packet.TypeBundle}
+	var keep [][]byte
+	stripped := false
+	for _, raw := range b.Packets {
+		sub := r.Process(now, raw)
+		dec.Sub = append(dec.Sub, sub)
+		if sub.Verdict == Forward {
+			if sub.Rewritten != nil {
+				keep = append(keep, sub.Rewritten)
+				stripped = true
+			} else {
+				keep = append(keep, raw)
+			}
+		} else {
+			stripped = true
+		}
+	}
+	if len(keep) == 0 {
+		dec.Verdict = Drop
+		dec.Reason = core.ErrUnsolicited
+		return dec
+	}
+	dec.Verdict = Forward
+	if stripped {
+		if len(keep) == 1 {
+			dec.Rewritten = keep[0]
+		} else if re, err := packet.EncodeBundle(hdr.Suite, hdr.Assoc, hdr.Flags, keep); err == nil {
+			dec.Rewritten = re
+		} else {
+			// Re-framing failed; forwarding the original would leak
+			// the dropped packets, so fail closed.
+			dec.Verdict = Drop
+			dec.Reason = err
+		}
+	}
+	return dec
+}
+
+// resolveSuite maps a wire suite ID to an implementation, honoring the
+// configured override when its wire ID matches.
+func (r *Relay) resolveSuite(id suite.ID) (suite.Suite, error) {
+	if r.cfg.SuiteOverride != nil && r.cfg.SuiteOverride.ID() == id {
+		return r.cfg.SuiteOverride, nil
+	}
+	return suite.ByID(id)
+}
+
+// dirIndex maps the header's initiator flag to a chain-set index.
+func dirIndex(hdr packet.Header) int {
+	if hdr.Flags&core.FlagInitiator != 0 {
+		return 0
+	}
+	return 1
+}
+
+// processHandshake learns (or refreshes) a flow from an observed handshake.
+func (r *Relay) processHandshake(hdr packet.Header, hs *packet.Handshake) Decision {
+	r.stats.Handshake++
+	st, err := r.resolveSuite(hdr.Suite)
+	if err != nil {
+		r.stats.Malformed++
+		return r.drop(hdr.Type, ErrMalformed)
+	}
+	if len(hs.SigAnchor) != st.Size() || len(hs.AckAnchor) != st.Size() {
+		r.stats.Malformed++
+		return r.drop(hdr.Type, ErrMalformed)
+	}
+	if r.cfg.RequireProtected && hs.Scheme == 0 {
+		return r.drop(hdr.Type, fmt.Errorf("%w: unsigned anchors", core.ErrBadHandshake))
+	}
+	f, ok := r.flows[hdr.Assoc]
+	if !ok {
+		if len(r.flows) >= r.cfg.MaxFlows {
+			r.evictFlow()
+		}
+		f = &flow{
+			assoc:   hdr.Assoc,
+			st:      st,
+			bucket:  tokenBucket{rate: r.cfg.S1Rate, burst: r.cfg.S1Burst},
+			s1Limit: r.cfg.InitialS1Limit,
+		}
+		f.dirs[0].rx = make(map[uint32]*exchange)
+		f.dirs[1].rx = make(map[uint32]*exchange)
+		r.flows[hdr.Assoc] = f
+		r.order = append(r.order, hdr.Assoc)
+	}
+	d := dirIndex(hdr)
+	if f.sig[d] == nil {
+		sw, err1 := hashchain.NewSignatureWalker(st, hs.SigAnchor)
+		aw, err2 := hashchain.NewAcknowledgmentWalker(st, hs.AckAnchor)
+		if err1 != nil || err2 != nil {
+			r.stats.Malformed++
+			return r.drop(hdr.Type, ErrMalformed)
+		}
+		f.sig[d], f.ack[d] = sw, aw
+	}
+	return r.forward(hdr.Type)
+}
+
+func (r *Relay) evictFlow() {
+	if len(r.order) == 0 {
+		return
+	}
+	old := r.order[0]
+	r.order = r.order[1:]
+	delete(r.flows, old)
+}
+
+// lookup finds the flow for a packet, deciding pass-through vs strict drop
+// when it is unknown.
+func (r *Relay) lookup(hdr packet.Header) (*flow, *Decision) {
+	f, ok := r.flows[hdr.Assoc]
+	if ok && f.sig[dirIndex(hdr)] != nil {
+		return f, nil
+	}
+	r.stats.Unknown++
+	if r.cfg.Strict {
+		d := r.drop(hdr.Type, ErrStrictPolicy)
+		return nil, &d
+	}
+	d := r.forward(hdr.Type)
+	return nil, &d
+}
+
+// processS1 verifies and buffers a pre-signature announcement.
+func (r *Relay) processS1(now time.Time, hdr packet.Header, s1 *packet.S1, size int) Decision {
+	f, early := r.lookup(hdr)
+	if early != nil {
+		return *early
+	}
+	if !f.bucket.take(now) {
+		r.stats.RateLimited++
+		return r.drop(hdr.Type, ErrRateLimited)
+	}
+	if f.s1Limit > 0 && size > f.s1Limit {
+		r.stats.Oversized++
+		return r.drop(hdr.Type, ErrOversizedS1)
+	}
+	d := dirIndex(hdr)
+	ds := &f.dirs[d]
+	if _, dup := ds.rx[hdr.Seq]; dup {
+		// Retransmitted S1: already buffered, just forward.
+		return r.forward(hdr.Type)
+	}
+	if s1.AuthIdx%2 != 1 || s1.KeyIdx != s1.AuthIdx+1 {
+		r.stats.BadElement++
+		return r.drop(hdr.Type, core.ErrBadAuthElement)
+	}
+	if err := f.verifySig(d, s1.Auth, s1.AuthIdx); err != nil {
+		r.stats.BadElement++
+		return r.drop(hdr.Type, fmt.Errorf("%w: %v", core.ErrBadAuthElement, err))
+	}
+	x := &exchange{mode: s1.Mode, keyIdx: s1.KeyIdx, auth: append([]byte(nil), s1.Auth...)}
+	var batch int
+	switch s1.Mode {
+	case packet.ModeBase, packet.ModeC:
+		x.macs = s1.MACs
+		batch = len(s1.MACs)
+	case packet.ModeM:
+		x.root = s1.Root
+		x.leafCount = int(s1.LeafCount)
+		batch = x.leafCount
+	case packet.ModeCM:
+		x.roots = s1.Roots
+		x.leafCount = int(s1.LeafCount)
+		batch = x.leafCount
+		sub := core.CMSubSize(batch, len(s1.Roots))
+		if (batch+sub-1)/sub != len(s1.Roots) {
+			r.stats.Malformed++
+			return r.drop(hdr.Type, ErrMalformed)
+		}
+	default:
+		r.stats.Malformed++
+		return r.drop(hdr.Type, ErrMalformed)
+	}
+	x.verified = make([]bool, batch)
+	ds.rx[hdr.Seq] = x
+	ds.order = append(ds.order, hdr.Seq)
+	for len(ds.order) > r.cfg.MaxExchanges {
+		old := ds.order[0]
+		ds.order = ds.order[1:]
+		delete(ds.rx, old)
+	}
+	return r.forward(hdr.Type)
+}
+
+// processA1 verifies the acknowledgment element and buffers pre-(n)ack
+// material against the S1 exchange it answers.
+func (r *Relay) processA1(hdr packet.Header, a1 *packet.A1) Decision {
+	f, early := r.lookup(hdr)
+	if early != nil {
+		return *early
+	}
+	d := dirIndex(hdr) // direction of the A1 sender = the exchange's verifier
+	if a1.AuthIdx%2 != 1 || a1.KeyIdx != a1.AuthIdx+1 {
+		r.stats.BadElement++
+		return r.drop(hdr.Type, core.ErrBadAuthElement)
+	}
+	if err := f.verifyAck(d, a1.Auth, a1.AuthIdx); err != nil {
+		r.stats.BadElement++
+		return r.drop(hdr.Type, fmt.Errorf("%w: %v", core.ErrBadAuthElement, err))
+	}
+	// The exchange was opened by the S1 from the opposite direction. A
+	// relay may legitimately have missed that S1 (asymmetric routes,
+	// joining mid-association): the A1 itself is chain-authenticated, so
+	// it is forwarded; only its pre-(n)ack material goes unbuffered.
+	x, ok := f.dirs[1-d].rx[hdr.Seq]
+	if !ok {
+		return r.forward(hdr.Type)
+	}
+	if x.preAck == nil && x.amtRoot == nil {
+		x.ackAuth = append([]byte(nil), a1.Auth...)
+		x.ackKeyIdx = a1.KeyIdx
+		x.preAck = a1.PreAck
+		x.preNack = a1.PreNack
+		x.amtRoot = a1.AMTRoot
+		x.amtLeaves = int(a1.AMTLeaves)
+	}
+	return r.forward(hdr.Type)
+}
+
+// processS2 is the heart of hop-by-hop filtering: the payload must match a
+// buffered pre-signature or it dies here.
+func (r *Relay) processS2(hdr packet.Header, s2 *packet.S2) Decision {
+	f, early := r.lookup(hdr)
+	if early != nil {
+		return *early
+	}
+	d := dirIndex(hdr)
+	x, ok := f.dirs[d].rx[hdr.Seq]
+	if !ok {
+		r.stats.Unsolicited++
+		return r.drop(hdr.Type, core.ErrUnsolicited)
+	}
+	if s2.Mode != x.mode || s2.KeyIdx != x.keyIdx || int(s2.MsgIndex) >= len(x.verified) {
+		r.stats.Unsolicited++
+		return r.drop(hdr.Type, core.ErrUnsolicited)
+	}
+	if x.key == nil {
+		if !hashchain.VerifyLink(f.st, hashchain.TagS1, hashchain.TagS2, x.auth, s2.Key, s2.KeyIdx) {
+			r.stats.BadElement++
+			return r.drop(hdr.Type, core.ErrBadAuthElement)
+		}
+		x.key = append([]byte(nil), s2.Key...)
+	} else if !suite.Equal(x.key, s2.Key) {
+		r.stats.BadElement++
+		return r.drop(hdr.Type, core.ErrBadAuthElement)
+	}
+	valid := false
+	switch x.mode {
+	case packet.ModeBase, packet.ModeC:
+		want := x.macs[s2.MsgIndex]
+		got := f.st.MAC(s2.Key, core.MACInput(hdr.Assoc, hdr.Seq, s2.MsgIndex, s2.Payload))
+		valid = suite.Equal(want, got)
+	case packet.ModeM:
+		valid = int(s2.LeafCount) == x.leafCount &&
+			merkle.Verify(f.st, s2.Key, x.root, core.MerkleLeafInput(s2.Payload), int(s2.MsgIndex), x.leafCount, s2.Proof)
+	case packet.ModeCM:
+		if int(s2.LeafCount) == x.leafCount {
+			if root, leaf, leaves, ok := core.CMLocate(int(s2.MsgIndex), x.leafCount, len(x.roots)); ok && root < len(x.roots) {
+				valid = merkle.Verify(f.st, s2.Key, x.roots[root], core.MerkleLeafInput(s2.Payload), leaf, leaves, s2.Proof)
+			}
+		}
+	}
+	if !valid {
+		r.stats.BadPayload++
+		if x.mode == packet.ModeM || x.mode == packet.ModeCM {
+			return r.drop(hdr.Type, core.ErrBadProof)
+		}
+		return r.drop(hdr.Type, core.ErrBadMAC)
+	}
+	x.verified[s2.MsgIndex] = true
+	dec := r.forward(hdr.Type)
+	dec.Extracted = s2.Payload
+	r.stats.ExtractedBytes += uint64(len(s2.Payload))
+	// Verified in-band rekey announcements rotate this direction's chain
+	// walkers, exactly as endpoints do: the new anchors are authenticated
+	// by the old chain. The old walkers stay as a one-shot fallback in
+	// case the announcing host aborts the rotation (lost ack); the flow's
+	// next verified S1 settles which generation is live (see processS1).
+	if core.IsRekeyPayload(s2.Payload) {
+		if p, ok := core.DecodeRekey(s2.Payload, f.st.Size()); ok {
+			if sig, ack, err := core.UpdateAnchors(f.st, p); err == nil {
+				if f.prevSig[d] == nil || f.sig[d].Index() > 0 || f.ack[d].Index() > 0 {
+					f.prevSig[d], f.prevAck[d] = f.sig[d], f.ack[d]
+				}
+				f.sig[d], f.ack[d] = sig, ack
+			}
+		}
+	}
+	return dec
+}
+
+// processA2 verifies a pre-(n)ack opening against buffered A1 material.
+func (r *Relay) processA2(hdr packet.Header, a2 *packet.A2) Decision {
+	f, early := r.lookup(hdr)
+	if early != nil {
+		return *early
+	}
+	d := dirIndex(hdr)
+	x, ok := f.dirs[1-d].rx[hdr.Seq]
+	if !ok || (x.preAck == nil && x.amtRoot == nil) {
+		// Never saw this exchange's S1 or A1 (asymmetric routes):
+		// the A2 cannot influence on-path state here, but it remains
+		// end-to-end verifiable, so forward it.
+		return r.forward(hdr.Type)
+	}
+	if a2.KeyIdx != x.ackKeyIdx {
+		r.stats.BadAck++
+		return r.drop(hdr.Type, core.ErrBadAck)
+	}
+	if x.ackAuth == nil || !hashchain.VerifyLink(f.st, hashchain.TagA1, hashchain.TagA2, x.ackAuth, a2.Key, a2.KeyIdx) {
+		r.stats.BadElement++
+		return r.drop(hdr.Type, core.ErrBadAuthElement)
+	}
+	valid := false
+	switch {
+	case x.preAck != nil:
+		if a2.MsgIndex == 0 {
+			if a2.Ack {
+				valid = suite.Equal(x.preAck, core.PreAckDigest(f.st, a2.Key, a2.Secret))
+			} else {
+				valid = suite.Equal(x.preNack, core.PreNackDigest(f.st, a2.Key, a2.Secret))
+			}
+		}
+	case x.amtRoot != nil:
+		o := &merkle.Opening{Index: a2.MsgIndex, Ack: a2.Ack, Secret: a2.Secret, Proof: a2.Proof, Other: a2.Other}
+		valid = merkle.VerifyOpening(f.st, a2.Key, x.amtRoot, x.amtLeaves, o)
+	}
+	if !valid {
+		r.stats.BadAck++
+		return r.drop(hdr.Type, core.ErrBadAck)
+	}
+	dec := r.forward(hdr.Type)
+	dec.AckSeen = true
+	dec.AckPositive = a2.Ack
+	dec.AckIndex = a2.MsgIndex
+	// Adaptive S1 size limit: verified progress earns a larger budget
+	// (§3.5: "relays should initially limit and later increase the
+	// maximum size of S1 packets per sender").
+	if f.s1Limit > 0 && a2.Ack {
+		f.s1Limit *= 2
+		if f.s1Limit > r.cfg.MaxS1Limit {
+			f.s1Limit = r.cfg.MaxS1Limit
+		}
+	}
+	return dec
+}

@@ -1,0 +1,391 @@
+package relay
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"alpha/internal/core"
+	"alpha/internal/packet"
+	"alpha/internal/suite"
+)
+
+// pair builds two established endpoints and a relay observing their
+// handshake, returning a shuttle that routes packets through the relay.
+type pair struct {
+	t    *testing.T
+	a, b *core.Endpoint
+	r    *Relay
+	now  time.Time
+}
+
+func newPair(t *testing.T, cfg core.Config, rc Config) *pair {
+	t.Helper()
+	a, err := core.NewEndpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.NewEndpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &pair{t: t, a: a, b: b, r: New(rc), now: time.Unix(1_700_000_000, 0)}
+	hs1, err := a.StartHandshake(p.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.through(p.b, hs1)
+	p.pump(10)
+	if !a.Established() || !b.Established() {
+		t.Fatal("handshake failed")
+	}
+	return p
+}
+
+// through processes raw at the relay and, if forwarded, delivers it.
+func (p *pair) through(dst *core.Endpoint, raw []byte) Decision {
+	p.t.Helper()
+	d := p.r.Process(p.now, raw)
+	if d.Verdict == Forward {
+		if _, err := dst.Handle(p.now, raw); err != nil {
+			p.t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func (p *pair) pump(rounds int) {
+	for i := 0; i < rounds; i++ {
+		p.now = p.now.Add(5 * time.Millisecond)
+		outA, _ := p.a.Poll(p.now)
+		outB, _ := p.b.Poll(p.now)
+		if len(outA) == 0 && len(outB) == 0 {
+			return
+		}
+		for _, raw := range outA {
+			p.through(p.b, raw)
+		}
+		for _, raw := range outB {
+			p.through(p.a, raw)
+		}
+	}
+}
+
+func (p *pair) send(payload []byte) {
+	p.t.Helper()
+	if _, err := p.a.Send(p.now, payload); err != nil {
+		p.t.Fatal(err)
+	}
+	p.a.Flush(p.now)
+	p.pump(20)
+}
+
+func baseCfg() core.Config {
+	return core.Config{Mode: packet.ModeBase, Reliable: true, ChainLen: 128, FlushDelay: -1}
+}
+
+func TestRelayForwardsHonestTraffic(t *testing.T) {
+	p := newPair(t, baseCfg(), Config{})
+	p.send([]byte("clean"))
+	st := p.r.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("relay dropped honest traffic: %+v", st)
+	}
+	// HS1+HS2+S1+A1+S2+A2 = 6 packets forwarded.
+	if st.Forwarded != 6 {
+		t.Fatalf("forwarded %d, want 6", st.Forwarded)
+	}
+	if st.ExtractedBytes != 5 {
+		t.Fatalf("extracted %d payload bytes, want 5", st.ExtractedBytes)
+	}
+	if p.r.Flows() != 1 {
+		t.Fatalf("flows %d, want 1", p.r.Flows())
+	}
+}
+
+func TestRelayObservesAcks(t *testing.T) {
+	p := newPair(t, baseCfg(), Config{})
+	var ackDecision *Decision
+	// Manually walk one exchange to capture the A2 decision.
+	if _, err := p.a.Send(p.now, []byte("acked")); err != nil {
+		t.Fatal(err)
+	}
+	p.a.Flush(p.now)
+	s1, _ := p.a.Poll(p.now)
+	for _, raw := range s1 {
+		p.through(p.b, raw)
+	}
+	a1, _ := p.b.Poll(p.now)
+	for _, raw := range a1 {
+		p.through(p.a, raw)
+	}
+	s2, _ := p.a.Poll(p.now)
+	for _, raw := range s2 {
+		p.through(p.b, raw)
+	}
+	a2, _ := p.b.Poll(p.now)
+	for _, raw := range a2 {
+		d := p.through(p.a, raw)
+		ackDecision = &d
+	}
+	if ackDecision == nil || !ackDecision.AckSeen || !ackDecision.AckPositive {
+		t.Fatalf("relay did not observe the verified ack: %+v", ackDecision)
+	}
+}
+
+func TestRelayDropsUnsolicitedS2(t *testing.T) {
+	p := newPair(t, baseCfg(), Config{})
+	s2 := &packet.S2{
+		Mode:    packet.ModeBase,
+		KeyIdx:  2,
+		Key:     make([]byte, 20),
+		Payload: []byte("junk"),
+	}
+	raw, err := packet.Encode(packet.Header{
+		Type: packet.TypeS2, Suite: suite.IDSHA1,
+		Flags: core.FlagInitiator, Assoc: p.a.Assoc(), Seq: 9,
+	}, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.r.Process(p.now, raw)
+	if d.Verdict != Drop || !errors.Is(d.Reason, core.ErrUnsolicited) {
+		t.Fatalf("unsolicited S2 not dropped: %+v", d)
+	}
+}
+
+func TestRelayDropsTamperedS2(t *testing.T) {
+	p := newPair(t, baseCfg(), Config{})
+	if _, err := p.a.Send(p.now, []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	p.a.Flush(p.now)
+	s1, _ := p.a.Poll(p.now)
+	for _, raw := range s1 {
+		p.through(p.b, raw)
+	}
+	a1, _ := p.b.Poll(p.now)
+	for _, raw := range a1 {
+		p.through(p.a, raw)
+	}
+	s2raw, _ := p.a.Poll(p.now)
+	hdr, msg, err := packet.Decode(s2raw[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := msg.(*packet.S2)
+	s2.Payload = []byte("tampered")
+	bad, err := packet.Encode(hdr, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.r.Process(p.now, bad)
+	if d.Verdict != Drop || !errors.Is(d.Reason, core.ErrBadMAC) {
+		t.Fatalf("tampered S2 not dropped: %+v", d)
+	}
+	if d.Extracted != nil {
+		t.Fatalf("tampered payload extracted")
+	}
+	// The genuine S2 still passes afterwards.
+	d = p.r.Process(p.now, s2raw[0])
+	if d.Verdict != Forward || string(d.Extracted) != "original" {
+		t.Fatalf("genuine S2 rejected after tamper attempt: %+v", d)
+	}
+}
+
+func TestRelayMalformedDropped(t *testing.T) {
+	r := New(Config{})
+	d := r.Process(time.Now(), []byte("not an alpha packet"))
+	if d.Verdict != Drop || !errors.Is(d.Reason, ErrMalformed) {
+		t.Fatalf("malformed packet not dropped: %+v", d)
+	}
+	if r.Stats().Malformed != 1 {
+		t.Fatalf("malformed counter %d", r.Stats().Malformed)
+	}
+}
+
+func TestRelayUnknownAssocPolicy(t *testing.T) {
+	// Build a valid S1 on an association the relay never saw.
+	cfg := baseCfg()
+	p := newPair(t, cfg, Config{})
+	if _, err := p.a.Send(p.now, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	p.a.Flush(p.now)
+	s1, _ := p.a.Poll(p.now)
+
+	loose := New(Config{})
+	if d := loose.Process(p.now, s1[0]); d.Verdict != Forward {
+		t.Fatalf("pass-through relay dropped unknown assoc: %+v", d)
+	}
+	strict := New(Config{Strict: true})
+	if d := strict.Process(p.now, s1[0]); d.Verdict != Drop || !errors.Is(d.Reason, ErrStrictPolicy) {
+		t.Fatalf("strict relay forwarded unknown assoc: %+v", d)
+	}
+}
+
+func TestRelayS1RateLimit(t *testing.T) {
+	p := newPair(t, baseCfg(), Config{S1Rate: 1, S1Burst: 2})
+	limited := 0
+	for i := 0; i < 10; i++ {
+		if _, err := p.a.Send(p.now, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		p.a.Flush(p.now)
+		out, _ := p.a.Poll(p.now)
+		for _, raw := range out {
+			if hdr, _, err := packet.Decode(raw); err == nil && hdr.Type == packet.TypeS1 {
+				if d := p.r.Process(p.now, raw); errors.Is(d.Reason, ErrRateLimited) {
+					limited++
+				}
+			}
+		}
+	}
+	if limited == 0 {
+		t.Fatalf("rate limiter never fired")
+	}
+	if got := p.r.Stats().RateLimited; int(got) != limited {
+		t.Fatalf("stats.RateLimited %d, want %d", got, limited)
+	}
+}
+
+func TestRelayAdaptiveS1SizeLimit(t *testing.T) {
+	rc := Config{InitialS1Limit: 80, MaxS1Limit: 4096}
+	p := newPair(t, core.Config{Mode: packet.ModeC, Reliable: true, ChainLen: 256, BatchSize: 32, FlushDelay: -1}, rc)
+	// A 32-MAC S1 greatly exceeds the 80-byte initial budget.
+	for i := 0; i < 32; i++ {
+		if _, err := p.a.Send(p.now, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.a.Flush(p.now)
+	s1, _ := p.a.Poll(p.now)
+	d := p.r.Process(p.now, s1[0])
+	if d.Verdict != Drop || !errors.Is(d.Reason, ErrOversizedS1) {
+		t.Fatalf("oversized S1 not limited: %+v", d)
+	}
+	if p.r.Stats().Oversized != 1 {
+		t.Fatalf("oversized counter %d", p.r.Stats().Oversized)
+	}
+}
+
+func TestRelayAdaptiveS1LimitGrowsWithGoodBehavior(t *testing.T) {
+	rc := Config{InitialS1Limit: 256, MaxS1Limit: 1 << 20}
+	p := newPair(t, baseCfg(), rc)
+	// Each fully acked exchange doubles the budget.
+	for i := 0; i < 4; i++ {
+		p.send([]byte("well-behaved"))
+	}
+	f := p.r.flows[p.a.Assoc()]
+	if f.s1Limit <= 256 {
+		t.Fatalf("S1 limit did not grow: %d", f.s1Limit)
+	}
+}
+
+func TestRelayRequireProtected(t *testing.T) {
+	r := New(Config{RequireProtected: true})
+	// An unprotected HS1 must be dropped.
+	cfg := baseCfg()
+	a, err := core.NewEndpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1, err := a.StartHandshake(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := r.Process(time.Now(), hs1)
+	if d.Verdict != Drop {
+		t.Fatalf("unsigned handshake accepted by RequireProtected relay")
+	}
+}
+
+func TestRelayBufferAccounting(t *testing.T) {
+	p := newPair(t, core.Config{Mode: packet.ModeC, Reliable: false, ChainLen: 128, BatchSize: 8, FlushDelay: -1}, Config{})
+	for i := 0; i < 8; i++ {
+		if _, err := p.a.Send(p.now, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.a.Flush(p.now)
+	s1, _ := p.a.Poll(p.now)
+	p.r.Process(p.now, s1[0])
+	sig, _ := p.r.BufferedBytes()
+	if want := 8 * 20; sig != want {
+		t.Fatalf("relay buffers %d pre-signature bytes, want %d (n·h)", sig, want)
+	}
+}
+
+func TestRelaySeededFlowVerifiesWithoutHandshake(t *testing.T) {
+	// §3.4 static bootstrapping: the base station provisions endpoints
+	// AND relays; no handshake ever crosses the relay, yet it verifies.
+	cfg := core.Config{Mode: packet.ModeBase, Reliable: true, ChainLen: 64, FlushDelay: -1, Suite: suite.MMO()}
+	pi, pr, anchors, err := core.Provision(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewPreconfiguredEndpoint(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.NewPreconfiguredEndpoint(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(Config{Strict: true}) // strict: unseeded flows would die here
+	if err := r.Seed(suite.MMO(), anchors); err != nil {
+		t.Fatal(err)
+	}
+	p := &pair{t: t, a: a, b: b, r: r, now: time.Unix(1_700_000_000, 0)}
+	p.send([]byte("provisioned"))
+	st := r.Stats()
+	if st.Dropped != 0 || st.Unknown != 0 {
+		t.Fatalf("seeded relay rejected provisioned traffic: %+v", st)
+	}
+	if st.ExtractedBytes == 0 {
+		t.Fatalf("seeded relay never verified a payload")
+	}
+}
+
+func TestRelayFlowEviction(t *testing.T) {
+	r := New(Config{MaxFlows: 2})
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		a, err := core.NewEndpoint(baseCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs1, err := a.StartHandshake(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := r.Process(now, hs1); d.Verdict != Forward {
+			t.Fatalf("handshake %d dropped: %+v", i, d)
+		}
+	}
+	if r.Flows() != 2 {
+		t.Fatalf("flow table holds %d, want 2 after eviction", r.Flows())
+	}
+}
+
+func TestRelayExchangeEviction(t *testing.T) {
+	rc := Config{MaxExchanges: 2}
+	p := newPair(t, core.Config{Mode: packet.ModeBase, ChainLen: 256, FlushDelay: -1, MaxOutstanding: 8}, rc)
+	// Push 4 S1s without completing the exchanges.
+	for i := 0; i < 4; i++ {
+		if _, err := p.a.Send(p.now, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		p.a.Flush(p.now)
+		out, _ := p.a.Poll(p.now)
+		for _, raw := range out {
+			if hdr, _, err := packet.Decode(raw); err == nil && hdr.Type == packet.TypeS1 {
+				p.r.Process(p.now, raw)
+			}
+		}
+	}
+	f := p.r.flows[p.a.Assoc()]
+	if got := len(f.dirs[0].rx); got != 2 {
+		t.Fatalf("relay retains %d exchanges, want 2", got)
+	}
+}

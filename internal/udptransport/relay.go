@@ -1,0 +1,100 @@
+// UDP relay: a verifying forwarder between two fixed peers, the real-socket
+// counterpart of netsim.RelayNode.
+
+package udptransport
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"alpha/internal/core"
+	"alpha/internal/relay"
+	"alpha/internal/suite"
+)
+
+// Relay forwards datagrams between two peers, applying ALPHA hop-by-hop
+// verification to everything it relays. Packets arriving from addresses
+// other than the two configured peers are ignored.
+type Relay struct {
+	pc   net.PacketConn
+	a, b net.Addr
+	r    *relay.Relay
+	mu   sync.Mutex
+
+	// OnDecision, if set, observes every verdict.
+	OnDecision func(d relay.Decision)
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewRelay creates a verifying UDP relay between peers a and b.
+func NewRelay(pc net.PacketConn, a, b net.Addr, cfg relay.Config) *Relay {
+	r := &Relay{pc: pc, a: a, b: b, r: relay.New(cfg), closed: make(chan struct{})}
+	r.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+// Seed installs a statically provisioned association (§3.4) so the relay
+// verifies traffic whose handshake it will never see.
+func (r *Relay) Seed(st suite.Suite, anchors core.AnchorSet) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.r.Seed(st, anchors)
+}
+
+// Stats returns the underlying relay's counters.
+func (r *Relay) Stats() relay.Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.r.Stats()
+}
+
+// Close stops the relay and closes its socket.
+func (r *Relay) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.closed)
+		r.pc.Close()
+	})
+	r.wg.Wait()
+	return nil
+}
+
+func (r *Relay) loop() {
+	defer r.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := r.pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		var to net.Addr
+		switch from.String() {
+		case r.a.String():
+			to = r.b
+		case r.b.String():
+			to = r.a
+		default:
+			continue
+		}
+		data := append([]byte(nil), buf[:n]...)
+		r.mu.Lock()
+		d := r.r.Process(time.Now(), data)
+		r.mu.Unlock()
+		if r.OnDecision != nil {
+			r.OnDecision(d)
+		}
+		if d.Verdict != relay.Forward {
+			continue
+		}
+		if d.Rewritten != nil {
+			data = d.Rewritten
+		}
+		if _, err := r.pc.WriteTo(data, to); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Multi-association server: one socket, many peers.
+//
+// A Conn serves exactly one association. Real responders — sinks, home
+// agents, middleback-ends — accept many initiators on one port. Server owns
+// the socket's read loop and demultiplexes by the association ID every
+// ALPHA packet carries, spawning a Session per handshake and routing
+// subsequent traffic to it.
+
+package udptransport
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"alpha/internal/core"
+	"alpha/internal/packet"
+)
+
+// Server accepts ALPHA associations on a shared datagram socket.
+type Server struct {
+	pc  net.PacketConn
+	cfg core.Config
+
+	mu       sync.Mutex
+	sessions map[uint64]*Session
+
+	accept    chan *Session
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewServer starts serving. Each arriving handshake creates a responder
+// endpoint with the given config; established sessions surface via Accept.
+func NewServer(pc net.PacketConn, cfg core.Config) *Server {
+	s := &Server{
+		pc:       pc,
+		cfg:      cfg,
+		sessions: make(map[uint64]*Session),
+		accept:   make(chan *Session, 16),
+		closed:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.readLoop()
+	return s
+}
+
+// Accept blocks until the next association establishes (or the server
+// closes).
+func (s *Server) Accept() (*Session, error) {
+	select {
+	case sess := <-s.accept:
+		return sess, nil
+	case <-s.closed:
+		return nil, ErrServerClosed
+	}
+}
+
+// Sessions returns the current session count.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Close stops the server, its socket, and every session.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.pc.Close()
+	})
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) readLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := s.pc.ReadFrom(buf)
+		if err != nil {
+			s.closeOnce.Do(func() { close(s.closed); s.pc.Close() })
+			// Stop all session timers.
+			s.mu.Lock()
+			for _, sess := range s.sessions {
+				sess.stop()
+			}
+			s.mu.Unlock()
+			return
+		}
+		if n < packet.HeaderSize {
+			continue
+		}
+		data := append([]byte(nil), buf[:n]...)
+		assoc := binary.BigEndian.Uint64(data[6:14])
+		typ := packet.Type(data[3])
+		now := time.Now()
+
+		s.mu.Lock()
+		sess, known := s.sessions[assoc]
+		if !known {
+			if typ != packet.TypeHS1 {
+				s.mu.Unlock()
+				continue // data for an association we do not hold
+			}
+			ep, err := core.NewEndpoint(s.cfg)
+			if err != nil {
+				s.mu.Unlock()
+				continue
+			}
+			sess = newSession(s, ep, from)
+			s.sessions[assoc] = sess
+		}
+		s.mu.Unlock()
+
+		sess.handle(now, from, data, s)
+	}
+}
+
+// remove drops a session from the routing table.
+func (s *Server) remove(assoc uint64) {
+	s.mu.Lock()
+	delete(s.sessions, assoc)
+	s.mu.Unlock()
+}
+
+// Session is one association served by a Server. Its API mirrors Conn.
+type Session struct {
+	server *Server
+	mu     sync.Mutex
+	ep     *core.Endpoint
+	peer   net.Addr
+
+	events      chan core.Event
+	established bool
+	timerStop   chan struct{}
+	stopOnce    sync.Once
+}
+
+func newSession(srv *Server, ep *core.Endpoint, peer net.Addr) *Session {
+	sess := &Session{
+		server:    srv,
+		ep:        ep,
+		peer:      peer,
+		events:    make(chan core.Event, 256),
+		timerStop: make(chan struct{}),
+	}
+	srv.wg.Add(1)
+	go sess.timerLoop()
+	return sess
+}
+
+// Peer returns the remote address.
+func (s *Session) Peer() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peer
+}
+
+// Events returns the engine event stream.
+func (s *Session) Events() <-chan core.Event { return s.events }
+
+// Endpoint exposes the engine for stats; do not call engine methods.
+func (s *Session) Endpoint() *core.Endpoint { return s.ep }
+
+// Send queues a protected message to this session's peer.
+func (s *Session) Send(payload []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ep == nil {
+		return 0, ErrClosed
+	}
+	id, err := s.ep.Send(time.Now(), payload)
+	if err != nil {
+		return 0, err
+	}
+	s.pumpLocked(time.Now())
+	return id, nil
+}
+
+// Flush forces partial batches out.
+func (s *Session) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ep.Flush(time.Now())
+	s.pumpLocked(time.Now())
+}
+
+// Close detaches the session from the server.
+func (s *Session) Close() error {
+	s.stop()
+	s.mu.Lock()
+	assoc := uint64(0)
+	if s.ep != nil {
+		assoc = s.ep.Assoc()
+	}
+	s.mu.Unlock()
+	if assoc != 0 {
+		s.server.remove(assoc)
+	}
+	return nil
+}
+
+func (s *Session) stop() {
+	s.stopOnce.Do(func() { close(s.timerStop) })
+}
+
+// handle feeds one datagram into the session's engine.
+func (s *Session) handle(now time.Time, from net.Addr, data []byte, srv *Server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from != nil {
+		s.peer = from // track peer mobility (ALPHA identity is the chain, not the address)
+	}
+	evs, _ := s.ep.Handle(now, data)
+	for _, ev := range evs {
+		if ev.Kind == core.EventEstablished && !s.established {
+			s.established = true
+			select {
+			case srv.accept <- s:
+			default: // accept queue full: session still works, just unannounced
+			}
+		}
+		select {
+		case s.events <- ev:
+		default:
+		}
+	}
+	s.pumpLocked(now)
+}
+
+func (s *Session) pumpLocked(now time.Time) {
+	out, evs := s.ep.Poll(now)
+	for _, ev := range evs {
+		select {
+		case s.events <- ev:
+		default:
+		}
+	}
+	if s.peer == nil {
+		return
+	}
+	for _, raw := range out {
+		if _, err := s.server.pc.WriteTo(raw, s.peer); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Session) timerLoop() {
+	defer s.server.wg.Done()
+	timer := time.NewTimer(10 * time.Millisecond)
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.timerStop:
+			return
+		case <-s.server.closed:
+			return
+		case <-timer.C:
+		}
+		now := time.Now()
+		s.mu.Lock()
+		s.pumpLocked(now)
+		next, ok := s.ep.NextTimeout()
+		s.mu.Unlock()
+		d := 50 * time.Millisecond
+		if ok {
+			if until := time.Until(next); until < d {
+				d = until
+			}
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+		}
+		timer.Reset(d)
+	}
+}
+
+// ErrServerClosed reports operations on a closed server.
+var ErrServerClosed = errors.New("udptransport: server closed")

@@ -1,0 +1,167 @@
+package udptransport
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"alpha/internal/core"
+	"alpha/internal/packet"
+)
+
+func TestServerAcceptsMultipleDialers(t *testing.T) {
+	spc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Mode: packet.ModeBase, Reliable: true, ChainLen: 64}
+	srv := NewServer(spc, cfg)
+	defer srv.Close()
+
+	const dialers = 4
+	type result struct {
+		idx  int
+		conn *Conn
+		err  error
+	}
+	dialed := make(chan result, dialers)
+	for i := 0; i < dialers; i++ {
+		i := i
+		go func() {
+			pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+			if err != nil {
+				dialed <- result{i, nil, err}
+				return
+			}
+			c, err := Dial(pc, spc.LocalAddr(), cfg, 5*time.Second)
+			dialed <- result{i, c, err}
+		}()
+	}
+	// Accept all sessions.
+	sessions := make([]*Session, 0, dialers)
+	for i := 0; i < dialers; i++ {
+		sess, err := srv.Accept()
+		if err != nil {
+			t.Fatalf("Accept %d: %v", i, err)
+		}
+		sessions = append(sessions, sess)
+	}
+	conns := make([]*Conn, dialers)
+	for i := 0; i < dialers; i++ {
+		r := <-dialed
+		if r.err != nil {
+			t.Fatalf("dialer %d: %v", r.idx, r.err)
+		}
+		conns[r.idx] = r.conn
+		defer r.conn.Close()
+	}
+	if srv.Sessions() != dialers {
+		t.Fatalf("server tracks %d sessions, want %d", srv.Sessions(), dialers)
+	}
+
+	// Every dialer sends; every session delivers its own traffic only.
+	for i, c := range conns {
+		if _, err := c.Send([]byte(fmt.Sprintf("from-dialer-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		c.Flush()
+	}
+	byAssoc := map[uint64]string{}
+	for i, c := range conns {
+		byAssoc[c.Endpoint().Assoc()] = fmt.Sprintf("from-dialer-%d", i)
+	}
+	for _, sess := range sessions {
+		want := byAssoc[sess.Endpoint().Assoc()]
+		deadline := time.After(5 * time.Second)
+		for {
+			var got string
+			select {
+			case ev := <-sess.Events():
+				if ev.Kind == core.EventDelivered {
+					got = string(ev.Payload)
+				}
+			case <-deadline:
+				t.Fatalf("session %x: delivery timeout", sess.Endpoint().Assoc())
+			}
+			if got == "" {
+				continue
+			}
+			if got != want {
+				t.Fatalf("session %x got %q, want %q — cross-association leak!", sess.Endpoint().Assoc(), got, want)
+			}
+			break
+		}
+	}
+	// And the reverse direction works per session.
+	for _, sess := range sessions {
+		if _, err := sess.Send([]byte("reply")); err != nil {
+			t.Fatal(err)
+		}
+		sess.Flush()
+	}
+	for _, c := range conns {
+		deadline := time.After(5 * time.Second)
+		for done := false; !done; {
+			select {
+			case ev := <-c.Events():
+				if ev.Kind == core.EventDelivered && string(ev.Payload) == "reply" {
+					done = true
+				}
+			case <-deadline:
+				t.Fatalf("dialer never got its reply")
+			}
+		}
+	}
+}
+
+func TestServerIgnoresDataForUnknownAssociations(t *testing.T) {
+	spc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(spc, core.Config{ChainLen: 16})
+	defer srv.Close()
+	// Fire a non-handshake packet at the server: no session must appear.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	raw, err := packet.Encode(packet.Header{
+		Type: packet.TypeS2, Suite: 1, Flags: core.FlagInitiator, Assoc: 777, Seq: 1,
+	}, &packet.S2{Mode: packet.ModeBase, KeyIdx: 2, Key: make([]byte, 20), Payload: []byte("stray")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.WriteTo(raw, spc.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if srv.Sessions() != 0 {
+		t.Fatalf("stray data packet created a session")
+	}
+}
+
+func TestServerCloseUnblocksAccept(t *testing.T) {
+	spc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(spc, core.Config{ChainLen: 16})
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Accept()
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	srv.Close()
+	select {
+	case err := <-done:
+		if err != ErrServerClosed {
+			t.Fatalf("Accept returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Accept did not unblock on Close")
+	}
+}

@@ -1,0 +1,254 @@
+// Package udptransport runs the sans-IO ALPHA engine over real datagram
+// sockets. It is the deployment path of the library: the same engine that
+// the simulator drives deterministically is driven here by a reader
+// goroutine and a retransmission timer. One Conn wraps one association.
+//
+// The package works with any net.PacketConn, so tests can use in-process
+// UDP over the loopback interface and deployments can substitute their own
+// datagram transports.
+package udptransport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"alpha/internal/core"
+)
+
+// Conn is a blocking, goroutine-safe wrapper around one ALPHA association
+// on a datagram socket.
+type Conn struct {
+	pc   net.PacketConn
+	mu   sync.Mutex
+	ep   *core.Endpoint
+	peer net.Addr
+
+	events      chan core.Event
+	established chan struct{}
+	estOnce     sync.Once
+	closed      chan struct{}
+	closeOnce   sync.Once
+	wg          sync.WaitGroup
+}
+
+// ErrClosed is returned by operations on a closed Conn.
+var ErrClosed = errors.New("udptransport: connection closed")
+
+// Dial starts an association as initiator toward peer and blocks until it
+// establishes or the timeout expires.
+func Dial(pc net.PacketConn, peer net.Addr, cfg core.Config, timeout time.Duration) (*Conn, error) {
+	ep, err := core.NewEndpoint(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := newConn(pc, ep, peer)
+	hs1, err := ep.StartHandshake(time.Now())
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if _, err := pc.WriteTo(hs1, peer); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("udptransport: sending HS1: %w", err)
+	}
+	c.start()
+	select {
+	case <-c.established:
+		return c, nil
+	case <-time.After(timeout):
+		c.Close()
+		return nil, errors.New("udptransport: handshake timeout")
+	case <-c.closed:
+		return nil, ErrClosed
+	}
+}
+
+// Listen starts a responder that accepts the first handshake arriving on
+// the socket and blocks until the association establishes or the timeout
+// expires.
+func Listen(pc net.PacketConn, cfg core.Config, timeout time.Duration) (*Conn, error) {
+	ep, err := core.NewEndpoint(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := newConn(pc, ep, nil)
+	c.start()
+	select {
+	case <-c.established:
+		return c, nil
+	case <-time.After(timeout):
+		c.Close()
+		return nil, errors.New("udptransport: no handshake received")
+	case <-c.closed:
+		return nil, ErrClosed
+	}
+}
+
+// Wrap runs a caller-constructed endpoint over the socket — the entry point
+// for statically bootstrapped (preconfigured) associations, which have no
+// handshake. peer may be nil; a responder then adopts the first sender.
+// The connection is returned immediately; if the endpoint is already
+// established (preconfigured), it is usable at once.
+func Wrap(pc net.PacketConn, ep *core.Endpoint, peer net.Addr) *Conn {
+	c := newConn(pc, ep, peer)
+	if ep.Established() {
+		c.estOnce.Do(func() { close(c.established) })
+	}
+	c.start()
+	return c
+}
+
+func newConn(pc net.PacketConn, ep *core.Endpoint, peer net.Addr) *Conn {
+	return &Conn{
+		pc:          pc,
+		ep:          ep,
+		peer:        peer,
+		events:      make(chan core.Event, 256),
+		established: make(chan struct{}),
+		closed:      make(chan struct{}),
+	}
+}
+
+func (c *Conn) start() {
+	c.wg.Add(2)
+	go c.readLoop()
+	go c.timerLoop()
+}
+
+// Events returns the channel of engine events (deliveries, acks, drops).
+// The channel is buffered; if the application stops draining it, further
+// events are discarded rather than blocking the protocol.
+func (c *Conn) Events() <-chan core.Event { return c.events }
+
+// Endpoint exposes the underlying engine for stats inspection. Callers
+// must not invoke engine methods directly.
+func (c *Conn) Endpoint() *core.Endpoint { return c.ep }
+
+// Peer returns the remote address (nil until a responder learns it).
+func (c *Conn) Peer() net.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peer
+}
+
+// Send queues payload for protected transmission and returns its message ID.
+func (c *Conn) Send(payload []byte) (uint64, error) {
+	select {
+	case <-c.closed:
+		return 0, ErrClosed
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, err := c.ep.Send(time.Now(), payload)
+	if err != nil {
+		return 0, err
+	}
+	c.pumpLocked(time.Now())
+	return id, nil
+}
+
+// Flush forces partial batches out immediately.
+func (c *Conn) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ep.Flush(time.Now())
+	c.pumpLocked(time.Now())
+}
+
+// Close shuts the connection down. The underlying socket is closed too.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.pc.Close()
+	})
+	c.wg.Wait()
+	return nil
+}
+
+// readLoop feeds received datagrams into the engine.
+func (c *Conn) readLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, addr, err := c.pc.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-c.closed:
+			default:
+				c.closeOnce.Do(func() { close(c.closed); c.pc.Close() })
+			}
+			return
+		}
+		data := append([]byte(nil), buf[:n]...)
+		now := time.Now()
+		c.mu.Lock()
+		if c.peer == nil {
+			// Responder: adopt the first sender as our peer.
+			c.peer = addr
+		}
+		evs, _ := c.ep.Handle(now, data)
+		c.dispatch(evs)
+		c.pumpLocked(now)
+		c.mu.Unlock()
+	}
+}
+
+// timerLoop drives the engine's retransmission and flush timers.
+func (c *Conn) timerLoop() {
+	defer c.wg.Done()
+	timer := time.NewTimer(10 * time.Millisecond)
+	defer timer.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-timer.C:
+		}
+		now := time.Now()
+		c.mu.Lock()
+		c.pumpLocked(now)
+		next, ok := c.ep.NextTimeout()
+		c.mu.Unlock()
+		d := 50 * time.Millisecond
+		if ok {
+			if until := time.Until(next); until < d {
+				d = until
+			}
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+		}
+		timer.Reset(d)
+	}
+}
+
+// pumpLocked drains the engine outbox onto the socket. Callers hold c.mu.
+func (c *Conn) pumpLocked(now time.Time) {
+	out, evs := c.ep.Poll(now)
+	c.dispatch(evs)
+	if c.peer == nil {
+		return
+	}
+	for _, raw := range out {
+		if _, err := c.pc.WriteTo(raw, c.peer); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch forwards events to the application channel without blocking.
+func (c *Conn) dispatch(evs []core.Event) {
+	for _, ev := range evs {
+		if ev.Kind == core.EventEstablished {
+			c.estOnce.Do(func() { close(c.established) })
+		}
+		select {
+		case c.events <- ev:
+		default: // application not draining; drop rather than stall
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package udptransport
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"alpha/internal/core"
+	"alpha/internal/packet"
+	"alpha/internal/relay"
+)
+
+// udpPair opens two loopback sockets.
+func udpPair(t *testing.T) (net.PacketConn, net.PacketConn) {
+	t.Helper()
+	a, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// connect establishes an association over loopback UDP.
+func connect(t *testing.T, cfg core.Config) (*Conn, *Conn) {
+	t.Helper()
+	pa, pb := udpPair(t)
+	type res struct {
+		c   *Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := Listen(pb, cfg, 5*time.Second)
+		ch <- res{c, err}
+	}()
+	dialer, err := Dial(pa, pb.LocalAddr(), cfg, 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("Listen: %v", r.err)
+	}
+	t.Cleanup(func() {
+		dialer.Close()
+		r.c.Close()
+	})
+	return dialer, r.c
+}
+
+// collect drains events until predicate or timeout.
+func collect(t *testing.T, c *Conn, want core.EventKind, n int, timeout time.Duration) []core.Event {
+	t.Helper()
+	var got []core.Event
+	deadline := time.After(timeout)
+	for count := 0; count < n; {
+		select {
+		case ev := <-c.Events():
+			got = append(got, ev)
+			if ev.Kind == want {
+				count++
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for %d %v events (got %v)", n, want, got)
+		}
+	}
+	return got
+}
+
+func TestUDPHandshakeAndMessage(t *testing.T) {
+	cfg := core.Config{Mode: packet.ModeBase, Reliable: true, ChainLen: 64}
+	dialer, listener := connect(t, cfg)
+	if dialer.Peer() == nil || listener.Peer() == nil {
+		t.Fatalf("peers not learned")
+	}
+	id, err := dialer.Send([]byte("over real sockets"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dialer.Flush()
+	evs := collect(t, listener, core.EventDelivered, 1, 5*time.Second)
+	found := false
+	for _, ev := range evs {
+		if ev.Kind == core.EventDelivered && string(ev.Payload) == "over real sockets" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("payload not delivered: %v", evs)
+	}
+	acks := collect(t, dialer, core.EventAcked, 1, 5*time.Second)
+	if acks[len(acks)-1].MsgID != id {
+		t.Fatalf("acked wrong message: %v", acks)
+	}
+}
+
+func TestUDPBulkAllModes(t *testing.T) {
+	for _, mode := range []packet.Mode{packet.ModeBase, packet.ModeC, packet.ModeM, packet.ModeCM} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := core.Config{Mode: mode, Reliable: true, ChainLen: 256, BatchSize: 4}
+			dialer, listener := connect(t, cfg)
+			const total = 12
+			for i := 0; i < total; i++ {
+				if _, err := dialer.Send([]byte(fmt.Sprintf("bulk-%02d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			dialer.Flush()
+			collect(t, listener, core.EventDelivered, total, 10*time.Second)
+			collect(t, dialer, core.EventAcked, total, 10*time.Second)
+		})
+	}
+}
+
+func TestUDPThroughVerifyingRelay(t *testing.T) {
+	// dialer <-> relay <-> listener over three loopback sockets.
+	pa, pb := udpPair(t)
+	pr, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRelay(pr, pa.LocalAddr(), pb.LocalAddr(), relay.Config{})
+	defer r.Close()
+
+	cfg := core.Config{Mode: packet.ModeBase, Reliable: true, ChainLen: 64}
+	type res struct {
+		c   *Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := Listen(pb, cfg, 5*time.Second)
+		ch <- res{c, err}
+	}()
+	dialer, err := Dial(pa, pr.LocalAddr(), cfg, 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dial through relay: %v", err)
+	}
+	defer dialer.Close()
+	rr := <-ch
+	if rr.err != nil {
+		t.Fatalf("Listen: %v", rr.err)
+	}
+	defer rr.c.Close()
+
+	if _, err := dialer.Send([]byte("via relay")); err != nil {
+		t.Fatal(err)
+	}
+	dialer.Flush()
+	collect(t, rr.c, core.EventDelivered, 1, 5*time.Second)
+	collect(t, dialer, core.EventAcked, 1, 5*time.Second)
+	st := r.Stats()
+	if st.Forwarded == 0 {
+		t.Fatalf("relay forwarded nothing: %+v", st)
+	}
+	if st.ExtractedBytes == 0 {
+		t.Fatalf("relay never verified a payload: %+v", st)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("relay dropped honest traffic: %+v", st)
+	}
+}
+
+func TestUDPListenTimeout(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Listen(pc, core.Config{ChainLen: 8}, 200*time.Millisecond); err == nil {
+		t.Fatalf("Listen with no peer should time out")
+	}
+}
+
+func TestUDPSendAfterClose(t *testing.T) {
+	cfg := core.Config{Mode: packet.ModeBase, ChainLen: 16}
+	dialer, _ := connect(t, cfg)
+	dialer.Close()
+	if _, err := dialer.Send([]byte("late")); err != ErrClosed {
+		t.Fatalf("Send after close: %v", err)
+	}
+}
+
+func TestUDPPreconfiguredWrap(t *testing.T) {
+	// §3.4 static bootstrapping over real sockets: no handshake packets,
+	// traffic verified from the first datagram.
+	cfg := core.Config{Mode: packet.ModeBase, Reliable: true, ChainLen: 64}
+	pi, pr, _, err := core.Provision(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epA, err := core.NewPreconfiguredEndpoint(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := core.NewPreconfiguredEndpoint(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := udpPair(t)
+	dialer := Wrap(pa, epA, pb.LocalAddr())
+	listener := Wrap(pb, epB, nil)
+	t.Cleanup(func() { dialer.Close(); listener.Close() })
+	if _, err := dialer.Send([]byte("no handshake on the wire")); err != nil {
+		t.Fatal(err)
+	}
+	dialer.Flush()
+	collect(t, listener, core.EventDelivered, 1, 5*time.Second)
+	collect(t, dialer, core.EventAcked, 1, 5*time.Second)
+	if epA.Stats().RecvS1 != 0 && epB.Stats().RecvS1 != 1 {
+		t.Fatalf("unexpected traffic pattern")
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestSignalingDeterministic(t *testing.T) {
+	g := Signaling{Seed: 1, Count: 20, MeanGap: time.Second, Size: 64}
+	a := g.Messages()
+	b := g.Messages()
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("counts %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || !bytes.Equal(a[i].Payload, b[i].Payload) {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	// Release times are nondecreasing.
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("times not monotone at %d", i)
+		}
+	}
+}
+
+func TestSignalingSeedsDiffer(t *testing.T) {
+	a := Signaling{Seed: 1, Count: 5, MeanGap: time.Second, Size: 64}.Messages()
+	b := Signaling{Seed: 2, Count: 5, MeanGap: time.Second, Size: 64}.Messages()
+	same := true
+	for i := range a {
+		if !bytes.Equal(a[i].Payload, b[i].Payload) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical payloads")
+	}
+}
+
+func TestBulkPacing(t *testing.T) {
+	g := Bulk{Seed: 3, Count: 10, Size: 1024, Pace: 5 * time.Millisecond}
+	msgs := g.Messages()
+	for i, m := range msgs {
+		if len(m.Payload) != 1024 {
+			t.Fatalf("message %d size %d", i, len(m.Payload))
+		}
+		if m.At != time.Duration(i)*5*time.Millisecond {
+			t.Fatalf("message %d at %v", i, m.At)
+		}
+	}
+}
+
+func TestSensorPeriodAndJitter(t *testing.T) {
+	g := Sensor{Seed: 4, Count: 10, Period: time.Second, Jitter: 100 * time.Millisecond, Size: 16}
+	msgs := g.Messages()
+	for i, m := range msgs {
+		base := time.Duration(i) * time.Second
+		if m.At < base || m.At >= base+100*time.Millisecond {
+			t.Fatalf("message %d at %v outside jitter window", i, m.At)
+		}
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	for _, g := range []Generator{
+		Signaling{Seed: 1, Count: 8, MeanGap: time.Millisecond, Size: 32},
+		Bulk{Seed: 1, Count: 8, Size: 32},
+		Sensor{Seed: 1, Count: 8, Period: time.Millisecond, Size: 32},
+	} {
+		for i, m := range g.Messages() {
+			if got := Index(m.Payload); got != i {
+				t.Fatalf("%s: message %d decodes index %d", g.Name(), i, got)
+			}
+		}
+	}
+	if Index([]byte("short")) != -1 {
+		t.Fatalf("short payload should have no index")
+	}
+}
+
+func TestMinimumSize(t *testing.T) {
+	g := Bulk{Seed: 1, Count: 1, Size: 2}
+	if got := len(g.Messages()[0].Payload); got != 8 {
+		t.Fatalf("payload below minimum: %d", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, g := range []Generator{
+		Signaling{Count: 1, MeanGap: time.Second},
+		Bulk{Count: 1, Size: 10},
+		Sensor{Count: 1, Period: time.Second},
+	} {
+		if g.Name() == "" {
+			t.Fatalf("empty workload name")
+		}
+	}
+}
