@@ -118,6 +118,7 @@ func BenchmarkTable2(b *testing.B) {
 	for _, mode := range []packet.Mode{packet.ModeC, packet.ModeM} {
 		name := packet.Mode(mode).String()
 		b.Run(fmt.Sprintf("%s/n=64", name), func(b *testing.B) {
+			b.ReportAllocs()
 			var verifierBytes int
 			for i := 0; i < b.N; i++ {
 				cfg := core.Config{Mode: mode, ChainLen: 64, BatchSize: 64, FlushDelay: -1, MaxOutstanding: 1}
@@ -151,6 +152,7 @@ func BenchmarkTable3(b *testing.B) {
 			if n > 1 {
 				mode = packet.ModeC
 			}
+			b.ReportAllocs()
 			var ackBytes int
 			for i := 0; i < b.N; i++ {
 				cfg := core.Config{Mode: mode, Reliable: true, ChainLen: 64, BatchSize: n, FlushDelay: -1, MaxOutstanding: 1}
@@ -189,6 +191,7 @@ func BenchmarkTable4(b *testing.B) {
 	b.Run("SHA1/20B", func(b *testing.B) {
 		s := suite.SHA1()
 		in := bytes.Repeat([]byte{1}, 20)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			s.Hash(in)
 		}
@@ -200,6 +203,7 @@ func BenchmarkTable4(b *testing.B) {
 	msg := bytes.Repeat([]byte{2}, 512)
 	sig, _ := rsa.Sign(msg)
 	b.Run("RSA1024/sign", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := rsa.Sign(msg); err != nil {
 				b.Fatal(err)
@@ -207,6 +211,7 @@ func BenchmarkTable4(b *testing.B) {
 		}
 	})
 	b.Run("RSA1024/verify", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if err := rsa.Verify(msg, sig); err != nil {
 				b.Fatal(err)
@@ -219,6 +224,7 @@ func BenchmarkTable4(b *testing.B) {
 	}
 	dsig, _ := dsa.Sign(msg)
 	b.Run("DSA1024/sign", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := dsa.Sign(msg); err != nil {
 				b.Fatal(err)
@@ -226,6 +232,7 @@ func BenchmarkTable4(b *testing.B) {
 		}
 	})
 	b.Run("DSA1024/verify", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if err := dsa.Verify(msg, dsig); err != nil {
 				b.Fatal(err)
@@ -241,6 +248,7 @@ func BenchmarkTable5(b *testing.B) {
 			in := bytes.Repeat([]byte{3}, size)
 			b.Run(fmt.Sprintf("%s/%dB", s.Name(), size), func(b *testing.B) {
 				b.SetBytes(int64(size))
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					s.Hash(in)
 				}
@@ -318,6 +326,7 @@ func BenchmarkFig5(b *testing.B) {
 func BenchmarkFig6(b *testing.B) {
 	for _, spacket := range []int{128, 512, 1280} {
 		b.Run(fmt.Sprintf("packet=%dB", spacket), func(b *testing.B) {
+			b.ReportAllocs()
 			var ratio float64
 			for i := 0; i < b.N; i++ {
 				ratio = analytic.OverheadRatio(1024, spacket, 20)
@@ -420,6 +429,53 @@ func BenchmarkWMNRelayThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSuiteOps measures the primitive operations underneath every
+// protocol path — one digest, one MAC, one hash-chain step — through the
+// *Into APIs with a caller-owned destination buffer. The interesting column
+// is allocs/op: Hash and chain-step must be zero for SHA-1 and SHA-256.
+// (MMO re-keys AES on every block, so its allocations are inherent to the
+// construction, not to the call path.)
+func BenchmarkSuiteOps(b *testing.B) {
+	for _, s := range []suite.Suite{suite.SHA1(), suite.SHA256(), suite.MMO()} {
+		in := bytes.Repeat([]byte{5}, 20)
+		key := bytes.Repeat([]byte{6}, s.Size())
+		b.Run(s.Name()+"/Hash", func(b *testing.B) {
+			dst := make([]byte, 0, s.Size())
+			var parts [1][]byte
+			parts[0] = in
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = s.HashInto(dst[:0], parts[:]...)
+			}
+		})
+		b.Run(s.Name()+"/MAC", func(b *testing.B) {
+			dst := make([]byte, 0, s.Size())
+			var parts [1][]byte
+			parts[0] = in
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = s.MACInto(dst[:0], key, parts[:]...)
+			}
+		})
+		b.Run(s.Name()+"/chain-step", func(b *testing.B) {
+			tag := []byte("ALPHA-S1")
+			cur := append(make([]byte, 0, s.Size()), key...)
+			scratch := make([]byte, 0, s.Size())
+			var parts [2][]byte
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				parts[0] = tag
+				parts[1] = cur
+				scratch = s.HashInto(scratch[:0], parts[:]...)
+				cur, scratch = scratch, cur
+			}
+		})
+	}
+}
+
 // BenchmarkWSN measures the MMO hash on the paper's two WSN input sizes
 // (§4.1.3: 16 B and 84 B).
 func BenchmarkWSN(b *testing.B) {
@@ -428,6 +484,7 @@ func BenchmarkWSN(b *testing.B) {
 		in := bytes.Repeat([]byte{4}, size)
 		b.Run(fmt.Sprintf("MMO/%dB", size), func(b *testing.B) {
 			b.SetBytes(int64(size))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				s.Hash(in)
 			}
@@ -440,6 +497,7 @@ func BenchmarkWSN(b *testing.B) {
 		for i := range msgs {
 			msgs[i] = bytes.Repeat([]byte{byte(i)}, 100)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			p.exchange(b, msgs)

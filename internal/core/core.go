@@ -264,11 +264,17 @@ var (
 // the association, exchange and batch position prevents a valid MAC from
 // being replayed for a different message slot.
 func MACInput(assoc uint64, seq uint32, idx uint32, payload []byte) []byte {
-	b := make([]byte, 0, 16+len(payload))
-	b = binary.BigEndian.AppendUint64(b, assoc)
-	b = binary.BigEndian.AppendUint32(b, seq)
-	b = binary.BigEndian.AppendUint32(b, idx)
-	return append(b, payload...)
+	return AppendMACInput(make([]byte, 0, 16+len(payload)), assoc, seq, idx, payload)
+}
+
+// AppendMACInput appends the canonical MAC input to dst and returns the
+// extended slice, letting hot paths reuse one scratch buffer per endpoint
+// instead of allocating per message.
+func AppendMACInput(dst []byte, assoc uint64, seq uint32, idx uint32, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, assoc)
+	dst = binary.BigEndian.AppendUint32(dst, seq)
+	dst = binary.BigEndian.AppendUint32(dst, idx)
+	return append(dst, payload...)
 }
 
 // Pre-(n)ack domain separation: the "fixed string" of §3.2.2 that makes acks
@@ -281,12 +287,31 @@ var (
 // PreAckDigest computes the pre-ack value carried in an A1:
 // H(key | "1" | secret) in the paper's notation.
 func PreAckDigest(s suite.Suite, key, secret []byte) []byte {
-	return s.Hash(tagPreAck, key, secret)
+	return AppendPreAckDigest(s, nil, key, secret)
+}
+
+// AppendPreAckDigest is PreAckDigest appending to dst (allocation-free when
+// dst has capacity).
+func AppendPreAckDigest(s suite.Suite, dst, key, secret []byte) []byte {
+	sc := suite.GetScratch()
+	sc.Parts[0], sc.Parts[1], sc.Parts[2] = tagPreAck, key, secret
+	dst = s.HashInto(dst, sc.Parts[:3]...)
+	suite.PutScratch(sc)
+	return dst
 }
 
 // PreNackDigest computes the pre-nack value carried in an A1.
 func PreNackDigest(s suite.Suite, key, secret []byte) []byte {
-	return s.Hash(tagPreNack, key, secret)
+	return AppendPreNackDigest(s, nil, key, secret)
+}
+
+// AppendPreNackDigest is PreNackDigest appending to dst.
+func AppendPreNackDigest(s suite.Suite, dst, key, secret []byte) []byte {
+	sc := suite.GetScratch()
+	sc.Parts[0], sc.Parts[1], sc.Parts[2] = tagPreNack, key, secret
+	dst = s.HashInto(dst, sc.Parts[:3]...)
+	suite.PutScratch(sc)
+	return dst
 }
 
 // MerkleLeafInput returns the pre-image hashed into leaf idx of an ALPHA-M

@@ -65,6 +65,14 @@ type Endpoint struct {
 	chainLow bool
 	nonce    []byte
 
+	// Hot-path scratch: MAC inputs and computed MACs are assembled here
+	// instead of freshly allocated per message. Valid only within one
+	// MAC-build-or-verify step; the endpoint is single-threaded by
+	// contract so no locking is needed.
+	macIn  []byte
+	macOut []byte
+	parts  [4][]byte
+
 	stats Stats
 }
 

@@ -270,8 +270,10 @@ func (e *Endpoint) verifyS2Payload(rx *rxExchange, hdr packet.Header, s2 *packet
 	switch rx.mode {
 	case packet.ModeBase, packet.ModeC:
 		want := rx.macs[s2.MsgIndex]
-		got := e.suite.MAC(s2.Key, MACInput(e.assoc, hdr.Seq, s2.MsgIndex, s2.Payload))
-		return suite.Equal(want, got)
+		e.macIn = AppendMACInput(e.macIn[:0], e.assoc, hdr.Seq, s2.MsgIndex, s2.Payload)
+		e.parts[0] = e.macIn
+		e.macOut = e.suite.MACInto(e.macOut[:0], s2.Key, e.parts[:1]...)
+		return suite.Equal(want, e.macOut)
 	case packet.ModeM:
 		if int(s2.LeafCount) != rx.leafCount {
 			return false

@@ -154,9 +154,17 @@ func (e *Endpoint) startExchange(now time.Time, batch []*outMsg) error {
 	}
 	switch e.cfg.Mode {
 	case packet.ModeBase, packet.ModeC:
+		// One slab holds the batch's MACs; the MAC input is assembled in
+		// the endpoint's scratch buffer instead of per-message slices.
+		size := e.suite.Size()
 		s1.MACs = make([][]byte, len(batch))
+		slab := make([]byte, 0, len(batch)*size)
 		for i, m := range batch {
-			s1.MACs[i] = e.suite.MAC(pair.Key, MACInput(e.assoc, seq, uint32(i), m.payload))
+			e.macIn = AppendMACInput(e.macIn[:0], e.assoc, seq, uint32(i), m.payload)
+			e.parts[0] = e.macIn
+			off := len(slab)
+			slab = e.suite.MACInto(slab, pair.Key, e.parts[:1]...)
+			s1.MACs[i] = slab[off : off+size : off+size]
 		}
 	case packet.ModeM:
 		msgs := make([][]byte, len(batch))
@@ -383,13 +391,12 @@ func (e *Endpoint) verifyAckOpening(x *txExchange, a2 *packet.A2) bool {
 		if a2.MsgIndex != 0 {
 			return false
 		}
-		var want []byte
 		if a2.Ack {
-			want = PreAckDigest(e.suite, a2.Key, a2.Secret)
-			return equalDigest(want, x.preAck)
+			e.macOut = AppendPreAckDigest(e.suite, e.macOut[:0], a2.Key, a2.Secret)
+			return equalDigest(e.macOut, x.preAck)
 		}
-		want = PreNackDigest(e.suite, a2.Key, a2.Secret)
-		return equalDigest(want, x.preNack)
+		e.macOut = AppendPreNackDigest(e.suite, e.macOut[:0], a2.Key, a2.Secret)
+		return equalDigest(e.macOut, x.preNack)
 	case x.amtRoot != nil:
 		o := &merkle.Opening{
 			Index:  a2.MsgIndex,

@@ -32,9 +32,13 @@ type CheckpointChain struct {
 	deepest     []byte // d[n]
 	next        int
 	// segment caches the elements of the segment currently being
-	// disclosed, so a burst of disclosures costs one recomputation.
+	// disclosed, so a burst of disclosures costs one recomputation. Each
+	// segment's digests share one freshly allocated slab: disclosed
+	// elements are retained by callers (in-flight exchanges), so the slab
+	// must not be recycled when the cache moves to the next segment.
 	segment      [][]byte
 	segmentStart int
+	parts        [2][]byte
 }
 
 // NewCheckpoint derives a checkpointed chain of n elements from secret,
@@ -56,15 +60,23 @@ func NewCheckpoint(s suite.Suite, tagOdd, tagEven, secret []byte, n, interval in
 		segmentStart: -1,
 		next:         1,
 	}
-	cur := s.Hash([]byte("ALPHA-seed"), secret)
-	c.deepest = cur
+	// The generation pass alternates between two scratch digests; only
+	// checkpoints are copied out, so the walk itself does not allocate
+	// per element.
+	size := s.Size()
+	c.parts[0], c.parts[1] = seedTag, secret
+	cur := s.HashInto(make([]byte, 0, size), c.parts[:]...)
+	next := make([]byte, 0, size)
+	c.deepest = append([]byte(nil), cur...)
 	if n%interval == 0 {
-		c.checkpoints[n/interval] = cur
+		c.checkpoints[n/interval] = c.deepest
 	}
 	for j := n; j >= 1; j-- {
-		cur = c.s.Hash(tagFor(j, tagOdd, tagEven), cur)
+		c.parts[0], c.parts[1] = tagFor(j, tagOdd, tagEven), cur
+		next = c.s.HashInto(next[:0], c.parts[:]...)
+		cur, next = next, cur
 		if (j-1)%interval == 0 {
-			c.checkpoints[(j-1)/interval] = cur
+			c.checkpoints[(j-1)/interval] = append(make([]byte, 0, size), cur...)
 		}
 	}
 	return c, nil
@@ -96,7 +108,8 @@ func (c *CheckpointChain) element(j int) []byte {
 	if c.segmentStart != segStart {
 		// Recompute d[segStart..segEnd-1] downward from the next
 		// checkpoint (or the deepest secret for the final partial
-		// segment).
+		// segment). Element digests land in the reusable segment slab,
+		// so steady-state disclosure does not allocate.
 		segEnd := segStart + c.interval
 		var cur []byte
 		if segEnd >= c.n {
@@ -105,14 +118,20 @@ func (c *CheckpointChain) element(j int) []byte {
 		} else {
 			cur = c.checkpoints[segEnd/c.interval]
 		}
-		seg := make([][]byte, c.interval)
+		size := c.s.Size()
+		if c.segment == nil {
+			c.segment = make([][]byte, c.interval)
+		}
+		slab := make([]byte, 0, c.interval*size)
 		for k := segEnd; k > segStart; k-- {
 			if k < segEnd {
-				cur = c.s.Hash(tagFor(k+1, c.tagOdd, c.tagEven), cur)
+				c.parts[0], c.parts[1] = tagFor(k+1, c.tagOdd, c.tagEven), cur
+				off := len(slab)
+				slab = c.s.HashInto(slab, c.parts[:]...)
+				cur = slab[off : off+size : off+size]
 			}
-			seg[k-segStart-1] = cur
+			c.segment[k-segStart-1] = cur
 		}
-		c.segment = seg
 		c.segmentStart = segStart
 	}
 	return c.segment[j-segStart-1]

@@ -40,6 +40,9 @@ var (
 	TagA2 = []byte("ALPHA-A2")
 )
 
+// seedTag prefixes the secret when deriving the deepest chain element.
+var seedTag = []byte("ALPHA-seed")
+
 // Common errors returned by chain and walker operations.
 var (
 	// ErrExhausted is returned when a chain has no undisclosed elements
@@ -82,10 +85,21 @@ func New(s suite.Suite, tagOdd, tagEven, secret []byte, n int) (*Chain, error) {
 	if len(secret) == 0 {
 		return nil, errors.New("hashchain: empty secret")
 	}
+	// All n+1 elements live in one slab: chain generation costs two
+	// allocations total instead of one per element, and the elements stay
+	// cache-adjacent for the disclosure walk.
+	size := s.Size()
 	elems := make([][]byte, n+1)
-	elems[n] = s.Hash([]byte("ALPHA-seed"), secret)
+	slab := make([]byte, 0, (n+1)*size)
+	var parts [2][]byte
+	parts[0], parts[1] = seedTag, secret
+	slab = s.HashInto(slab, parts[:]...)
+	elems[n] = slab[0:size:size]
 	for j := n; j >= 1; j-- {
-		elems[j-1] = s.Hash(tagFor(j, tagOdd, tagEven), elems[j])
+		parts[0], parts[1] = tagFor(j, tagOdd, tagEven), elems[j]
+		off := len(slab)
+		slab = s.HashInto(slab, parts[:]...)
+		elems[j-1] = slab[off : off+size : off+size]
 	}
 	return &Chain{s: s, tagOdd: tagOdd, tagEven: tagEven, elems: elems, next: 1}, nil
 }
@@ -181,12 +195,17 @@ type Pair struct {
 }
 
 // VerifyLink reports whether child at disclosure index j hashes to parent
-// d[j-1] under the correct purpose tag.
+// d[j-1] under the correct purpose tag. It does not allocate.
 func VerifyLink(s suite.Suite, tagOdd, tagEven []byte, parent, child []byte, j uint32) bool {
 	if j == 0 {
 		return false
 	}
-	return suite.Equal(parent, s.Hash(tagFor(int(j), tagOdd, tagEven), child))
+	sc := suite.GetScratch()
+	sc.Parts[0], sc.Parts[1] = tagFor(int(j), tagOdd, tagEven), child
+	sc.Buf = s.HashInto(sc.Buf, sc.Parts[:2]...)
+	ok := suite.Equal(parent, sc.Buf)
+	suite.PutScratch(sc)
+	return ok
 }
 
 // DefaultMaxAdvance bounds how many hash steps a Walker performs for a
@@ -209,6 +228,10 @@ type Walker struct {
 	last       []byte
 	lastIdx    uint32
 	maxAdvance uint32
+	// scratch and parts are reused across verifications so that deriving
+	// up to maxAdvance intermediate digests costs zero allocations.
+	scratch []byte
+	parts   [2][]byte
 }
 
 // NewWalker creates a walker trusting the given anchor (disclosure index 0).
@@ -221,7 +244,8 @@ func NewWalker(s suite.Suite, tagOdd, tagEven, anchor []byte, maxAdvance uint32)
 		maxAdvance = DefaultMaxAdvance
 	}
 	w := &Walker{s: s, tagOdd: tagOdd, tagEven: tagEven, maxAdvance: maxAdvance}
-	w.last = append([]byte(nil), anchor...)
+	w.last = append(make([]byte, 0, s.Size()), anchor...)
+	w.scratch = make([]byte, 0, s.Size())
 	return w, nil
 }
 
@@ -239,7 +263,8 @@ func NewAcknowledgmentWalker(s suite.Suite, anchor []byte) (*Walker, error) {
 func (w *Walker) Index() uint32 { return w.lastIdx }
 
 // Trusted returns the most advanced verified element. Callers must not
-// mutate the returned slice.
+// mutate the returned slice, and must copy it if they need it past the next
+// Verify call: the walker reuses the backing array when it advances.
 func (w *Walker) Trusted() []byte { return w.last }
 
 // Verify checks that elem is the chain element at disclosure index idx and,
@@ -253,7 +278,7 @@ func (w *Walker) Verify(elem []byte, idx uint32) error {
 		return err
 	}
 	if idx > w.lastIdx {
-		w.last = append([]byte(nil), elem...)
+		w.last = append(w.last[:0], elem...)
 		w.lastIdx = idx
 	}
 	return nil
@@ -283,11 +308,7 @@ func (w *Walker) Probe(elem []byte, idx uint32) error {
 		if w.lastIdx-idx > w.maxAdvance {
 			return ErrTooFarAhead
 		}
-		cur := w.last
-		for j := w.lastIdx; j > idx; j-- {
-			cur = w.s.Hash(tagFor(int(j), w.tagOdd, w.tagEven), cur)
-		}
-		if suite.Equal(cur, elem) {
+		if suite.Equal(w.derive(w.last, w.lastIdx, idx), elem) {
 			return nil
 		}
 		return ErrVerifyFailed
@@ -295,12 +316,24 @@ func (w *Walker) Probe(elem []byte, idx uint32) error {
 		return ErrTooFarAhead
 	}
 	// Hash forward from the candidate down to the trusted element.
-	cur := elem
-	for j := idx; j > w.lastIdx; j-- {
-		cur = w.s.Hash(tagFor(int(j), w.tagOdd, w.tagEven), cur)
-	}
-	if !suite.Equal(cur, w.last) {
+	if !suite.Equal(w.derive(elem, idx, w.lastIdx), w.last) {
 		return ErrVerifyFailed
 	}
 	return nil
+}
+
+// derive hashes from element start at disclosure index from down to index
+// to, returning d[to]. The result lives in the walker's scratch buffer (or
+// is start itself when from == to) and is valid until the next derivation.
+func (w *Walker) derive(start []byte, from, to uint32) []byte {
+	cur := start
+	for j := from; j > to; j-- {
+		w.parts[0] = tagFor(int(j), w.tagOdd, w.tagEven)
+		w.parts[1] = cur
+		// HashInto consumes its inputs before appending, so writing into
+		// the buffer cur points at after the first step is safe.
+		w.scratch = w.s.HashInto(w.scratch[:0], w.parts[:]...)
+		cur = w.scratch
+	}
+	return cur
 }

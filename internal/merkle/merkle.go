@@ -99,31 +99,50 @@ func New(s suite.Suite, key []byte, leaves [][]byte) (*Tree, error) {
 	t := &Tree{s: s, key: append([]byte(nil), key...), depth: depth, n: n}
 	t.levels = make([][][]byte, depth+1)
 	t.levels[0] = level
+	// All internal nodes and the root share one slab: building an n-leaf
+	// tree costs O(log n) allocations (level headers) instead of one per
+	// node. Proof slices alias the slab, which lives as long as the tree.
+	size := s.Size()
+	slab := make([]byte, 0, padded*size)
+	var parts [4][]byte
 	for d := 1; d <= depth; d++ {
 		prev := t.levels[d-1]
 		cur := make([][]byte, len(prev)/2)
 		for i := range cur {
-			cur[i] = s.Hash(tagNode, prev[2*i], prev[2*i+1])
+			parts[0], parts[1], parts[2] = tagNode, prev[2*i], prev[2*i+1]
+			off := len(slab)
+			slab = s.HashInto(slab, parts[:3]...)
+			cur[i] = slab[off : off+size : off+size]
 		}
 		t.levels[d] = cur
 	}
 	top := t.levels[depth]
+	off := len(slab)
 	if depth == 0 {
-		t.root = s.Hash(tagRoot, t.key, top[0])
+		parts[0], parts[1], parts[2] = tagRoot, t.key, top[0]
+		slab = s.HashInto(slab, parts[:3]...)
 	} else {
 		// The root absorbs the two topmost children directly, matching
 		// the paper's r = H(h|b0|b1): levels[depth] has one node which
 		// already combines b0 and b1, so recompute from depth-1.
-		t.root = s.Hash(tagRoot, t.key, t.levels[depth-1][0], t.levels[depth-1][1])
+		parts[0], parts[1], parts[2], parts[3] = tagRoot, t.key, t.levels[depth-1][0], t.levels[depth-1][1]
+		slab = s.HashInto(slab, parts[:4]...)
 	}
+	t.root = slab[off : off+size : off+size]
 	return t, nil
 }
 
 // Build hashes the message pre-images and constructs their keyed tree.
 func Build(s suite.Suite, key []byte, msgs [][]byte) (*Tree, error) {
+	size := s.Size()
 	leaves := make([][]byte, len(msgs))
+	slab := make([]byte, 0, len(msgs)*size)
+	var parts [2][]byte
 	for i, m := range msgs {
-		leaves[i] = LeafDigest(s, m)
+		parts[0], parts[1] = tagLeaf, m
+		off := len(slab)
+		slab = s.HashInto(slab, parts[:]...)
+		leaves[i] = slab[off : off+size : off+size]
 	}
 	return New(s, key, leaves)
 }
@@ -156,9 +175,15 @@ func (t *Tree) Proof(j int) ([][]byte, error) {
 // Verify checks a message against a keyed root: it recomputes the path from
 // m's leaf digest through the complementary branches to the root, unlocking
 // the root with the disclosed chain element key. n is the batch's real leaf
-// count (needed to derive the padded depth).
+// count (needed to derive the padded depth). Verification is allocation-free:
+// intermediate digests live in pooled scratch.
 func Verify(s suite.Suite, key, root []byte, m []byte, j, n int, proof [][]byte) bool {
-	return VerifyLeaf(s, key, root, LeafDigest(s, m), j, n, proof)
+	sc := suite.GetScratch()
+	sc.Parts[0], sc.Parts[1] = tagLeaf, m
+	sc.Buf = s.HashInto(sc.Buf, sc.Parts[:2]...)
+	ok := VerifyLeaf(s, key, root, sc.Buf, j, n, proof)
+	suite.PutScratch(sc)
+	return ok
 }
 
 // VerifyLeaf is Verify for a precomputed leaf digest.
@@ -170,28 +195,37 @@ func VerifyLeaf(s suite.Suite, key, root []byte, leaf []byte, j, n int, proof []
 	if len(proof) != depth {
 		return false
 	}
+	sc := suite.GetScratch()
+	defer suite.PutScratch(sc)
 	if depth == 0 {
-		return suite.Equal(root, s.Hash(tagRoot, key, leaf))
+		sc.Parts[0], sc.Parts[1], sc.Parts[2] = tagRoot, key, leaf
+		sc.Buf = s.HashInto(sc.Buf, sc.Parts[:3]...)
+		return suite.Equal(root, sc.Buf)
 	}
 	cur := leaf
 	idx := j
 	// Combine up to (but not including) the final level: the last sibling
-	// pair feeds the keyed root computation directly.
+	// pair feeds the keyed root computation directly. HashInto consumes
+	// inputs before appending, so cur may keep pointing at sc.Buf.
 	for d := 0; d < depth-1; d++ {
+		sc.Parts[0] = tagNode
 		if idx&1 == 0 {
-			cur = s.Hash(tagNode, cur, proof[d])
+			sc.Parts[1], sc.Parts[2] = cur, proof[d]
 		} else {
-			cur = s.Hash(tagNode, proof[d], cur)
+			sc.Parts[1], sc.Parts[2] = proof[d], cur
 		}
+		sc.Buf = s.HashInto(sc.Buf[:0], sc.Parts[:3]...)
+		cur = sc.Buf
 		idx >>= 1
 	}
-	var b0, b1 []byte
+	sc.Parts[0], sc.Parts[1] = tagRoot, key
 	if idx&1 == 0 {
-		b0, b1 = cur, proof[depth-1]
+		sc.Parts[2], sc.Parts[3] = cur, proof[depth-1]
 	} else {
-		b0, b1 = proof[depth-1], cur
+		sc.Parts[2], sc.Parts[3] = proof[depth-1], cur
 	}
-	return suite.Equal(root, s.Hash(tagRoot, key, b0, b1))
+	sc.Buf = s.HashInto(sc.Buf[:0], sc.Parts[:4]...)
+	return suite.Equal(root, sc.Buf)
 }
 
 // AMT domain-separation prefixes (Fig. 7).
@@ -235,13 +269,15 @@ func NewAckTree(s suite.Suite, key []byte, n int) (*AckTree, error) {
 	if n < 1 || n > MaxLeaves/2 {
 		return nil, fmt.Errorf("merkle: invalid AMT message count %d", n)
 	}
+	// One slab and one rand.Read for all 2n secrets.
+	size := s.Size()
+	slab := make([]byte, 2*n*size)
+	if _, err := rand.Read(slab); err != nil {
+		return nil, fmt.Errorf("merkle: generating AMT secret: %w", err)
+	}
 	secrets := make([][]byte, 2*n)
 	for i := range secrets {
-		sec := make([]byte, s.Size())
-		if _, err := rand.Read(sec); err != nil {
-			return nil, fmt.Errorf("merkle: generating AMT secret: %w", err)
-		}
-		secrets[i] = sec
+		secrets[i] = slab[i*size : (i+1)*size : (i+1)*size]
 	}
 	return newAckTree(s, key, n, secrets)
 }
@@ -249,12 +285,23 @@ func NewAckTree(s suite.Suite, key []byte, n int) (*AckTree, error) {
 // newAckTree builds an AMT from caller-supplied secrets (used by tests for
 // determinism).
 func newAckTree(s suite.Suite, key []byte, n int, secrets [][]byte) (*AckTree, error) {
+	size := s.Size()
 	ackLeaves := make([][]byte, n)
 	nackLeaves := make([][]byte, n)
+	slab := make([]byte, 0, 2*n*size)
+	sc := suite.GetScratch()
 	for i := 0; i < n; i++ {
-		ackLeaves[i] = ackLeaf(s, uint32(i), secrets[i])
-		nackLeaves[i] = ackLeaf(s, uint32(i), secrets[n+i])
+		binary.BigEndian.PutUint32(sc.Tmp[:4], uint32(i))
+		sc.Parts[0], sc.Parts[1], sc.Parts[2] = tagAckLeaf, sc.Tmp[:4], secrets[i]
+		off := len(slab)
+		slab = s.HashInto(slab, sc.Parts[:3]...)
+		ackLeaves[i] = slab[off : off+size : off+size]
+		sc.Parts[2] = secrets[n+i]
+		off = len(slab)
+		slab = s.HashInto(slab, sc.Parts[:3]...)
+		nackLeaves[i] = slab[off : off+size : off+size]
 	}
+	suite.PutScratch(sc)
 	// Subtrees are unkeyed (nil key is absorbed as empty); only the
 	// combined root is keyed, matching Fig. 7.
 	acks, err := New(s, nil, ackLeaves)
@@ -313,50 +360,66 @@ func (t *AckTree) Open(j int, ack bool) (*Opening, error) {
 
 // VerifyOpening checks a disclosed (n)ack against a buffered AMT root, using
 // the by-now-disclosed acknowledgment-chain element key. n is the message
-// count of the batch.
+// count of the batch. Like Verify, it does not allocate.
 func VerifyOpening(s suite.Suite, key, root []byte, n int, o *Opening) bool {
 	if o == nil || int(o.Index) >= n || n < 1 {
 		return false
 	}
-	leaf := ackLeaf(s, o.Index, o.Secret)
+	sc := suite.GetScratch()
+	defer suite.PutScratch(sc)
+	binary.BigEndian.PutUint32(sc.Tmp[:4], o.Index)
+	sc.Parts[0], sc.Parts[1], sc.Parts[2] = tagAckLeaf, sc.Tmp[:4], o.Secret
+	sc.Buf = s.HashInto(sc.Buf, sc.Parts[:3]...)
 	// Recompute the subtree root from the opening. The subtrees are
-	// unkeyed, so we recompute with VerifyLeaf against a synthetic root.
-	subRoot := subtreeRoot(s, leaf, int(o.Index), n, o.Proof)
+	// unkeyed, so we recompute against a synthetic root, then absorb it
+	// into the combined keyed root; all chaining values stay in sc.Buf.
+	subRoot := subtreeRoot(s, sc, sc.Buf, int(o.Index), n, o.Proof)
 	if subRoot == nil {
 		return false
 	}
-	var full []byte
+	sc.Parts[0], sc.Parts[3] = tagAckRoot, key
 	if o.Ack {
-		full = s.Hash(tagAckRoot, subRoot, o.Other, key)
+		sc.Parts[1], sc.Parts[2] = subRoot, o.Other
 	} else {
-		full = s.Hash(tagAckRoot, o.Other, subRoot, key)
+		sc.Parts[1], sc.Parts[2] = o.Other, subRoot
 	}
-	return suite.Equal(root, full)
+	sc.Buf = s.HashInto(sc.Buf[:0], sc.Parts[:4]...)
+	return suite.Equal(root, sc.Buf)
 }
 
 // subtreeRoot recomputes an unkeyed subtree root from a leaf and its proof,
 // returning nil on malformed input. Unkeyed trees still finish with the
-// keyed-root step (key = nil), mirroring New with a nil key.
-func subtreeRoot(s suite.Suite, leaf []byte, j, n int, proof [][]byte) []byte {
+// keyed-root step (key = nil), mirroring New with a nil key. The result
+// lives in sc.Buf; leaf may already point there.
+func subtreeRoot(s suite.Suite, sc *suite.Scratch, leaf []byte, j, n int, proof [][]byte) []byte {
 	depth := Depth(n)
 	if j < 0 || j >= n || len(proof) != depth {
 		return nil
 	}
 	if depth == 0 {
-		return s.Hash(tagRoot, nil, leaf)
+		sc.Parts[0], sc.Parts[1], sc.Parts[2] = tagRoot, nil, leaf
+		sc.Buf = s.HashInto(sc.Buf[:0], sc.Parts[:3]...)
+		return sc.Buf
 	}
 	cur := leaf
 	idx := j
 	for d := 0; d < depth-1; d++ {
+		sc.Parts[0] = tagNode
 		if idx&1 == 0 {
-			cur = s.Hash(tagNode, cur, proof[d])
+			sc.Parts[1], sc.Parts[2] = cur, proof[d]
 		} else {
-			cur = s.Hash(tagNode, proof[d], cur)
+			sc.Parts[1], sc.Parts[2] = proof[d], cur
 		}
+		sc.Buf = s.HashInto(sc.Buf[:0], sc.Parts[:3]...)
+		cur = sc.Buf
 		idx >>= 1
 	}
+	sc.Parts[0], sc.Parts[1] = tagRoot, nil
 	if idx&1 == 0 {
-		return s.Hash(tagRoot, nil, cur, proof[depth-1])
+		sc.Parts[2], sc.Parts[3] = cur, proof[depth-1]
+	} else {
+		sc.Parts[2], sc.Parts[3] = proof[depth-1], cur
 	}
-	return s.Hash(tagRoot, nil, proof[depth-1], cur)
+	sc.Buf = s.HashInto(sc.Buf[:0], sc.Parts[:4]...)
+	return sc.Buf
 }

@@ -36,10 +36,11 @@ var iv = [Size]byte{
 
 // digest implements hash.Hash for the MMO construction.
 type digest struct {
-	h   [Size]byte      // chaining value
-	buf [BlockSize]byte // pending partial block
-	n   int             // bytes buffered in buf
-	len uint64          // total message length in bytes
+	h       [Size]byte      // chaining value
+	buf     [BlockSize]byte // pending partial block
+	scratch [Size]byte      // compress output scratch, hoisted off the stack path
+	n       int             // bytes buffered in buf
+	len     uint64          // total message length in bytes
 }
 
 // New returns a new MMO-AES128 hash.Hash computing a 16-byte digest.
@@ -57,6 +58,21 @@ func Sum(data []byte) [Size]byte {
 	var out [Size]byte
 	d.checkSum(&out)
 	return out
+}
+
+// SumInto computes the MMO digest of the concatenation of parts in one shot
+// and appends it to dst, returning the extended slice. The digest state
+// lives on the caller's stack, so the only heap work is the per-block AES
+// key schedule that is inherent to the construction (see compress).
+func SumInto(dst []byte, parts ...[]byte) []byte {
+	d := digest{}
+	d.Reset()
+	for _, p := range parts {
+		d.Write(p)
+	}
+	var out [Size]byte
+	d.checkSum(&out)
+	return append(dst, out[:]...)
 }
 
 func (d *digest) Reset() {
@@ -91,13 +107,19 @@ func (d *digest) Write(p []byte) (int, error) {
 }
 
 // compress applies one MMO compression step: h = AES_h(m) XOR m.
+//
+// The aes.NewCipher call per block is inherent to MMO: the construction
+// re-keys the cipher with the chaining value h for every block, so each
+// block needs a fresh AES key schedule. A cipher cache cannot help because
+// the key changes on every call; only an expanded-key-reuse API in
+// crypto/aes could remove this allocation.
 func (d *digest) compress(block []byte) {
 	c, err := aes.NewCipher(d.h[:])
 	if err != nil {
 		// aes.NewCipher only fails on invalid key sizes; ours is fixed.
 		panic("mmo: internal key size error: " + err.Error())
 	}
-	var out [Size]byte
+	out := &d.scratch
 	c.Encrypt(out[:], block)
 	for i := range out {
 		d.h[i] = out[i] ^ block[i]
@@ -116,14 +138,16 @@ func (d *digest) Sum(in []byte) []byte {
 func (d *digest) checkSum(out *[Size]byte) {
 	msgLen := d.len
 	// Padding: 0x80, zeros, then the 64-bit big-endian bit length in the
-	// final 8 bytes of a block.
-	d.Write([]byte{0x80})
-	for d.n != BlockSize-8 {
-		d.Write([]byte{0x00})
+	// final 8 bytes of a block — emitted as one Write of the whole padded
+	// tail instead of a byte-at-a-time loop.
+	var pad [2 * BlockSize]byte
+	pad[0] = 0x80
+	n := BlockSize - 8 - d.n
+	if n <= 0 {
+		n += BlockSize
 	}
-	var lenb [8]byte
-	binary.BigEndian.PutUint64(lenb[:], msgLen<<3)
-	d.Write(lenb[:])
+	binary.BigEndian.PutUint64(pad[n:n+8], msgLen<<3)
+	d.Write(pad[:n+8])
 	if d.n != 0 {
 		panic("mmo: padding error")
 	}

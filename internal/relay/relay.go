@@ -179,6 +179,13 @@ type flow struct {
 
 	bucket  tokenBucket
 	s1Limit int
+
+	// Per-flow scratch for MAC inputs and computed digests: S2
+	// verification is the relay's per-packet hot path and must not
+	// allocate. Relays are single-threaded by contract.
+	macIn  []byte
+	macOut []byte
+	parts  [1][]byte
 }
 
 type dirState struct {
@@ -632,8 +639,10 @@ func (r *Relay) processS2(hdr packet.Header, s2 *packet.S2) Decision {
 	switch x.mode {
 	case packet.ModeBase, packet.ModeC:
 		want := x.macs[s2.MsgIndex]
-		got := f.st.MAC(s2.Key, core.MACInput(hdr.Assoc, hdr.Seq, s2.MsgIndex, s2.Payload))
-		valid = suite.Equal(want, got)
+		f.macIn = core.AppendMACInput(f.macIn[:0], hdr.Assoc, hdr.Seq, s2.MsgIndex, s2.Payload)
+		f.parts[0] = f.macIn
+		f.macOut = f.st.MACInto(f.macOut[:0], s2.Key, f.parts[:1]...)
+		valid = suite.Equal(want, f.macOut)
 	case packet.ModeM:
 		valid = int(s2.LeafCount) == x.leafCount &&
 			merkle.Verify(f.st, s2.Key, x.root, core.MerkleLeafInput(s2.Payload), int(s2.MsgIndex), x.leafCount, s2.Proof)
@@ -700,9 +709,11 @@ func (r *Relay) processA2(hdr packet.Header, a2 *packet.A2) Decision {
 	case x.preAck != nil:
 		if a2.MsgIndex == 0 {
 			if a2.Ack {
-				valid = suite.Equal(x.preAck, core.PreAckDigest(f.st, a2.Key, a2.Secret))
+				f.macOut = core.AppendPreAckDigest(f.st, f.macOut[:0], a2.Key, a2.Secret)
+				valid = suite.Equal(x.preAck, f.macOut)
 			} else {
-				valid = suite.Equal(x.preNack, core.PreNackDigest(f.st, a2.Key, a2.Secret))
+				f.macOut = core.AppendPreNackDigest(f.st, f.macOut[:0], a2.Key, a2.Secret)
+				valid = suite.Equal(x.preNack, f.macOut)
 			}
 		}
 	case x.amtRoot != nil:

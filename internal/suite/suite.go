@@ -11,11 +11,13 @@
 package suite
 
 import (
+	"bytes"
 	"crypto/hmac"
 	"crypto/sha1"
 	"crypto/sha256"
 	"fmt"
 	"hash"
+	"sync"
 	"sync/atomic"
 
 	"alpha/internal/mmo"
@@ -53,8 +55,62 @@ type Suite interface {
 	// slices. Concatenation-by-argument avoids building temporary buffers
 	// in the hot path.
 	Hash(parts ...[]byte) []byte
+	// HashInto appends the digest of the concatenated parts to dst and
+	// returns the extended slice. It never allocates when dst has Size()
+	// spare capacity. parts may alias dst: every part is consumed before
+	// the digest is appended.
+	HashInto(dst []byte, parts ...[]byte) []byte
 	// MAC computes a keyed message authentication code (HMAC) over msg.
 	MAC(key []byte, msg ...[]byte) []byte
+	// MACInto appends the HMAC of msg under key to dst and returns the
+	// extended slice. Repeated calls with the same key reuse a cached
+	// HMAC state (precomputed inner/outer pads), so after the first call
+	// per key it never allocates when dst has Size() spare capacity.
+	MACInto(dst, key []byte, msg ...[]byte) []byte
+}
+
+// macCacheSize bounds the per-suite cache of keyed HMAC states. ALPHA MAC
+// keys are per-exchange chain elements used a batch's worth of times in
+// quick succession on at most a handful of live exchanges, so a small
+// recency cache captures nearly all reuse.
+const macCacheSize = 8
+
+// keyedMAC is one cached HMAC instance with its precomputed pad states.
+type keyedMAC struct {
+	key []byte
+	mac hash.Hash
+}
+
+// macCache is a checkout-style LRU of keyed HMAC states: get removes the
+// entry so that concurrent MACs under the same key never share a hash
+// state; put returns it, evicting the least recently used entry when full.
+type macCache struct {
+	mu      sync.Mutex
+	entries []*keyedMAC
+}
+
+func (c *macCache) get(key []byte) *keyedMAC {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.entries) - 1; i >= 0; i-- {
+		e := c.entries[i]
+		if bytes.Equal(e.key, key) {
+			c.entries = append(c.entries[:i], c.entries[i+1:]...)
+			return e
+		}
+	}
+	return nil
+}
+
+func (c *macCache) put(e *keyedMAC) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= macCacheSize {
+		copy(c.entries, c.entries[1:])
+		c.entries[len(c.entries)-1] = e
+		return
+	}
+	c.entries = append(c.entries, e)
 }
 
 type hashSuite struct {
@@ -62,6 +118,11 @@ type hashSuite struct {
 	name string
 	size int
 	fn   func() hash.Hash
+	// oneShot, if set, computes the whole digest without a pooled hash
+	// state (used by MMO, whose digest state fits on the stack).
+	oneShot func(dst []byte, parts ...[]byte) []byte
+	states  sync.Pool // idle hash.Hash instances for HashInto
+	macs    macCache
 }
 
 func (s *hashSuite) ID() ID       { return s.id }
@@ -69,25 +130,53 @@ func (s *hashSuite) Name() string { return s.name }
 func (s *hashSuite) Size() int    { return s.size }
 
 func (s *hashSuite) Hash(parts ...[]byte) []byte {
-	h := s.fn()
+	return s.HashInto(nil, parts...)
+}
+
+func (s *hashSuite) HashInto(dst []byte, parts ...[]byte) []byte {
+	if s.oneShot != nil {
+		return s.oneShot(dst, parts...)
+	}
+	h, _ := s.states.Get().(hash.Hash)
+	if h == nil {
+		h = s.fn()
+	} else {
+		h.Reset()
+	}
 	for _, p := range parts {
 		h.Write(p)
 	}
-	return h.Sum(nil)
+	dst = h.Sum(dst)
+	s.states.Put(h)
+	return dst
 }
 
 func (s *hashSuite) MAC(key []byte, msg ...[]byte) []byte {
-	m := hmac.New(s.fn, key)
-	for _, p := range msg {
-		m.Write(p)
+	return s.MACInto(nil, key, msg...)
+}
+
+func (s *hashSuite) MACInto(dst, key []byte, msg ...[]byte) []byte {
+	e := s.macs.get(key)
+	if e == nil {
+		e = &keyedMAC{key: append([]byte(nil), key...), mac: hmac.New(s.fn, key)}
+	} else {
+		// Reset restores the precomputed after-key (inner pad) state
+		// without rehashing the key for marshalable hashes (SHA-1,
+		// SHA-256).
+		e.mac.Reset()
 	}
-	return m.Sum(nil)
+	for _, p := range msg {
+		e.mac.Write(p)
+	}
+	dst = e.mac.Sum(dst)
+	s.macs.put(e)
+	return dst
 }
 
 var (
 	sha1Suite   = &hashSuite{id: IDSHA1, name: "SHA-1", size: sha1.Size, fn: sha1.New}
 	sha256Suite = &hashSuite{id: IDSHA256, name: "SHA-256", size: sha256.Size, fn: sha256.New}
-	mmoSuite    = &hashSuite{id: IDMMO, name: "MMO-AES128", size: mmo.Size, fn: mmo.New}
+	mmoSuite    = &hashSuite{id: IDMMO, name: "MMO-AES128", size: mmo.Size, fn: mmo.New, oneShot: mmo.SumInto}
 )
 
 // SHA1 returns the SHA-1 suite (20-byte digests).
@@ -116,6 +205,36 @@ func ByID(id ID) (Suite, error) {
 // Equal reports whether two digests are equal in constant time.
 func Equal(a, b []byte) bool { return hmac.Equal(a, b) }
 
+// Scratch is pooled working memory for hot-path hashing in free functions
+// that have no owning struct to park buffers on (Merkle proof verification,
+// chain link checks). Buf receives digests via HashInto/MACInto; Parts is a
+// reusable input vector so that variadic calls do not allocate a fresh
+// [][]byte per hash. Obtain with GetScratch, return with PutScratch.
+type Scratch struct {
+	Buf   []byte
+	Parts [4][]byte
+	// Tmp holds tiny encoded integers (indices, counters) that must live
+	// somewhere heap-stable while referenced from Parts.
+	Tmp [8]byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return &Scratch{Buf: make([]byte, 0, 64)} }}
+
+// GetScratch returns a pooled Scratch whose Buf is empty with at least one
+// digest of spare capacity for any suite.
+func GetScratch() *Scratch {
+	sc := scratchPool.Get().(*Scratch)
+	sc.Buf = sc.Buf[:0]
+	return sc
+}
+
+// PutScratch recycles sc. It clears the Parts vector so pooled scratch never
+// retains references to caller data.
+func PutScratch(sc *Scratch) {
+	sc.Parts = [4][]byte{}
+	scratchPool.Put(sc)
+}
+
 // Counting wraps a Suite and counts primitive operations. It is safe for
 // concurrent use. Wrapping preserves the wire ID so counted runs remain
 // interoperable with uncounted peers.
@@ -142,20 +261,30 @@ func (c *Counting) Size() int { return c.inner.Size() }
 
 // Hash counts and forwards to the wrapped suite.
 func (c *Counting) Hash(parts ...[]byte) []byte {
+	return c.HashInto(nil, parts...)
+}
+
+// HashInto counts and forwards to the wrapped suite.
+func (c *Counting) HashInto(dst []byte, parts ...[]byte) []byte {
 	c.hashes.Add(1)
 	for _, p := range parts {
 		c.hashBytes.Add(uint64(len(p)))
 	}
-	return c.inner.Hash(parts...)
+	return c.inner.HashInto(dst, parts...)
 }
 
 // MAC counts and forwards to the wrapped suite.
 func (c *Counting) MAC(key []byte, msg ...[]byte) []byte {
+	return c.MACInto(nil, key, msg...)
+}
+
+// MACInto counts and forwards to the wrapped suite.
+func (c *Counting) MACInto(dst, key []byte, msg ...[]byte) []byte {
 	c.macs.Add(1)
 	for _, p := range msg {
 		c.macBytes.Add(uint64(len(p)))
 	}
-	return c.inner.MAC(key, msg...)
+	return c.inner.MACInto(dst, key, msg...)
 }
 
 // Counts is a snapshot of the counters of a Counting suite.

@@ -5,6 +5,13 @@
 // the socket's read loop and demultiplexes by the association ID every
 // ALPHA packet carries, spawning a Session per handshake and routing
 // subsequent traffic to it.
+//
+// Dispatch is parallel: the read loop only classifies datagrams and hands
+// them to per-session worker goroutines over bounded channels, so one slow
+// association (an expensive Merkle verification, say) cannot stall traffic
+// for its neighbours. Read buffers come from a sync.Pool and are recycled
+// once the engine has consumed them — packet.Decode copies every field it
+// returns, so a buffer is dead the moment Handle returns.
 
 package udptransport
 
@@ -19,15 +26,53 @@ import (
 	"alpha/internal/packet"
 )
 
+// sessionShards splits the association routing table so lookups from the
+// read loop do not contend with session creation and removal on one lock.
+// Power of two; association IDs are random, so low bits spread evenly.
+const sessionShards = 16
+
+// inboxSize bounds each session's pending-datagram queue. When a worker
+// falls behind, the read loop drops for that session only — the same
+// semantics the network already imposes on UDP.
+const inboxSize = 64
+
+// bufPool recycles datagram read buffers across the read loop and session
+// workers.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, packet.MaxPacketSize)
+		return &b
+	},
+}
+
+// datagram is one received packet en route to a session worker. buf is the
+// pooled backing array; n is the valid prefix.
+type datagram struct {
+	now  time.Time
+	from net.Addr
+	buf  *[]byte
+	n    int
+}
+
+type sessionShard struct {
+	mu       sync.Mutex
+	sessions map[uint64]*Session
+}
+
 // Server accepts ALPHA associations on a shared datagram socket.
 type Server struct {
 	pc  net.PacketConn
 	cfg core.Config
 
-	mu       sync.Mutex
-	sessions map[uint64]*Session
+	shards [sessionShards]sessionShard
 
-	accept    chan *Session
+	// Established-but-unaccepted sessions. A list rather than a bounded
+	// channel: an announcement must never be dropped, or Accept would
+	// wait forever for a session that already established.
+	acceptMu sync.Mutex
+	pending  []*Session
+	acceptCh chan struct{} // signals a new pending entry; cap 1
+
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -39,9 +84,11 @@ func NewServer(pc net.PacketConn, cfg core.Config) *Server {
 	s := &Server{
 		pc:       pc,
 		cfg:      cfg,
-		sessions: make(map[uint64]*Session),
-		accept:   make(chan *Session, 16),
+		acceptCh: make(chan struct{}, 1),
 		closed:   make(chan struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i].sessions = make(map[uint64]*Session)
 	}
 	s.wg.Add(1)
 	go s.readLoop()
@@ -51,19 +98,44 @@ func NewServer(pc net.PacketConn, cfg core.Config) *Server {
 // Accept blocks until the next association establishes (or the server
 // closes).
 func (s *Server) Accept() (*Session, error) {
+	for {
+		s.acceptMu.Lock()
+		if len(s.pending) > 0 {
+			sess := s.pending[0]
+			s.pending = s.pending[1:]
+			s.acceptMu.Unlock()
+			return sess, nil
+		}
+		s.acceptMu.Unlock()
+		select {
+		case <-s.acceptCh:
+		case <-s.closed:
+			return nil, ErrServerClosed
+		}
+	}
+}
+
+// announce queues an established session for Accept.
+func (s *Server) announce(sess *Session) {
+	s.acceptMu.Lock()
+	s.pending = append(s.pending, sess)
+	s.acceptMu.Unlock()
 	select {
-	case sess := <-s.accept:
-		return sess, nil
-	case <-s.closed:
-		return nil, ErrServerClosed
+	case s.acceptCh <- struct{}{}:
+	default: // a signal is already pending; Accept re-scans the list
 	}
 }
 
 // Sessions returns the current session count.
 func (s *Server) Sessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Close stops the server, its socket, and every session.
@@ -76,55 +148,75 @@ func (s *Server) Close() error {
 	return nil
 }
 
+func (s *Server) shard(assoc uint64) *sessionShard {
+	return &s.shards[assoc%sessionShards]
+}
+
 func (s *Server) readLoop() {
 	defer s.wg.Done()
-	buf := make([]byte, 64<<10)
 	for {
-		n, from, err := s.pc.ReadFrom(buf)
+		bp := bufPool.Get().(*[]byte)
+		n, from, err := s.pc.ReadFrom(*bp)
 		if err != nil {
+			bufPool.Put(bp)
 			s.closeOnce.Do(func() { close(s.closed); s.pc.Close() })
-			// Stop all session timers.
-			s.mu.Lock()
-			for _, sess := range s.sessions {
-				sess.stop()
+			// Stop all session timers and workers.
+			for i := range s.shards {
+				sh := &s.shards[i]
+				sh.mu.Lock()
+				for _, sess := range sh.sessions {
+					sess.stop()
+				}
+				sh.mu.Unlock()
 			}
-			s.mu.Unlock()
 			return
 		}
 		if n < packet.HeaderSize {
+			bufPool.Put(bp)
 			continue
 		}
-		data := append([]byte(nil), buf[:n]...)
+		data := (*bp)[:n]
 		assoc := binary.BigEndian.Uint64(data[6:14])
 		typ := packet.Type(data[3])
 		now := time.Now()
 
-		s.mu.Lock()
-		sess, known := s.sessions[assoc]
+		sh := s.shard(assoc)
+		sh.mu.Lock()
+		sess, known := sh.sessions[assoc]
 		if !known {
 			if typ != packet.TypeHS1 {
-				s.mu.Unlock()
+				sh.mu.Unlock()
+				bufPool.Put(bp)
 				continue // data for an association we do not hold
 			}
 			ep, err := core.NewEndpoint(s.cfg)
 			if err != nil {
-				s.mu.Unlock()
+				sh.mu.Unlock()
+				bufPool.Put(bp)
 				continue
 			}
 			sess = newSession(s, ep, from)
-			s.sessions[assoc] = sess
+			sh.sessions[assoc] = sess
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 
-		sess.handle(now, from, data, s)
+		// Bounded hand-off: a full inbox means this session's worker is
+		// behind, and the datagram is dropped as the network would drop
+		// it. The single reader preserves per-session arrival order.
+		select {
+		case sess.inbox <- datagram{now: now, from: from, buf: bp, n: n}:
+		default:
+			bufPool.Put(bp)
+		}
 	}
 }
 
 // remove drops a session from the routing table.
 func (s *Server) remove(assoc uint64) {
-	s.mu.Lock()
-	delete(s.sessions, assoc)
-	s.mu.Unlock()
+	sh := s.shard(assoc)
+	sh.mu.Lock()
+	delete(sh.sessions, assoc)
+	sh.mu.Unlock()
 }
 
 // Session is one association served by a Server. Its API mirrors Conn.
@@ -134,6 +226,7 @@ type Session struct {
 	ep     *core.Endpoint
 	peer   net.Addr
 
+	inbox       chan datagram
 	events      chan core.Event
 	established bool
 	timerStop   chan struct{}
@@ -145,10 +238,12 @@ func newSession(srv *Server, ep *core.Endpoint, peer net.Addr) *Session {
 		server:    srv,
 		ep:        ep,
 		peer:      peer,
+		inbox:     make(chan datagram, inboxSize),
 		events:    make(chan core.Event, 256),
 		timerStop: make(chan struct{}),
 	}
-	srv.wg.Add(1)
+	srv.wg.Add(2)
+	go sess.worker()
 	go sess.timerLoop()
 	return sess
 }
@@ -208,7 +303,26 @@ func (s *Session) stop() {
 	s.stopOnce.Do(func() { close(s.timerStop) })
 }
 
-// handle feeds one datagram into the session's engine.
+// worker drains the inbox, feeding datagrams into the engine one at a
+// time. The inbox is never closed — after stop, queued buffers are simply
+// released back to the GC with the channel.
+func (s *Session) worker() {
+	defer s.server.wg.Done()
+	for {
+		select {
+		case d := <-s.inbox:
+			s.handle(d.now, d.from, (*d.buf)[:d.n], s.server)
+			bufPool.Put(d.buf)
+		case <-s.timerStop:
+			return
+		case <-s.server.closed:
+			return
+		}
+	}
+}
+
+// handle feeds one datagram into the session's engine. The engine copies
+// everything it keeps, so data may be recycled once this returns.
 func (s *Session) handle(now time.Time, from net.Addr, data []byte, srv *Server) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -219,10 +333,7 @@ func (s *Session) handle(now time.Time, from net.Addr, data []byte, srv *Server)
 	for _, ev := range evs {
 		if ev.Kind == core.EventEstablished && !s.established {
 			s.established = true
-			select {
-			case srv.accept <- s:
-			default: // accept queue full: session still works, just unannounced
-			}
+			srv.announce(s)
 		}
 		select {
 		case s.events <- ev:

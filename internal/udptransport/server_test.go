@@ -3,6 +3,7 @@ package udptransport
 import (
 	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -112,6 +113,155 @@ func TestServerAcceptsMultipleDialers(t *testing.T) {
 				t.Fatalf("dialer never got its reply")
 			}
 		}
+	}
+}
+
+// TestServerManyAssociationsStress drives 32 concurrent dialers through one
+// server socket with interleaved sends in both directions, then tears
+// everything down cleanly. Run under -race this exercises the sharded
+// routing table, the pooled read buffers, and the per-session workers.
+func TestServerManyAssociationsStress(t *testing.T) {
+	spc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Mode: packet.ModeBase, Reliable: true, ChainLen: 256}
+	srv := NewServer(spc, cfg)
+	defer srv.Close()
+
+	const (
+		dialers  = 32
+		messages = 6
+	)
+	type result struct {
+		idx  int
+		conn *Conn
+		err  error
+	}
+	dialed := make(chan result, dialers)
+	for i := 0; i < dialers; i++ {
+		i := i
+		go func() {
+			pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+			if err != nil {
+				dialed <- result{i, nil, err}
+				return
+			}
+			c, err := Dial(pc, spc.LocalAddr(), cfg, 10*time.Second)
+			dialed <- result{i, c, err}
+		}()
+	}
+	sessions := make([]*Session, 0, dialers)
+	for i := 0; i < dialers; i++ {
+		sess, err := srv.Accept()
+		if err != nil {
+			t.Fatalf("Accept %d: %v", i, err)
+		}
+		sessions = append(sessions, sess)
+	}
+	conns := make([]*Conn, dialers)
+	for i := 0; i < dialers; i++ {
+		r := <-dialed
+		if r.err != nil {
+			t.Fatalf("dialer %d: %v", r.idx, r.err)
+		}
+		conns[r.idx] = r.conn
+	}
+	if got := srv.Sessions(); got != dialers {
+		t.Fatalf("server tracks %d sessions, want %d", got, dialers)
+	}
+
+	// All dialers send concurrently, interleaving traffic from every
+	// association on the server's single socket.
+	var wg sync.WaitGroup
+	sendErr := make(chan error, dialers)
+	for i, c := range conns {
+		i, c := i, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for m := 0; m < messages; m++ {
+				if _, err := c.Send([]byte(fmt.Sprintf("d%d-m%d", i, m))); err != nil {
+					sendErr <- fmt.Errorf("dialer %d send %d: %w", i, m, err)
+					return
+				}
+				c.Flush()
+			}
+		}()
+	}
+	wg.Wait()
+	close(sendErr)
+	for err := range sendErr {
+		t.Fatal(err)
+	}
+
+	// Each session must deliver exactly its own dialer's messages.
+	idxByAssoc := map[uint64]int{}
+	for i, c := range conns {
+		idxByAssoc[c.Endpoint().Assoc()] = i
+	}
+	for _, sess := range sessions {
+		di, ok := idxByAssoc[sess.Endpoint().Assoc()]
+		if !ok {
+			t.Fatalf("session %x matches no dialer", sess.Endpoint().Assoc())
+		}
+		prefix := fmt.Sprintf("d%d-", di)
+		seen := map[string]bool{}
+		deadline := time.After(20 * time.Second)
+		for len(seen) < messages {
+			select {
+			case ev := <-sess.Events():
+				if ev.Kind != core.EventDelivered {
+					continue
+				}
+				got := string(ev.Payload)
+				if len(got) < len(prefix) || got[:len(prefix)] != prefix {
+					t.Fatalf("session for dialer %d got %q — cross-association leak!", di, got)
+				}
+				seen[got] = true
+			case <-deadline:
+				t.Fatalf("dialer %d: delivered %d/%d messages", di, len(seen), messages)
+			}
+		}
+	}
+
+	// Reverse direction, also interleaved.
+	for _, sess := range sessions {
+		sess := sess
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess.Send([]byte("reply"))
+			sess.Flush()
+		}()
+	}
+	wg.Wait()
+	for i, c := range conns {
+		deadline := time.After(20 * time.Second)
+		for done := false; !done; {
+			select {
+			case ev := <-c.Events():
+				if ev.Kind == core.EventDelivered && string(ev.Payload) == "reply" {
+					done = true
+				}
+			case <-deadline:
+				t.Fatalf("dialer %d never got its reply", i)
+			}
+		}
+	}
+
+	// Clean teardown: every side closes; the routing table must empty.
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, sess := range sessions {
+		sess.Close()
+	}
+	if got := srv.Sessions(); got != 0 {
+		t.Fatalf("server still tracks %d sessions after close", got)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
