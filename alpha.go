@@ -41,6 +41,7 @@ import (
 	"alpha/internal/packet"
 	"alpha/internal/relay"
 	"alpha/internal/suite"
+	"alpha/internal/telemetry"
 	"alpha/internal/udptransport"
 )
 
@@ -188,6 +189,27 @@ type UDPRelay = udptransport.Relay
 func NewUDPRelay(pc net.PacketConn, a, b net.Addr, cfg RelayConfig) *UDPRelay {
 	return udptransport.NewRelay(pc, a, b, cfg)
 }
+
+// Observability: every Endpoint, Relay and Server keeps a lock-free metric
+// set reachable through its Telemetry method; an Exporter groups any number
+// of them under name prefixes and renders Prometheus text, JSON, or a plain
+// dump — and serves them over HTTP via its Handler, together with the
+// optional per-association packet Tracer (set Config.Tracer /
+// RelayConfig.Tracer).
+type (
+	Exporter         = telemetry.Exporter
+	Tracer           = telemetry.Tracer
+	EndpointMetrics  = telemetry.EndpointMetrics
+	RelayMetrics     = telemetry.RelayMetrics
+	TransportMetrics = telemetry.TransportMetrics
+)
+
+// NewExporter creates an empty metrics exporter.
+func NewExporter() *Exporter { return telemetry.NewExporter() }
+
+// NewTracer creates a packet-lifecycle tracer keeping the most recent size
+// events (rounded up to a power of two).
+func NewTracer(size int) *Tracer { return telemetry.NewTracer(size) }
 
 // Simulator types: a deterministic discrete-event multi-hop network for
 // tests, experiments and the examples.

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"alpha/internal/packet"
 	"alpha/internal/relay"
 	"alpha/internal/suite"
+	"alpha/internal/telemetry"
 	"alpha/internal/udptransport"
 )
 
@@ -41,6 +43,8 @@ func main() {
 		wait      = flag.Duration("wait", 30*time.Second, "how long to serve/wait")
 		provision = flag.String("provision", "", "provisioning record (JSON) for a handshake-free association")
 		anchorsF  = flag.String("anchors", "", "anchor set (JSON) to seed a relay with (relay role)")
+		metrics   = flag.String("metrics-addr", "", "serve /metrics (Prometheus; ?format=json) and /trace on this HTTP address")
+		traceLen  = flag.Int("trace-size", 4096, "packet-trace ring size (most recent events kept)")
 	)
 	flag.Parse()
 
@@ -57,12 +61,29 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *modeStr))
 	}
+	tracer := telemetry.NewTracer(*traceLen)
 	cfg := core.Config{
 		Suite:     suite.SHA1(),
 		Mode:      mode,
 		BatchSize: *batch,
 		Reliable:  *reliable,
 		ChainLen:  4096,
+		Tracer:    tracer,
+	}
+
+	// Every role registers its metric groups on one exporter; -metrics-addr
+	// serves them live, and the exit path prints a final snapshot.
+	exp := telemetry.NewExporter()
+	exp.SetTracer(tracer)
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		fatalIf(err)
+		fmt.Printf("metrics on http://%s/metrics, traces on http://%s/trace\n", ln.Addr(), ln.Addr())
+		go func() { _ = http.Serve(ln, exp.Handler()) }()
+	}
+	dumpTelemetry := func() {
+		fmt.Println("\ntelemetry snapshot:")
+		_ = exp.WriteText(os.Stdout)
 	}
 
 	pc, err := net.ListenPacket("udp", *addr)
@@ -88,6 +109,11 @@ func main() {
 		// Multi-association responder: accepts any number of dialers.
 		srv := udptransport.NewServer(pc, cfg)
 		defer srv.Close()
+		exp.Register("alpha_transport", srv.Telemetry())
+		// Endpoint metrics aggregate across sessions at scrape time.
+		exp.Register("alpha_endpoint", telemetry.WalkerFunc(func(v telemetry.Visitor) {
+			srv.EndpointTelemetry().Walk(v)
+		}))
 		fmt.Printf("serving on %s\n", *addr)
 		deadline := time.After(*wait)
 		for {
@@ -109,6 +135,7 @@ func main() {
 				}()
 			case <-deadline:
 				fmt.Printf("done: served %d associations\n", srv.Sessions())
+				dumpTelemetry()
 				return
 			}
 		}
@@ -124,6 +151,7 @@ func main() {
 			fatalIf(err)
 		}
 		defer conn.Close()
+		exp.Register("alpha_endpoint", conn.Endpoint().Telemetry())
 		fmt.Printf("association established with %s\n", conn.Peer())
 		deadline := time.After(*wait)
 		for {
@@ -138,6 +166,7 @@ func main() {
 			case <-deadline:
 				st := conn.Endpoint().Stats()
 				fmt.Printf("done: delivered %d, dropped %d\n", st.Delivered, st.Dropped)
+				dumpTelemetry()
 				return
 			}
 		}
@@ -156,6 +185,7 @@ func main() {
 			fatalIf(err)
 		}
 		defer conn.Close()
+		exp.Register("alpha_endpoint", conn.Endpoint().Telemetry())
 		fmt.Printf("association established with %s\n", *peer)
 		for i := 0; i < *count; i++ {
 			payload := fmt.Sprintf("%s #%d", *send, i)
@@ -181,10 +211,12 @@ func main() {
 				}
 			case <-deadline:
 				fmt.Printf("timeout waiting for acks (%d/%d)\n", acked, *count)
+				dumpTelemetry()
 				return
 			}
 		}
 		fmt.Println("all messages acknowledged")
+		dumpTelemetry()
 
 	case "relay":
 		if *aAddr == "" || *bAddr == "" {
@@ -194,7 +226,8 @@ func main() {
 		fatalIf(err)
 		b, err := net.ResolveUDPAddr("udp", *bAddr)
 		fatalIf(err)
-		r := udptransport.NewRelay(pc, a, b, relay.Config{})
+		r := udptransport.NewRelay(pc, a, b, relay.Config{Tracer: tracer})
+		exp.Register("alpha_relay", r.Telemetry())
 		if *anchorsF != "" {
 			data, err := os.ReadFile(*anchorsF)
 			fatalIf(err)
@@ -217,6 +250,7 @@ func main() {
 		st := r.Stats()
 		fmt.Printf("relay done: forwarded %d, dropped %d (unsolicited %d, bad payload %d)\n",
 			st.Forwarded, st.Dropped, st.Unsolicited, st.BadPayload)
+		dumpTelemetry()
 		r.Close()
 
 	default:

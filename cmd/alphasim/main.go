@@ -26,6 +26,7 @@ import (
 	"alpha/internal/relay"
 	"alpha/internal/stats"
 	"alpha/internal/suite"
+	"alpha/internal/telemetry"
 	"alpha/internal/workload"
 )
 
@@ -234,6 +235,17 @@ func main() {
 		rt.Add(rn.Name, st.Forwarded, st.Dropped, st.Unsolicited, st.BadPayload, st.BadElement, st.RateLimited, stats.Bytes(int64(st.ExtractedBytes)))
 	}
 	fmt.Print(rt)
+
+	// Full telemetry snapshot: the same metric namespace a live alphanode
+	// serves on /metrics, here taken programmatically at exit.
+	exp := telemetry.NewExporter()
+	exp.Register("signer", epS.Telemetry())
+	exp.Register("verifier", epV.Telemetry())
+	for _, rn := range relays {
+		exp.Register(rn.Name, rn.R.Telemetry())
+	}
+	fmt.Println("\nTelemetry snapshot")
+	check(exp.WriteText(os.Stdout))
 }
 
 func check(err error) {

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -96,6 +97,14 @@ func main() {
 	fmt.Println("middlebox signaling state unpoisoned: still cell-21")
 	fmt.Println("\nno shared secrets were ever given to the middlebox — verification is")
 	fmt.Println("possible because pre-signatures commit to content before keys are revealed.")
+
+	// The middlebox's full verdict breakdown, per drop reason.
+	exp := alpha.NewExporter()
+	exp.Register("middlebox", box.R.Telemetry())
+	fmt.Println("\ntelemetry snapshot:")
+	if err := exp.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // forger injects syntactically plausible but unverifiable packets for a

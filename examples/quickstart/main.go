@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"alpha"
@@ -73,4 +74,15 @@ func main() {
 
 	st := relay.R.Stats()
 	fmt.Printf("\nrelay verdicts: %d forwarded, %d dropped\n", st.Forwarded, st.Dropped)
+
+	// Every engine keeps live counters; an exporter renders them all. This
+	// is the same data a real deployment serves on /metrics.
+	exp := alpha.NewExporter()
+	exp.Register("alice", epAlice.Telemetry())
+	exp.Register("bob", epBob.Telemetry())
+	exp.Register("relay", relay.R.Telemetry())
+	fmt.Println("\ntelemetry snapshot:")
+	if err := exp.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -27,6 +27,7 @@ import (
 
 	"alpha/internal/packet"
 	"alpha/internal/suite"
+	"alpha/internal/telemetry"
 )
 
 // Defaults for Config fields left zero.
@@ -103,6 +104,11 @@ type Config struct {
 	// protected handshake; returning an error aborts the association.
 	// Required when the peer signs its anchors.
 	VerifyPeer func(pub *rsa.PublicKey) error
+	// Tracer, if set, records per-association packet lifecycle events
+	// (S1 announced, A1 received, S2 disclosed/verified, drops with
+	// reasons). Tracing is lock-free and allocation-free; a nil Tracer
+	// costs one predictable branch per event.
+	Tracer *telemetry.Tracer
 }
 
 // withDefaults returns a copy of c with zero fields defaulted.

@@ -5,12 +5,14 @@ package core
 import (
 	"crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
 	"alpha/internal/hashchain"
 	"alpha/internal/packet"
 	"alpha/internal/suite"
+	"alpha/internal/telemetry"
 )
 
 // FlagInitiator marks packets sent by the association's initiator so that
@@ -73,7 +75,14 @@ type Endpoint struct {
 	macOut []byte
 	parts  [4][]byte
 
-	stats Stats
+	// tel holds the atomic counters behind Stats(): the endpoint's owning
+	// goroutine increments while exporters and Stats() read concurrently.
+	// tracer is the optional lifecycle tracer from Config; tnow caches the
+	// caller-supplied clock of the current entry point (the engine is
+	// sans-IO, so traces carry whatever clock the caller runs on).
+	tel    telemetry.EndpointMetrics
+	tracer *telemetry.Tracer
+	tnow   int64
 }
 
 // Stats counts endpoint activity, exported for experiments and examples.
@@ -98,8 +107,38 @@ func (s Stats) MeanAckLatency() time.Duration {
 	return s.AckLatencySum / time.Duration(s.Acked)
 }
 
-// Stats returns a snapshot of the endpoint's counters.
-func (e *Endpoint) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the endpoint's counters. All fields are read
+// atomically, so Stats is safe to call from any goroutine while the
+// endpoint is live (individual counters may be from slightly different
+// instants, the usual metric-snapshot semantics).
+func (e *Endpoint) Stats() Stats {
+	m := &e.tel
+	return Stats{
+		SentS1:        m.SentS1.Load(),
+		SentA1:        m.SentA1.Load(),
+		SentS2:        m.SentS2.Load(),
+		SentA2:        m.SentA2.Load(),
+		RecvS1:        m.RecvS1.Load(),
+		RecvA1:        m.RecvA1.Load(),
+		RecvS2:        m.RecvS2.Load(),
+		RecvA2:        m.RecvA2.Load(),
+		Retransmits:   m.Retransmits.Load(),
+		Delivered:     m.Delivered.Load(),
+		Acked:         m.Acked.Load(),
+		Nacked:        m.Nacked.Load(),
+		Dropped:       m.Dropped.Load(),
+		BytesSent:     m.BytesSent.Load(),
+		BytesReceived: m.BytesReceived.Load(),
+		Payloads:      m.PayloadBytes.Load(),
+		AckLatencySum: time.Duration(m.AckLatencyNS.Load()),
+		AckLatencyMax: time.Duration(m.AckLatencyMaxNS.Load()),
+	}
+}
+
+// Telemetry returns the endpoint's live metric set for export (e.g.
+// Exporter.Register("alpha_endpoint", ep.Telemetry())). The returned set
+// keeps counting as the endpoint runs.
+func (e *Endpoint) Telemetry() *telemetry.EndpointMetrics { return &e.tel }
 
 // NewEndpoint creates an endpoint with fresh hash chains. The endpoint
 // becomes usable after a handshake: initiators call StartHandshake and feed
@@ -115,7 +154,9 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 		nextSeq: 1,
 		tx:      make(map[uint32]*txExchange),
 		rx:      make(map[uint32]*rxExchange),
+		tracer:  cfg.Tracer,
 	}
+	e.tel.Init()
 	var err error
 	if e.sigChain, err = newOwner(cfg, hashchain.TagS1, hashchain.TagS2); err != nil {
 		return nil, err
@@ -179,7 +220,7 @@ func (e *Endpoint) StartHandshake(now time.Time) ([]byte, error) {
 	}
 	e.hsPacket = raw
 	e.hsDeadline = now.Add(e.cfg.RTO)
-	e.stats.BytesSent += uint64(len(raw))
+	e.tel.BytesSent.Add(uint64(len(raw)))
 	return raw, nil
 }
 
@@ -228,7 +269,8 @@ func (e *Endpoint) buildHandshake(initiator bool) (*packet.Handshake, error) {
 // EventDropped; Handle only returns an error for misuse, never for hostile
 // input.
 func (e *Endpoint) Handle(now time.Time, datagram []byte) ([]Event, error) {
-	e.stats.BytesReceived += uint64(len(datagram))
+	e.tnow = now.UnixNano()
+	e.tel.BytesReceived.Add(uint64(len(datagram)))
 	return e.handleRaw(now, datagram, true), nil
 }
 
@@ -240,7 +282,7 @@ func (e *Endpoint) handleRaw(now time.Time, datagram []byte, allowBundle bool) [
 		return e.drop(0, fmt.Errorf("undecodable packet: %w", err))
 	}
 	if hdr.Suite != e.suite.ID() {
-		return e.drop(hdr.Seq, fmt.Errorf("suite mismatch: %d", hdr.Suite))
+		return e.drop(hdr.Seq, fmt.Errorf("%w: %d", errSuiteMismatch, hdr.Suite))
 	}
 	switch m := msg.(type) {
 	case *packet.Bundle:
@@ -283,9 +325,43 @@ func (e *Endpoint) handleDataPacket(now time.Time, hdr packet.Header, dispatch f
 	return dispatch()
 }
 
+var errSuiteMismatch = errors.New("alpha: suite mismatch")
+
+// reasonCode maps a drop error onto the telemetry reason code carried in
+// TraceDrop events, so trace lines and counters name failures identically.
+func reasonCode(err error) uint32 {
+	switch {
+	case err == nil:
+		return telemetry.ReasonNone
+	case errors.Is(err, ErrUnknownAssoc):
+		return telemetry.ReasonUnknownAssoc
+	case errors.Is(err, ErrBadAuthElement):
+		return telemetry.ReasonBadElement
+	case errors.Is(err, ErrBadMAC), errors.Is(err, ErrBadProof):
+		return telemetry.ReasonBadPayload
+	case errors.Is(err, ErrUnsolicited):
+		return telemetry.ReasonUnsolicited
+	case errors.Is(err, ErrBadAck):
+		return telemetry.ReasonBadAck
+	case errors.Is(err, ErrNotEstablished):
+		return telemetry.ReasonNotEstablished
+	case errors.Is(err, ErrChainExhausted):
+		return telemetry.ReasonChainExhausted
+	case errors.Is(err, ErrBadDirection):
+		return telemetry.ReasonBadDirection
+	case errors.Is(err, ErrBadHandshake):
+		return telemetry.ReasonBadHandshake
+	case errors.Is(err, errSuiteMismatch):
+		return telemetry.ReasonSuiteMismatch
+	default:
+		return telemetry.ReasonMalformed
+	}
+}
+
 // drop records a dropped packet and returns the corresponding event slice.
 func (e *Endpoint) drop(seq uint32, reason error) []Event {
-	e.stats.Dropped++
+	e.tel.Dropped.Inc()
+	e.tracer.Trace(e.tnow, telemetry.TraceDrop, e.assoc, seq, reasonCode(reason))
 	ev := Event{Kind: EventDropped, Seq: seq, Err: reason}
 	e.events = append(e.events, ev)
 	evs := e.events
@@ -303,7 +379,7 @@ func (e *Endpoint) send(hdr packet.Header, msg packet.Message) error {
 		return err
 	}
 	e.outbox = append(e.outbox, raw)
-	e.stats.BytesSent += uint64(len(raw))
+	e.tel.BytesSent.Add(uint64(len(raw)))
 	return nil
 }
 
@@ -323,7 +399,7 @@ func (e *Endpoint) handleHandshake(now time.Time, hdr packet.Header, hs *packet.
 			// does not deadlock the initiator.
 			if hdr.Assoc == e.assoc && e.hsPacket != nil {
 				e.outbox = append(e.outbox, e.hsPacket)
-				e.stats.BytesSent += uint64(len(e.hsPacket))
+				e.tel.BytesSent.Add(uint64(len(e.hsPacket)))
 			}
 			return e.takeEvents()
 		}
@@ -341,7 +417,7 @@ func (e *Endpoint) handleHandshake(now time.Time, hdr packet.Header, hs *packet.
 		}
 		e.hsPacket = raw
 		e.outbox = append(e.outbox, raw)
-		e.stats.BytesSent += uint64(len(raw))
+		e.tel.BytesSent.Add(uint64(len(raw)))
 		e.established = true
 		e.emit(Event{Kind: EventEstablished})
 		return e.takeEvents()
@@ -395,14 +471,15 @@ func (e *Endpoint) adoptPeer(hdr packet.Header, hs *packet.Handshake) error {
 // Poll drives timers and flushes batched work. It returns the datagrams to
 // transmit and any events raised since the last call.
 func (e *Endpoint) Poll(now time.Time) ([][]byte, []Event) {
+	e.tnow = now.UnixNano()
 	// Handshake retransmission (initiator only: responder HS2 resends
 	// are triggered by duplicate HS1s).
 	if !e.established && e.initiator && e.hsPacket != nil && !e.hsDeadline.IsZero() && !now.Before(e.hsDeadline) {
 		if e.hsRetries < e.cfg.MaxRetries {
 			e.hsRetries++
-			e.stats.Retransmits++
+			e.tel.Retransmits.Inc()
 			e.outbox = append(e.outbox, e.hsPacket)
-			e.stats.BytesSent += uint64(len(e.hsPacket))
+			e.tel.BytesSent.Add(uint64(len(e.hsPacket)))
 			e.hsDeadline = now.Add(backoff(e.cfg.RTO, e.hsRetries))
 		}
 	}

@@ -201,7 +201,9 @@ func NewPreconfiguredEndpoint(p *Provisioned) (*Endpoint, error) {
 		nextSeq:     1,
 		tx:          make(map[uint32]*txExchange),
 		rx:          make(map[uint32]*rxExchange),
+		tracer:      p.cfg.Tracer,
 	}
+	e.tel.Init()
 	var err error
 	if e.peerSig, err = hashchain.NewSignatureWalker(e.suite, p.peerSig); err != nil {
 		return nil, err

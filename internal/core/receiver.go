@@ -11,6 +11,7 @@ import (
 	"alpha/internal/merkle"
 	"alpha/internal/packet"
 	"alpha/internal/suite"
+	"alpha/internal/telemetry"
 )
 
 // rxExchange is the verifier-side state for one signature exchange: the
@@ -76,15 +77,15 @@ func (rx *rxExchange) ackBytes() int {
 
 // handleS1 verifies a pre-signature announcement and answers with an A1.
 func (e *Endpoint) handleS1(now time.Time, hdr packet.Header, s1 *packet.S1) []Event {
-	e.stats.RecvS1++
+	e.tel.RecvS1.Inc()
 	if rx, ok := e.rx[hdr.Seq]; ok {
 		// Duplicate S1 (our A1 was probably lost): resend the stored
 		// A1 rather than re-verifying; the paper calls for robust and
 		// fast S1/A1 retransmission (§3.5).
 		if rx.a1 != nil {
 			e.outbox = append(e.outbox, rx.a1)
-			e.stats.BytesSent += uint64(len(rx.a1))
-			e.stats.Retransmits++
+			e.tel.BytesSent.Add(uint64(len(rx.a1)))
+			e.tel.Retransmits.Inc()
 		}
 		return e.takeEvents()
 	}
@@ -94,6 +95,7 @@ func (e *Endpoint) handleS1(now time.Time, hdr packet.Header, s1 *packet.S1) []E
 	if err := e.verifyPeerSig(s1.Auth, s1.AuthIdx); err != nil {
 		return e.drop(hdr.Seq, fmt.Errorf("%w: %v", ErrBadAuthElement, err))
 	}
+	e.tracer.Trace(e.tnow, telemetry.TraceS1Recv, e.assoc, hdr.Seq, 0)
 	reliable := hdr.Flags&packet.FlagReliable != 0
 	rx := &rxExchange{
 		seq:      hdr.Seq,
@@ -172,8 +174,8 @@ func (e *Endpoint) handleS1(now time.Time, hdr packet.Header, s1 *packet.S1) []E
 	rx.a1 = raw
 	e.storeRx(rx)
 	e.outbox = append(e.outbox, raw)
-	e.stats.BytesSent += uint64(len(raw))
-	e.stats.SentA1++
+	e.tel.BytesSent.Add(uint64(len(raw)))
+	e.tel.SentA1.Inc()
 	return e.takeEvents()
 }
 
@@ -192,7 +194,7 @@ func (e *Endpoint) storeRx(rx *rxExchange) {
 // handleS2 verifies a disclosed message against its buffered pre-signature
 // and delivers it; in reliable mode it opens the matching pre-(n)ack.
 func (e *Endpoint) handleS2(now time.Time, hdr packet.Header, s2 *packet.S2) []Event {
-	e.stats.RecvS2++
+	e.tel.RecvS2.Inc()
 	rx, ok := e.rx[hdr.Seq]
 	if !ok {
 		return e.drop(hdr.Seq, ErrUnsolicited)
@@ -255,8 +257,10 @@ func (e *Endpoint) handleS2(now time.Time, hdr packet.Header, s2 *packet.S2) []E
 		}
 		return e.takeEvents()
 	}
-	e.stats.Delivered++
-	e.stats.Payloads += uint64(len(s2.Payload))
+	e.tel.Delivered.Inc()
+	e.tel.PayloadBytes.Add(uint64(len(s2.Payload)))
+	e.tel.PayloadSize.Observe(int64(len(s2.Payload)))
+	e.tracer.Trace(e.tnow, telemetry.TraceS2Verified, e.assoc, hdr.Seq, s2.MsgIndex)
 	e.emit(Event{Kind: EventDelivered, Seq: hdr.Seq, MsgIndex: s2.MsgIndex, Payload: s2.Payload})
 	if rx.reliable {
 		e.sendA2(rx, idx, true)
@@ -328,5 +332,5 @@ func (e *Endpoint) sendA2(rx *rxExchange, idx int, ack bool) {
 	if err := e.send(e.header(packet.TypeA2, rx.seq), a2); err != nil {
 		return
 	}
-	e.stats.SentA2++
+	e.tel.SentA2.Inc()
 }

@@ -10,6 +10,7 @@ import (
 	"alpha/internal/merkle"
 	"alpha/internal/packet"
 	"alpha/internal/suite"
+	"alpha/internal/telemetry"
 )
 
 // outMsg is a queued outgoing message.
@@ -67,6 +68,7 @@ func (e *Endpoint) Send(now time.Time, payload []byte) (uint64, error) {
 	if len(payload) > packet.MaxPayload {
 		return 0, fmt.Errorf("core: payload of %d bytes exceeds %d", len(payload), packet.MaxPayload)
 	}
+	e.tnow = now.UnixNano()
 	e.nextMsgID++
 	m := &outMsg{id: e.nextMsgID, payload: append([]byte(nil), payload...), sentAt: now}
 	if len(e.queue) == 0 {
@@ -79,6 +81,7 @@ func (e *Endpoint) Send(now time.Time, payload []byte) (uint64, error) {
 
 // Flush forces any partially filled batch into an exchange immediately.
 func (e *Endpoint) Flush(now time.Time) {
+	e.tnow = now.UnixNano()
 	e.flushQueue(now, true)
 }
 
@@ -212,8 +215,9 @@ func (e *Endpoint) startExchange(now time.Time, batch []*outMsg) error {
 	e.tx[seq] = x
 	e.txOrder = append(e.txOrder, seq)
 	e.outbox = append(e.outbox, raw)
-	e.stats.BytesSent += uint64(len(raw))
-	e.stats.SentS1++
+	e.tel.BytesSent.Add(uint64(len(raw)))
+	e.tel.SentS1.Inc()
+	e.tracer.Trace(e.tnow, telemetry.TraceS1Sent, e.assoc, seq, uint32(len(batch)))
 	return nil
 }
 
@@ -221,7 +225,7 @@ func (e *Endpoint) startExchange(now time.Time, batch []*outMsg) error {
 // the acknowledgment-chain element, records the pre-(n)ack material, and
 // releases the exchange's S2 packets.
 func (e *Endpoint) handleA1(now time.Time, hdr packet.Header, a1 *packet.A1) []Event {
-	e.stats.RecvA1++
+	e.tel.RecvA1.Inc()
 	x, ok := e.tx[hdr.Seq]
 	if !ok {
 		return e.drop(hdr.Seq, ErrUnsolicited)
@@ -238,6 +242,7 @@ func (e *Endpoint) handleA1(now time.Time, hdr packet.Header, a1 *packet.A1) []E
 	if err := e.verifyPeerAck(a1.Auth, a1.AuthIdx); err != nil {
 		return e.drop(hdr.Seq, fmt.Errorf("%w: %v", ErrBadAuthElement, err))
 	}
+	e.tracer.Trace(e.tnow, telemetry.TraceA1Recv, e.assoc, hdr.Seq, 0)
 	if e.cfg.Reliable {
 		x.ackAuth = append([]byte(nil), a1.Auth...)
 		x.ackKeyIdx = a1.KeyIdx
@@ -295,9 +300,10 @@ func (e *Endpoint) sendS2s(now time.Time, x *txExchange) error {
 		}
 		x.s2s[i] = raw
 		e.outbox = append(e.outbox, raw)
-		e.stats.BytesSent += uint64(len(raw))
-		e.stats.SentS2++
+		e.tel.BytesSent.Add(uint64(len(raw)))
+		e.tel.SentS2.Inc()
 	}
+	e.tracer.Trace(e.tnow, telemetry.TraceS2Sent, e.assoc, x.seq, uint32(len(x.msgs)))
 	if e.cfg.Reliable {
 		x.state = txAwaitA2
 		x.retries = 0
@@ -323,7 +329,7 @@ func (e *Endpoint) finishExchange(x *txExchange) {
 
 // handleA2 processes a pre-(n)ack opening from the verifier.
 func (e *Endpoint) handleA2(now time.Time, hdr packet.Header, a2 *packet.A2) []Event {
-	e.stats.RecvA2++
+	e.tel.RecvA2.Inc()
 	x, ok := e.tx[hdr.Seq]
 	if !ok || x.state != txAwaitA2 {
 		return e.drop(hdr.Seq, ErrUnsolicited)
@@ -359,17 +365,16 @@ func (e *Endpoint) handleA2(now time.Time, hdr packet.Header, a2 *packet.A2) []E
 			}
 			return e.takeEvents()
 		}
-		e.stats.Acked++
+		e.tel.Acked.Inc()
 		if !m.sentAt.IsZero() {
 			lat := now.Sub(m.sentAt)
-			e.stats.AckLatencySum += lat
-			if lat > e.stats.AckLatencyMax {
-				e.stats.AckLatencyMax = lat
-			}
+			e.tel.AckLatencyNS.Add(uint64(lat))
+			e.tel.AckLatencyMaxNS.SetMax(uint64(lat))
+			e.tel.AckLatency.Observe(int64(lat))
 		}
 		e.emit(Event{Kind: EventAcked, MsgID: m.id, Seq: x.seq, MsgIndex: a2.MsgIndex})
 	} else {
-		e.stats.Nacked++
+		e.tel.Nacked.Inc()
 		e.emit(Event{Kind: EventNacked, MsgID: m.id, Seq: x.seq, MsgIndex: a2.MsgIndex})
 		// A verified nack means the S2 arrived damaged or not at all;
 		// retransmit it immediately (selective repeat, §3.3.3).
@@ -417,8 +422,8 @@ func (e *Endpoint) retransmitS2(x *txExchange, i int) {
 		return
 	}
 	e.outbox = append(e.outbox, x.s2s[i])
-	e.stats.BytesSent += uint64(len(x.s2s[i]))
-	e.stats.Retransmits++
+	e.tel.BytesSent.Add(uint64(len(x.s2s[i])))
+	e.tel.Retransmits.Inc()
 }
 
 // pollExchanges fires retransmission timers.
@@ -443,8 +448,8 @@ func (e *Endpoint) pollExchanges(now time.Time) {
 		switch x.state {
 		case txAwaitA1:
 			e.outbox = append(e.outbox, x.s1)
-			e.stats.BytesSent += uint64(len(x.s1))
-			e.stats.Retransmits++
+			e.tel.BytesSent.Add(uint64(len(x.s1)))
+			e.tel.Retransmits.Inc()
 		case txAwaitA2:
 			for i := range x.msgs {
 				if !x.acked[i] {

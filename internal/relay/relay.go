@@ -26,6 +26,7 @@ import (
 	"alpha/internal/merkle"
 	"alpha/internal/packet"
 	"alpha/internal/suite"
+	"alpha/internal/telemetry"
 )
 
 // Verdict says what to do with a packet.
@@ -116,6 +117,9 @@ type Config struct {
 	// headers, provided it matches the wire ID. The benchmark harness
 	// uses this to slot in an operation-counting suite (Table 1).
 	SuiteOverride suite.Suite
+	// Tracer, if set, records forward/drop events per association so a
+	// hop's filtering decisions can be replayed from the /trace endpoint.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -143,21 +147,47 @@ type Stats struct {
 	ExtractedBytes                    uint64
 }
 
-// Relay is the per-node verification state. Not safe for concurrent use.
+// Relay is the per-node verification state. Process is not safe for
+// concurrent use; the telemetry counters behind Stats() are atomic, so
+// snapshots may be taken from other goroutines while the relay runs.
 type Relay struct {
 	cfg   Config
 	flows map[uint64]*flow
 	order []uint64
-	stats Stats
+
+	tel    telemetry.RelayMetrics
+	tracer *telemetry.Tracer
+	tnow   int64 // caller-supplied clock of the current Process call
 }
 
 // New creates a relay.
 func New(cfg Config) *Relay {
-	return &Relay{cfg: cfg.withDefaults(), flows: make(map[uint64]*flow)}
+	r := &Relay{cfg: cfg.withDefaults(), flows: make(map[uint64]*flow), tracer: cfg.Tracer}
+	r.tel.Init()
+	return r
 }
 
 // Stats returns a snapshot of the relay's counters.
-func (r *Relay) Stats() Stats { return r.stats }
+func (r *Relay) Stats() Stats {
+	m := &r.tel
+	return Stats{
+		Forwarded:      m.Forwarded.Load(),
+		Dropped:        m.Dropped.Load(),
+		Malformed:      m.Malformed.Load(),
+		Unknown:        m.Unknown.Load(),
+		RateLimited:    m.RateLimited.Load(),
+		BadElement:     m.BadElement.Load(),
+		BadPayload:     m.BadPayload.Load(),
+		BadAck:         m.BadAck.Load(),
+		Unsolicited:    m.Unsolicited.Load(),
+		Oversized:      m.Oversized.Load(),
+		Handshake:      m.Handshake.Load(),
+		ExtractedBytes: m.ExtractedBytes.Load(),
+	}
+}
+
+// Telemetry returns the relay's live metric set for export.
+func (r *Relay) Telemetry() *telemetry.RelayMetrics { return &r.tel }
 
 // Flows returns the number of tracked associations.
 func (r *Relay) Flows() int { return len(r.flows) }
@@ -348,10 +378,10 @@ func (b *tokenBucket) take(now time.Time) bool {
 
 // Process inspects one datagram and decides its fate.
 func (r *Relay) Process(now time.Time, data []byte) Decision {
+	r.tnow = now.UnixNano()
 	hdr, msg, err := packet.Decode(data)
 	if err != nil {
-		r.stats.Malformed++
-		return r.drop(packet.TypeInvalid, fmt.Errorf("%w: %v", ErrMalformed, err))
+		return r.drop(packet.Header{Type: packet.TypeInvalid}, telemetry.ReasonMalformed, fmt.Errorf("%w: %v", ErrMalformed, err))
 	}
 	switch m := msg.(type) {
 	case *packet.Bundle:
@@ -367,19 +397,26 @@ func (r *Relay) Process(now time.Time, data []byte) Decision {
 	case *packet.A2:
 		return r.processA2(hdr, m)
 	default:
-		r.stats.Malformed++
-		return r.drop(hdr.Type, ErrMalformed)
+		return r.drop(hdr, telemetry.ReasonMalformed, ErrMalformed)
 	}
 }
 
-func (r *Relay) drop(t packet.Type, reason error) Decision {
-	r.stats.Dropped++
-	return Decision{Verdict: Drop, Reason: reason, Type: t}
+// drop discards a packet: one Dropped increment, one per-reason increment
+// (when the code has a dedicated counter), one trace event. Keeping all
+// three in one place is what guarantees counters and traces never disagree.
+func (r *Relay) drop(hdr packet.Header, code uint32, reason error) Decision {
+	r.tel.Dropped.Inc()
+	if c := r.tel.DropCounter(code); c != nil {
+		c.Inc()
+	}
+	r.tracer.Trace(r.tnow, telemetry.TraceRelayDrop, hdr.Assoc, hdr.Seq, code)
+	return Decision{Verdict: Drop, Reason: reason, Type: hdr.Type}
 }
 
-func (r *Relay) forward(t packet.Type) Decision {
-	r.stats.Forwarded++
-	return Decision{Verdict: Forward, Type: t}
+func (r *Relay) forward(hdr packet.Header) Decision {
+	r.tel.Forwarded.Inc()
+	r.tracer.Trace(r.tnow, telemetry.TraceRelayForward, hdr.Assoc, hdr.Seq, uint32(hdr.Type))
+	return Decision{Verdict: Forward, Type: hdr.Type}
 }
 
 // processBundle verifies every sub-packet of a bundle independently,
@@ -444,18 +481,16 @@ func dirIndex(hdr packet.Header) int {
 
 // processHandshake learns (or refreshes) a flow from an observed handshake.
 func (r *Relay) processHandshake(hdr packet.Header, hs *packet.Handshake) Decision {
-	r.stats.Handshake++
+	r.tel.Handshake.Inc()
 	st, err := r.resolveSuite(hdr.Suite)
 	if err != nil {
-		r.stats.Malformed++
-		return r.drop(hdr.Type, ErrMalformed)
+		return r.drop(hdr, telemetry.ReasonMalformed, ErrMalformed)
 	}
 	if len(hs.SigAnchor) != st.Size() || len(hs.AckAnchor) != st.Size() {
-		r.stats.Malformed++
-		return r.drop(hdr.Type, ErrMalformed)
+		return r.drop(hdr, telemetry.ReasonMalformed, ErrMalformed)
 	}
 	if r.cfg.RequireProtected && hs.Scheme == 0 {
-		return r.drop(hdr.Type, fmt.Errorf("%w: unsigned anchors", core.ErrBadHandshake))
+		return r.drop(hdr, telemetry.ReasonBadHandshake, fmt.Errorf("%w: unsigned anchors", core.ErrBadHandshake))
 	}
 	f, ok := r.flows[hdr.Assoc]
 	if !ok {
@@ -478,12 +513,11 @@ func (r *Relay) processHandshake(hdr packet.Header, hs *packet.Handshake) Decisi
 		sw, err1 := hashchain.NewSignatureWalker(st, hs.SigAnchor)
 		aw, err2 := hashchain.NewAcknowledgmentWalker(st, hs.AckAnchor)
 		if err1 != nil || err2 != nil {
-			r.stats.Malformed++
-			return r.drop(hdr.Type, ErrMalformed)
+			return r.drop(hdr, telemetry.ReasonMalformed, ErrMalformed)
 		}
 		f.sig[d], f.ack[d] = sw, aw
 	}
-	return r.forward(hdr.Type)
+	return r.forward(hdr)
 }
 
 func (r *Relay) evictFlow() {
@@ -502,12 +536,12 @@ func (r *Relay) lookup(hdr packet.Header) (*flow, *Decision) {
 	if ok && f.sig[dirIndex(hdr)] != nil {
 		return f, nil
 	}
-	r.stats.Unknown++
+	r.tel.Unknown.Inc()
 	if r.cfg.Strict {
-		d := r.drop(hdr.Type, ErrStrictPolicy)
+		d := r.drop(hdr, telemetry.ReasonStrictPolicy, ErrStrictPolicy)
 		return nil, &d
 	}
-	d := r.forward(hdr.Type)
+	d := r.forward(hdr)
 	return nil, &d
 }
 
@@ -518,26 +552,22 @@ func (r *Relay) processS1(now time.Time, hdr packet.Header, s1 *packet.S1, size 
 		return *early
 	}
 	if !f.bucket.take(now) {
-		r.stats.RateLimited++
-		return r.drop(hdr.Type, ErrRateLimited)
+		return r.drop(hdr, telemetry.ReasonRateLimited, ErrRateLimited)
 	}
 	if f.s1Limit > 0 && size > f.s1Limit {
-		r.stats.Oversized++
-		return r.drop(hdr.Type, ErrOversizedS1)
+		return r.drop(hdr, telemetry.ReasonOversized, ErrOversizedS1)
 	}
 	d := dirIndex(hdr)
 	ds := &f.dirs[d]
 	if _, dup := ds.rx[hdr.Seq]; dup {
 		// Retransmitted S1: already buffered, just forward.
-		return r.forward(hdr.Type)
+		return r.forward(hdr)
 	}
 	if s1.AuthIdx%2 != 1 || s1.KeyIdx != s1.AuthIdx+1 {
-		r.stats.BadElement++
-		return r.drop(hdr.Type, core.ErrBadAuthElement)
+		return r.drop(hdr, telemetry.ReasonBadElement, core.ErrBadAuthElement)
 	}
 	if err := f.verifySig(d, s1.Auth, s1.AuthIdx); err != nil {
-		r.stats.BadElement++
-		return r.drop(hdr.Type, fmt.Errorf("%w: %v", core.ErrBadAuthElement, err))
+		return r.drop(hdr, telemetry.ReasonBadElement, fmt.Errorf("%w: %v", core.ErrBadAuthElement, err))
 	}
 	x := &exchange{mode: s1.Mode, keyIdx: s1.KeyIdx, auth: append([]byte(nil), s1.Auth...)}
 	var batch int
@@ -555,12 +585,10 @@ func (r *Relay) processS1(now time.Time, hdr packet.Header, s1 *packet.S1, size 
 		batch = x.leafCount
 		sub := core.CMSubSize(batch, len(s1.Roots))
 		if (batch+sub-1)/sub != len(s1.Roots) {
-			r.stats.Malformed++
-			return r.drop(hdr.Type, ErrMalformed)
+			return r.drop(hdr, telemetry.ReasonMalformed, ErrMalformed)
 		}
 	default:
-		r.stats.Malformed++
-		return r.drop(hdr.Type, ErrMalformed)
+		return r.drop(hdr, telemetry.ReasonMalformed, ErrMalformed)
 	}
 	x.verified = make([]bool, batch)
 	ds.rx[hdr.Seq] = x
@@ -570,7 +598,7 @@ func (r *Relay) processS1(now time.Time, hdr packet.Header, s1 *packet.S1, size 
 		ds.order = ds.order[1:]
 		delete(ds.rx, old)
 	}
-	return r.forward(hdr.Type)
+	return r.forward(hdr)
 }
 
 // processA1 verifies the acknowledgment element and buffers pre-(n)ack
@@ -582,12 +610,10 @@ func (r *Relay) processA1(hdr packet.Header, a1 *packet.A1) Decision {
 	}
 	d := dirIndex(hdr) // direction of the A1 sender = the exchange's verifier
 	if a1.AuthIdx%2 != 1 || a1.KeyIdx != a1.AuthIdx+1 {
-		r.stats.BadElement++
-		return r.drop(hdr.Type, core.ErrBadAuthElement)
+		return r.drop(hdr, telemetry.ReasonBadElement, core.ErrBadAuthElement)
 	}
 	if err := f.verifyAck(d, a1.Auth, a1.AuthIdx); err != nil {
-		r.stats.BadElement++
-		return r.drop(hdr.Type, fmt.Errorf("%w: %v", core.ErrBadAuthElement, err))
+		return r.drop(hdr, telemetry.ReasonBadElement, fmt.Errorf("%w: %v", core.ErrBadAuthElement, err))
 	}
 	// The exchange was opened by the S1 from the opposite direction. A
 	// relay may legitimately have missed that S1 (asymmetric routes,
@@ -595,7 +621,7 @@ func (r *Relay) processA1(hdr packet.Header, a1 *packet.A1) Decision {
 	// it is forwarded; only its pre-(n)ack material goes unbuffered.
 	x, ok := f.dirs[1-d].rx[hdr.Seq]
 	if !ok {
-		return r.forward(hdr.Type)
+		return r.forward(hdr)
 	}
 	if x.preAck == nil && x.amtRoot == nil {
 		x.ackAuth = append([]byte(nil), a1.Auth...)
@@ -605,7 +631,7 @@ func (r *Relay) processA1(hdr packet.Header, a1 *packet.A1) Decision {
 		x.amtRoot = a1.AMTRoot
 		x.amtLeaves = int(a1.AMTLeaves)
 	}
-	return r.forward(hdr.Type)
+	return r.forward(hdr)
 }
 
 // processS2 is the heart of hop-by-hop filtering: the payload must match a
@@ -618,22 +644,18 @@ func (r *Relay) processS2(hdr packet.Header, s2 *packet.S2) Decision {
 	d := dirIndex(hdr)
 	x, ok := f.dirs[d].rx[hdr.Seq]
 	if !ok {
-		r.stats.Unsolicited++
-		return r.drop(hdr.Type, core.ErrUnsolicited)
+		return r.drop(hdr, telemetry.ReasonUnsolicited, core.ErrUnsolicited)
 	}
 	if s2.Mode != x.mode || s2.KeyIdx != x.keyIdx || int(s2.MsgIndex) >= len(x.verified) {
-		r.stats.Unsolicited++
-		return r.drop(hdr.Type, core.ErrUnsolicited)
+		return r.drop(hdr, telemetry.ReasonUnsolicited, core.ErrUnsolicited)
 	}
 	if x.key == nil {
 		if !hashchain.VerifyLink(f.st, hashchain.TagS1, hashchain.TagS2, x.auth, s2.Key, s2.KeyIdx) {
-			r.stats.BadElement++
-			return r.drop(hdr.Type, core.ErrBadAuthElement)
+			return r.drop(hdr, telemetry.ReasonBadElement, core.ErrBadAuthElement)
 		}
 		x.key = append([]byte(nil), s2.Key...)
 	} else if !suite.Equal(x.key, s2.Key) {
-		r.stats.BadElement++
-		return r.drop(hdr.Type, core.ErrBadAuthElement)
+		return r.drop(hdr, telemetry.ReasonBadElement, core.ErrBadAuthElement)
 	}
 	valid := false
 	switch x.mode {
@@ -654,16 +676,17 @@ func (r *Relay) processS2(hdr packet.Header, s2 *packet.S2) Decision {
 		}
 	}
 	if !valid {
-		r.stats.BadPayload++
 		if x.mode == packet.ModeM || x.mode == packet.ModeCM {
-			return r.drop(hdr.Type, core.ErrBadProof)
+			return r.drop(hdr, telemetry.ReasonBadPayload, core.ErrBadProof)
 		}
-		return r.drop(hdr.Type, core.ErrBadMAC)
+		return r.drop(hdr, telemetry.ReasonBadPayload, core.ErrBadMAC)
 	}
 	x.verified[s2.MsgIndex] = true
-	dec := r.forward(hdr.Type)
+	r.tracer.Trace(r.tnow, telemetry.TraceS2Verified, hdr.Assoc, hdr.Seq, s2.MsgIndex)
+	dec := r.forward(hdr)
 	dec.Extracted = s2.Payload
-	r.stats.ExtractedBytes += uint64(len(s2.Payload))
+	r.tel.ExtractedBytes.Add(uint64(len(s2.Payload)))
+	r.tel.ExtractedSize.Observe(int64(len(s2.Payload)))
 	// Verified in-band rekey announcements rotate this direction's chain
 	// walkers, exactly as endpoints do: the new anchors are authenticated
 	// by the old chain. The old walkers stay as a one-shot fallback in
@@ -694,15 +717,13 @@ func (r *Relay) processA2(hdr packet.Header, a2 *packet.A2) Decision {
 		// Never saw this exchange's S1 or A1 (asymmetric routes):
 		// the A2 cannot influence on-path state here, but it remains
 		// end-to-end verifiable, so forward it.
-		return r.forward(hdr.Type)
+		return r.forward(hdr)
 	}
 	if a2.KeyIdx != x.ackKeyIdx {
-		r.stats.BadAck++
-		return r.drop(hdr.Type, core.ErrBadAck)
+		return r.drop(hdr, telemetry.ReasonBadAck, core.ErrBadAck)
 	}
 	if x.ackAuth == nil || !hashchain.VerifyLink(f.st, hashchain.TagA1, hashchain.TagA2, x.ackAuth, a2.Key, a2.KeyIdx) {
-		r.stats.BadElement++
-		return r.drop(hdr.Type, core.ErrBadAuthElement)
+		return r.drop(hdr, telemetry.ReasonBadElement, core.ErrBadAuthElement)
 	}
 	valid := false
 	switch {
@@ -721,10 +742,9 @@ func (r *Relay) processA2(hdr packet.Header, a2 *packet.A2) Decision {
 		valid = merkle.VerifyOpening(f.st, a2.Key, x.amtRoot, x.amtLeaves, o)
 	}
 	if !valid {
-		r.stats.BadAck++
-		return r.drop(hdr.Type, core.ErrBadAck)
+		return r.drop(hdr, telemetry.ReasonBadAck, core.ErrBadAck)
 	}
-	dec := r.forward(hdr.Type)
+	dec := r.forward(hdr)
 	dec.AckSeen = true
 	dec.AckPositive = a2.Ack
 	dec.AckIndex = a2.MsgIndex

@@ -1,0 +1,205 @@
+// Export model: metric sets implement Walker; an Exporter owns a list of
+// prefixed groups and renders them as Prometheus text, expvar-style JSON,
+// or a human-readable text dump. All rendering happens off the hot path;
+// only snapshots of atomics are read.
+
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Visitor receives one metric per call during a Walk.
+type Visitor interface {
+	Counter(name string, value uint64)
+	Gauge(name string, value int64)
+	Histogram(name string, snap HistogramSnapshot)
+}
+
+// Walker is anything that can report its metrics to a Visitor.
+type Walker interface {
+	Walk(Visitor)
+}
+
+// WalkerFunc adapts a function to the Walker interface, for dynamic groups
+// (e.g. a server summing per-session metrics at scrape time).
+type WalkerFunc func(Visitor)
+
+// Walk calls f.
+func (f WalkerFunc) Walk(v Visitor) { f(v) }
+
+// Exporter aggregates named metric groups and renders them. Groups are
+// walked in registration order; a group's prefix namespaces every metric it
+// reports (prefix_name).
+type Exporter struct {
+	mu     sync.Mutex
+	groups []exportGroup
+	tracer *Tracer
+}
+
+type exportGroup struct {
+	prefix string
+	w      Walker
+}
+
+// NewExporter creates an empty exporter.
+func NewExporter() *Exporter { return &Exporter{} }
+
+// Register adds a metric group under a prefix (e.g. "alpha_endpoint").
+// Registering the same prefix twice keeps both groups; callers own prefix
+// uniqueness.
+func (e *Exporter) Register(prefix string, w Walker) {
+	e.mu.Lock()
+	e.groups = append(e.groups, exportGroup{prefix: prefix, w: w})
+	e.mu.Unlock()
+}
+
+// SetTracer attaches the tracer served by the /trace endpoint.
+func (e *Exporter) SetTracer(t *Tracer) {
+	e.mu.Lock()
+	e.tracer = t
+	e.mu.Unlock()
+}
+
+func (e *Exporter) snapshotGroups() []exportGroup {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]exportGroup(nil), e.groups...)
+}
+
+// Snapshot returns every registered metric keyed by its full name:
+// counters and gauges as uint64/int64, histograms as HistogramSnapshot.
+// This is the programmatic API the CLIs and examples print at exit.
+func (e *Exporter) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, g := range e.snapshotGroups() {
+		g.w.Walk(&mapVisitor{prefix: g.prefix, out: out})
+	}
+	return out
+}
+
+// mapVisitor flattens a walk into a name->value map.
+type mapVisitor struct {
+	prefix string
+	out    map[string]any
+}
+
+func (m *mapVisitor) Counter(name string, v uint64)              { m.out[m.prefix+"_"+name] = v }
+func (m *mapVisitor) Gauge(name string, v int64)                 { m.out[m.prefix+"_"+name] = v }
+func (m *mapVisitor) Histogram(name string, h HistogramSnapshot) { m.out[m.prefix+"_"+name] = h }
+
+// WriteText renders a sorted name value dump, one metric per line —
+// the exit-summary format. Histograms print count/sum only.
+func (e *Exporter) WriteText(w io.Writer) error {
+	snap := e.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var err error
+		switch v := snap[name].(type) {
+		case HistogramSnapshot:
+			_, err = fmt.Fprintf(w, "%-44s count=%d sum=%d\n", name, v.Count, v.Sum)
+		default:
+			_, err = fmt.Fprintf(w, "%-44s %v\n", name, v)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the Prometheus text exposition format: counters
+// and gauges as single samples, histograms as cumulative _bucket/_sum/_count
+// families.
+func (e *Exporter) WritePrometheus(w io.Writer) error {
+	for _, g := range e.snapshotGroups() {
+		pv := &promVisitor{w: w, prefix: g.prefix}
+		g.w.Walk(pv)
+		if pv.err != nil {
+			return pv.err
+		}
+	}
+	return nil
+}
+
+type promVisitor struct {
+	w      io.Writer
+	prefix string
+	err    error
+}
+
+func (p *promVisitor) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+func (p *promVisitor) Counter(name string, v uint64) {
+	full := p.prefix + "_" + name
+	p.printf("# TYPE %s counter\n%s %d\n", full, full, v)
+}
+
+func (p *promVisitor) Gauge(name string, v int64) {
+	full := p.prefix + "_" + name
+	p.printf("# TYPE %s gauge\n%s %d\n", full, full, v)
+}
+
+func (p *promVisitor) Histogram(name string, h HistogramSnapshot) {
+	full := p.prefix + "_" + name
+	p.printf("# TYPE %s histogram\n", full)
+	cum := uint64(0)
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		p.printf("%s_bucket{le=\"%d\"} %d\n", full, bound, cum)
+	}
+	p.printf("%s_bucket{le=\"+Inf\"} %d\n", full, h.Count)
+	p.printf("%s_sum %d\n%s_count %d\n", full, h.Sum, full, h.Count)
+}
+
+// WriteJSON renders an expvar-style JSON object: one nested object per
+// group prefix, histograms as {count, sum, buckets:[{le, n}]}.
+func (e *Exporter) WriteJSON(w io.Writer) error {
+	top := make(map[string]map[string]any)
+	for _, g := range e.snapshotGroups() {
+		obj, ok := top[g.prefix]
+		if !ok {
+			obj = make(map[string]any)
+			top[g.prefix] = obj
+		}
+		g.w.Walk(&jsonVisitor{out: obj})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(top)
+}
+
+type jsonVisitor struct{ out map[string]any }
+
+func (j *jsonVisitor) Counter(name string, v uint64) { j.out[name] = v }
+func (j *jsonVisitor) Gauge(name string, v int64)    { j.out[name] = v }
+func (j *jsonVisitor) Histogram(name string, h HistogramSnapshot) {
+	type bucket struct {
+		LE uint64 `json:"le"`
+		N  uint64 `json:"n"`
+	}
+	buckets := make([]bucket, 0, len(h.Bounds))
+	for i, bound := range h.Bounds {
+		if h.Counts[i] > 0 {
+			buckets = append(buckets, bucket{LE: uint64(bound), N: h.Counts[i]})
+		}
+	}
+	j.out[name] = map[string]any{
+		"count":    h.Count,
+		"sum":      h.Sum,
+		"overflow": h.Counts[len(h.Counts)-1],
+		"buckets":  buckets,
+	}
+}

@@ -1,0 +1,212 @@
+// Static metric sets for the three instrumented layers: protocol endpoints
+// (internal/core), verifying relays (internal/relay) and the UDP transport
+// (internal/udptransport). Fields are plain atomic counters so hot paths
+// pay exactly one atomic add; names, prefixes and formats exist only at
+// export time (Walk).
+
+package telemetry
+
+// EndpointMetrics counts one protocol endpoint's activity. It backs
+// core.Endpoint.Stats(): the endpoint increments these atomically from its
+// worker goroutine while Stats() and exporters read them from any other
+// goroutine without synchronization hazards.
+//
+// An EndpointMetrics can also serve as an aggregation target: the UDP
+// server folds every session's metrics into one set at scrape time (AddTo).
+type EndpointMetrics struct {
+	SentS1, SentA1, SentS2, SentA2 Counter
+	RecvS1, RecvA1, RecvS2, RecvA2 Counter
+	Retransmits                    Counter
+	Delivered, Acked, Nacked       Counter
+	Dropped                        Counter
+	BytesSent, BytesReceived       Counter
+	PayloadBytes                   Counter
+
+	// AckLatencyNS accumulates Send-to-verified-ack time in nanoseconds;
+	// AckLatencyMaxNS is the high watermark. AckLatency buckets the same
+	// observations.
+	AckLatencyNS    Counter
+	AckLatencyMaxNS Counter
+	AckLatency      Histogram
+	// PayloadSize buckets delivered (verified) payload sizes.
+	PayloadSize Histogram
+}
+
+// Init fixes the histogram bucket layouts; counters need no setup.
+func (m *EndpointMetrics) Init() *EndpointMetrics {
+	m.AckLatency.Init(LatencyBuckets)
+	m.PayloadSize.Init(SizeBuckets)
+	return m
+}
+
+// NewEndpointMetrics allocates an initialized set.
+func NewEndpointMetrics() *EndpointMetrics {
+	return new(EndpointMetrics).Init()
+}
+
+// endpointCounter pairs a counter with its export name; max marks
+// high-watermark fields that merge with SetMax instead of Add.
+type endpointCounter struct {
+	name string
+	c    *Counter
+	max  bool
+}
+
+func (m *EndpointMetrics) counters() [18]endpointCounter {
+	return [18]endpointCounter{
+		{"sent_s1", &m.SentS1, false},
+		{"sent_a1", &m.SentA1, false},
+		{"sent_s2", &m.SentS2, false},
+		{"sent_a2", &m.SentA2, false},
+		{"recv_s1", &m.RecvS1, false},
+		{"recv_a1", &m.RecvA1, false},
+		{"recv_s2", &m.RecvS2, false},
+		{"recv_a2", &m.RecvA2, false},
+		{"retransmits", &m.Retransmits, false},
+		{"delivered", &m.Delivered, false},
+		{"acked", &m.Acked, false},
+		{"nacked", &m.Nacked, false},
+		{"dropped", &m.Dropped, false},
+		{"bytes_sent", &m.BytesSent, false},
+		{"bytes_received", &m.BytesReceived, false},
+		{"payload_bytes", &m.PayloadBytes, false},
+		{"ack_latency_ns_sum", &m.AckLatencyNS, false},
+		{"ack_latency_ns_max", &m.AckLatencyMaxNS, true},
+	}
+}
+
+// Walk reports every metric to v.
+func (m *EndpointMetrics) Walk(v Visitor) {
+	cs := m.counters()
+	for i := range cs {
+		v.Counter(cs[i].name, cs[i].c.Load())
+	}
+	v.Histogram("ack_latency_ns", m.AckLatency.Snapshot())
+	v.Histogram("payload_size_bytes", m.PayloadSize.Snapshot())
+}
+
+// AddTo folds this set into dst (atomic loads and adds on both sides, so
+// both may be live). High-watermark fields merge as maxima; histograms
+// merge bucket-wise.
+func (m *EndpointMetrics) AddTo(dst *EndpointMetrics) {
+	src, d := m.counters(), dst.counters()
+	for i := range src {
+		n := src[i].c.Load()
+		if n == 0 {
+			continue
+		}
+		if src[i].max {
+			d[i].c.SetMax(n)
+		} else {
+			d[i].c.Add(n)
+		}
+	}
+	m.AckLatency.AddTo(&dst.AckLatency)
+	m.PayloadSize.AddTo(&dst.PayloadSize)
+}
+
+// RelayMetrics counts a verifying relay's activity, with one counter per
+// drop reason so hop-by-hop failures never vanish silently (agent-skipping
+// attacks on forwarding protocols are exactly the failures that per-hop
+// accounting surfaces).
+type RelayMetrics struct {
+	Forwarded Counter
+	Dropped   Counter
+	Handshake Counter
+
+	// Drop reasons (Malformed through Oversized mirror relay.Stats).
+	// Unknown counts unknown-association lookups, which drop only under
+	// the strict policy; the others always accompany a Dropped increment.
+	Malformed, Unknown, RateLimited Counter
+	BadElement, BadPayload, BadAck  Counter
+	Unsolicited, Oversized          Counter
+
+	ExtractedBytes Counter
+	// ExtractedSize buckets verified-and-extracted payload sizes.
+	ExtractedSize Histogram
+}
+
+// Init fixes the histogram bucket layout.
+func (m *RelayMetrics) Init() *RelayMetrics {
+	m.ExtractedSize.Init(SizeBuckets)
+	return m
+}
+
+// DropCounter returns the per-reason counter for a Reason code, or nil for
+// codes without a dedicated counter (e.g. ReasonStrictPolicy, which the
+// Unknown counter already covers at lookup time).
+func (m *RelayMetrics) DropCounter(code uint32) *Counter {
+	switch code {
+	case ReasonMalformed:
+		return &m.Malformed
+	case ReasonRateLimited:
+		return &m.RateLimited
+	case ReasonBadElement:
+		return &m.BadElement
+	case ReasonBadPayload:
+		return &m.BadPayload
+	case ReasonBadAck:
+		return &m.BadAck
+	case ReasonUnsolicited:
+		return &m.Unsolicited
+	case ReasonOversized:
+		return &m.Oversized
+	default:
+		return nil
+	}
+}
+
+// Walk reports every metric to v. Drop reasons export under a drop_ prefix
+// so dashboards can sum them as one family.
+func (m *RelayMetrics) Walk(v Visitor) {
+	v.Counter("forwarded", m.Forwarded.Load())
+	v.Counter("dropped", m.Dropped.Load())
+	v.Counter("handshakes", m.Handshake.Load())
+	v.Counter("drop_malformed", m.Malformed.Load())
+	v.Counter("drop_unknown_assoc", m.Unknown.Load())
+	v.Counter("drop_rate_limited", m.RateLimited.Load())
+	v.Counter("drop_bad_element", m.BadElement.Load())
+	v.Counter("drop_bad_payload", m.BadPayload.Load())
+	v.Counter("drop_bad_ack", m.BadAck.Load())
+	v.Counter("drop_unsolicited", m.Unsolicited.Load())
+	v.Counter("drop_oversized", m.Oversized.Load())
+	v.Counter("extracted_bytes", m.ExtractedBytes.Load())
+	v.Histogram("extracted_size_bytes", m.ExtractedSize.Snapshot())
+}
+
+// TransportMetrics counts UDP server activity: session lifecycle and the
+// datagram drops that previously vanished without a trace.
+type TransportMetrics struct {
+	SessionsCreated Counter
+	SessionsRemoved Counter
+	ActiveSessions  Gauge
+	Accepted        Counter
+
+	Datagrams Counter // datagrams read off the socket
+	Bytes     Counter // bytes read off the socket
+
+	// InboxDrops counts datagrams dropped because a session worker's
+	// bounded inbox was full (back-pressure, the UDP-native semantics).
+	InboxDrops Counter
+	// UnknownAssocDrops counts non-handshake datagrams for associations
+	// this server does not hold.
+	UnknownAssocDrops Counter
+	// ShortDatagrams counts reads below the minimum header size.
+	ShortDatagrams Counter
+	// EndpointFailures counts handshakes that could not spawn an endpoint.
+	EndpointFailures Counter
+}
+
+// Walk reports every metric to v.
+func (m *TransportMetrics) Walk(v Visitor) {
+	v.Counter("sessions_created", m.SessionsCreated.Load())
+	v.Counter("sessions_removed", m.SessionsRemoved.Load())
+	v.Gauge("active_sessions", m.ActiveSessions.Load())
+	v.Counter("accepted", m.Accepted.Load())
+	v.Counter("datagrams", m.Datagrams.Load())
+	v.Counter("bytes", m.Bytes.Load())
+	v.Counter("inbox_drops", m.InboxDrops.Load())
+	v.Counter("unknown_assoc_drops", m.UnknownAssocDrops.Load())
+	v.Counter("short_datagrams", m.ShortDatagrams.Load())
+	v.Counter("endpoint_failures", m.EndpointFailures.Load())
+}

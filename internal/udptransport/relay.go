@@ -11,6 +11,7 @@ import (
 	"alpha/internal/core"
 	"alpha/internal/relay"
 	"alpha/internal/suite"
+	"alpha/internal/telemetry"
 )
 
 // Relay forwards datagrams between two peers, applying ALPHA hop-by-hop
@@ -52,6 +53,10 @@ func (r *Relay) Stats() relay.Stats {
 	defer r.mu.Unlock()
 	return r.r.Stats()
 }
+
+// Telemetry returns the underlying relay's live metric set for export. The
+// counters are atomic, so no lock is needed to read them.
+func (r *Relay) Telemetry() *telemetry.RelayMetrics { return r.r.Telemetry() }
 
 // Close stops the relay and closes its socket.
 func (r *Relay) Close() error {

@@ -24,6 +24,7 @@ import (
 
 	"alpha/internal/core"
 	"alpha/internal/packet"
+	"alpha/internal/telemetry"
 )
 
 // sessionShards splits the association routing table so lookups from the
@@ -76,6 +77,14 @@ type Server struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	// tel counts transport activity; tracer (from cfg.Tracer) records
+	// session lifecycle and drop events. retired accumulates the endpoint
+	// metrics of removed sessions so server-wide aggregates never shrink
+	// when an association ends (see EndpointTelemetry).
+	tel     telemetry.TransportMetrics
+	tracer  *telemetry.Tracer
+	retired telemetry.EndpointMetrics
 }
 
 // NewServer starts serving. Each arriving handshake creates a responder
@@ -86,7 +95,9 @@ func NewServer(pc net.PacketConn, cfg core.Config) *Server {
 		cfg:      cfg,
 		acceptCh: make(chan struct{}, 1),
 		closed:   make(chan struct{}),
+		tracer:   cfg.Tracer,
 	}
+	s.retired.Init()
 	for i := range s.shards {
 		s.shards[i].sessions = make(map[uint64]*Session)
 	}
@@ -104,6 +115,7 @@ func (s *Server) Accept() (*Session, error) {
 			sess := s.pending[0]
 			s.pending = s.pending[1:]
 			s.acceptMu.Unlock()
+			s.tel.Accepted.Inc()
 			return sess, nil
 		}
 		s.acceptMu.Unlock()
@@ -171,52 +183,103 @@ func (s *Server) readLoop() {
 			}
 			return
 		}
-		if n < packet.HeaderSize {
-			bufPool.Put(bp)
-			continue
-		}
-		data := (*bp)[:n]
-		assoc := binary.BigEndian.Uint64(data[6:14])
-		typ := packet.Type(data[3])
-		now := time.Now()
-
-		sh := s.shard(assoc)
-		sh.mu.Lock()
-		sess, known := sh.sessions[assoc]
-		if !known {
-			if typ != packet.TypeHS1 {
-				sh.mu.Unlock()
-				bufPool.Put(bp)
-				continue // data for an association we do not hold
-			}
-			ep, err := core.NewEndpoint(s.cfg)
-			if err != nil {
-				sh.mu.Unlock()
-				bufPool.Put(bp)
-				continue
-			}
-			sess = newSession(s, ep, from)
-			sh.sessions[assoc] = sess
-		}
-		sh.mu.Unlock()
-
-		// Bounded hand-off: a full inbox means this session's worker is
-		// behind, and the datagram is dropped as the network would drop
-		// it. The single reader preserves per-session arrival order.
-		select {
-		case sess.inbox <- datagram{now: now, from: from, buf: bp, n: n}:
-		default:
-			bufPool.Put(bp)
-		}
+		s.dispatch(time.Now(), from, bp, n)
 	}
 }
 
-// remove drops a session from the routing table.
+// dispatch classifies one datagram and hands it to its session's worker,
+// creating the session for a fresh handshake. Every drop that used to be a
+// silent `continue` is counted here; split from readLoop so tests can drive
+// it directly.
+func (s *Server) dispatch(now time.Time, from net.Addr, bp *[]byte, n int) {
+	s.tel.Datagrams.Inc()
+	s.tel.Bytes.Add(uint64(n))
+	if n < packet.HeaderSize {
+		s.tel.ShortDatagrams.Inc()
+		bufPool.Put(bp)
+		return
+	}
+	data := (*bp)[:n]
+	assoc := binary.BigEndian.Uint64(data[6:14])
+	typ := packet.Type(data[3])
+
+	sh := s.shard(assoc)
+	sh.mu.Lock()
+	sess, known := sh.sessions[assoc]
+	if !known {
+		if typ != packet.TypeHS1 {
+			sh.mu.Unlock()
+			s.tel.UnknownAssocDrops.Inc()
+			s.tracer.Trace(now.UnixNano(), telemetry.TraceDrop, assoc, 0, telemetry.ReasonUnknownAssoc)
+			bufPool.Put(bp)
+			return // data for an association we do not hold
+		}
+		ep, err := core.NewEndpoint(s.cfg)
+		if err != nil {
+			sh.mu.Unlock()
+			s.tel.EndpointFailures.Inc()
+			bufPool.Put(bp)
+			return
+		}
+		sess = newSession(s, ep, from)
+		sh.sessions[assoc] = sess
+		s.tel.SessionsCreated.Inc()
+		s.tel.ActiveSessions.Inc()
+		s.tracer.Trace(now.UnixNano(), telemetry.TraceSessionStart, assoc, 0, 0)
+	}
+	sh.mu.Unlock()
+
+	// Bounded hand-off: a full inbox means this session's worker is
+	// behind, and the datagram is dropped as the network would drop
+	// it. The single reader preserves per-session arrival order.
+	select {
+	case sess.inbox <- datagram{now: now, from: from, buf: bp, n: n}:
+	default:
+		s.tel.InboxDrops.Inc()
+		s.tracer.Trace(now.UnixNano(), telemetry.TraceInboxDrop, assoc, 0, telemetry.ReasonInboxFull)
+		bufPool.Put(bp)
+	}
+}
+
+// remove drops a session from the routing table, folding its endpoint
+// counters into the retired set so server-wide aggregates survive session
+// churn. The presence check makes double-removal harmless.
 func (s *Server) remove(assoc uint64) {
 	sh := s.shard(assoc)
 	sh.mu.Lock()
-	delete(sh.sessions, assoc)
+	sess, ok := sh.sessions[assoc]
+	if ok {
+		delete(sh.sessions, assoc)
+	}
 	sh.mu.Unlock()
+	if !ok {
+		return
+	}
+	sess.ep.Telemetry().AddTo(&s.retired)
+	s.tel.SessionsRemoved.Inc()
+	s.tel.ActiveSessions.Dec()
+	s.tracer.Trace(time.Now().UnixNano(), telemetry.TraceSessionEnd, assoc, 0, 0)
+}
+
+// Telemetry returns the server's live transport metric set for export.
+func (s *Server) Telemetry() *telemetry.TransportMetrics { return &s.tel }
+
+// EndpointTelemetry sums the endpoint metrics of every session this server
+// has held — live sessions plus the retired fold — into a fresh set. Call
+// it at scrape time (e.g. from a telemetry.WalkerFunc) so the aggregate
+// tracks session churn without the hot path paying for aggregation.
+func (s *Server) EndpointTelemetry() *telemetry.EndpointMetrics {
+	agg := telemetry.NewEndpointMetrics()
+	s.retired.AddTo(agg)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, sess := range sh.sessions {
+			sess.ep.Telemetry().AddTo(agg)
+		}
+		sh.mu.Unlock()
+	}
+	return agg
 }
 
 // Session is one association served by a Server. Its API mirrors Conn.

@@ -1,0 +1,163 @@
+// Tests for the transport drop counters: every datagram the server used to
+// discard silently must now show up in TransportMetrics (and the tracer).
+
+package udptransport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"alpha/internal/core"
+	"alpha/internal/packet"
+	"alpha/internal/telemetry"
+)
+
+// dispatchRaw feeds one crafted datagram through Server.dispatch the way the
+// read loop would, using a pooled buffer.
+func dispatchRaw(s *Server, raw []byte) {
+	bp := bufPool.Get().(*[]byte)
+	n := copy(*bp, raw)
+	s.dispatch(time.Now(), &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9999}, bp, n)
+}
+
+func newTelemetryServer(t *testing.T, tracer *telemetry.Tracer) *Server {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(pc, core.Config{ChainLen: 16, Tracer: tracer})
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestServerCountsUnknownAssocDrops(t *testing.T) {
+	tracer := telemetry.NewTracer(64)
+	srv := newTelemetryServer(t, tracer)
+
+	raw, err := packet.Encode(packet.Header{
+		Type: packet.TypeS2, Suite: 1, Flags: core.FlagInitiator, Assoc: 777, Seq: 1,
+	}, &packet.S2{Mode: packet.ModeBase, KeyIdx: 2, Key: make([]byte, 20), Payload: []byte("stray")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dispatchRaw(srv, raw)
+
+	m := srv.Telemetry()
+	if got := m.UnknownAssocDrops.Load(); got != 1 {
+		t.Fatalf("UnknownAssocDrops = %d, want 1", got)
+	}
+	if got := m.Datagrams.Load(); got != 1 {
+		t.Fatalf("Datagrams = %d, want 1", got)
+	}
+	if got := m.Bytes.Load(); got != uint64(len(raw)) {
+		t.Fatalf("Bytes = %d, want %d", got, len(raw))
+	}
+	if srv.Sessions() != 0 {
+		t.Fatal("stray data packet created a session")
+	}
+	// The drop also left a trace with the matching reason code.
+	found := false
+	for _, ev := range tracer.Snapshot() {
+		if ev.Kind == telemetry.TraceDrop && ev.Assoc == 777 && ev.Detail == telemetry.ReasonUnknownAssoc {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unknown-assoc drop left no trace event")
+	}
+}
+
+func TestServerCountsShortDatagrams(t *testing.T) {
+	srv := newTelemetryServer(t, nil)
+	dispatchRaw(srv, []byte{1, 2, 3}) // below packet.HeaderSize
+	m := srv.Telemetry()
+	if got := m.ShortDatagrams.Load(); got != 1 {
+		t.Fatalf("ShortDatagrams = %d, want 1", got)
+	}
+	if got := m.Datagrams.Load(); got != 1 {
+		t.Fatalf("Datagrams = %d, want 1", got)
+	}
+}
+
+func TestServerCountsInboxDrops(t *testing.T) {
+	tracer := telemetry.NewTracer(256)
+	srv := newTelemetryServer(t, tracer)
+
+	// A syntactically plausible handshake datagram: dispatch only inspects
+	// the type and association bytes, so a header-shaped buffer creates the
+	// session (the engine itself would reject it later).
+	const assoc = uint64(0x1122334455667788)
+	hs := make([]byte, packet.HeaderSize)
+	hs[3] = byte(packet.TypeHS1)
+	for i := 0; i < 8; i++ {
+		hs[6+i] = byte(assoc >> (56 - 8*i))
+	}
+	dispatchRaw(srv, hs)
+	if got := srv.Telemetry().SessionsCreated.Load(); got != 1 {
+		t.Fatalf("SessionsCreated = %d, want 1", got)
+	}
+	if got := srv.Telemetry().ActiveSessions.Load(); got != 1 {
+		t.Fatalf("ActiveSessions = %d, want 1", got)
+	}
+
+	// Stop the session's worker so nothing drains the inbox, then overrun
+	// it: the bounded hand-off must drop the excess, counted.
+	sh := srv.shard(assoc)
+	sh.mu.Lock()
+	sess := sh.sessions[assoc]
+	sh.mu.Unlock()
+	sess.stop()
+	time.Sleep(50 * time.Millisecond) // let the worker notice and exit
+
+	const extra = 10
+	for i := 0; i < inboxSize+extra; i++ {
+		dispatchRaw(srv, hs)
+	}
+	m := srv.Telemetry()
+	// Exact drop counts depend on how many datagrams the worker consumed
+	// before exiting (zero, one, or the initial handshake), so allow slack
+	// around the overflow count — but drops must register.
+	if got := m.InboxDrops.Load(); got == 0 || got > extra+1 {
+		t.Fatalf("InboxDrops = %d, want 1..%d", got, extra+1)
+	}
+	found := false
+	for _, ev := range tracer.Snapshot() {
+		if ev.Kind == telemetry.TraceInboxDrop && ev.Assoc == assoc && ev.Detail == telemetry.ReasonInboxFull {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inbox drop left no trace event")
+	}
+}
+
+func TestServerRemoveFoldsRetiredSessions(t *testing.T) {
+	srv := newTelemetryServer(t, nil)
+	const assoc = 42
+	hs := make([]byte, packet.HeaderSize)
+	hs[3] = byte(packet.TypeHS1)
+	hs[13] = assoc // low byte of the big-endian association ID
+	dispatchRaw(srv, hs)
+	if srv.Sessions() != 1 {
+		t.Fatalf("Sessions = %d, want 1", srv.Sessions())
+	}
+
+	// Removal folds the endpoint's counters into the server aggregate and
+	// updates the lifecycle metrics; a second removal is a no-op.
+	srv.remove(assoc)
+	srv.remove(assoc)
+	m := srv.Telemetry()
+	if got := m.SessionsRemoved.Load(); got != 1 {
+		t.Fatalf("SessionsRemoved = %d, want 1 (double remove must not double count)", got)
+	}
+	if got := m.ActiveSessions.Load(); got != 0 {
+		t.Fatalf("ActiveSessions = %d, want 0", got)
+	}
+	// The aggregate view still answers after the session is gone.
+	agg := srv.EndpointTelemetry()
+	if agg == nil {
+		t.Fatal("EndpointTelemetry returned nil")
+	}
+}
