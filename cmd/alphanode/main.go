@@ -18,6 +18,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	"alpha/internal/core"
@@ -45,6 +46,8 @@ func main() {
 		anchorsF  = flag.String("anchors", "", "anchor set (JSON) to seed a relay with (relay role)")
 		metrics   = flag.String("metrics-addr", "", "serve /metrics (Prometheus; ?format=json) and /trace on this HTTP address")
 		traceLen  = flag.Int("trace-size", 4096, "packet-trace ring size (most recent events kept)")
+		ioBatch   = flag.Int("io-batch", 0, "datagrams per recvmmsg/sendmmsg syscall (0 = default; 1 effectively disables batching)")
+		reuse     = flag.Int("reuseport", 0, "serve role: SO_REUSEPORT read loops sharing the port (0 = single socket; capped at GOMAXPROCS; Linux only)")
 	)
 	flag.Parse()
 
@@ -86,8 +89,16 @@ func main() {
 		_ = exp.WriteText(os.Stdout)
 	}
 
-	pc, err := net.ListenPacket("udp", *addr)
-	fatalIf(err)
+	ioOpts := udptransport.IOOptions{Batch: *ioBatch}
+
+	// The reuseport server binds its own socket group, so only bind the
+	// shared socket here when a role will actually use it.
+	var pc net.PacketConn
+	if !(*role == "serve" && *reuse > 0) {
+		var err error
+		pc, err = net.ListenPacket("udp", *addr)
+		fatalIf(err)
+	}
 
 	// Preconfigured endpoints skip the handshake entirely (§3.4 static
 	// bootstrapping): load the record and wrap the socket directly.
@@ -101,13 +112,27 @@ func main() {
 		ep, err := core.NewPreconfiguredEndpoint(prov)
 		fatalIf(err)
 		fmt.Printf("preconfigured association %016x ready (no handshake)\n", ep.Assoc())
-		return udptransport.Wrap(pc, ep, peer)
+		return udptransport.WrapOpts(pc, ep, peer, ioOpts)
 	}
 
 	switch *role {
 	case "serve":
-		// Multi-association responder: accepts any number of dialers.
-		srv := udptransport.NewServer(pc, cfg)
+		// Multi-association responder: accepts any number of dialers. With
+		// -reuseport N the kernel shards inbound flows across N sockets,
+		// each drained by its own batched read loop.
+		var srv *udptransport.Server
+		if *reuse > 0 {
+			n := *reuse
+			if max := runtime.GOMAXPROCS(0); n > max {
+				n = max
+			}
+			var err error
+			srv, err = udptransport.NewReusePortServer("udp", *addr, n, cfg, ioOpts)
+			fatalIf(err)
+			fmt.Printf("SO_REUSEPORT: %d read loops\n", n)
+		} else {
+			srv = udptransport.NewServerOpts(cfg, ioOpts, pc)
+		}
 		defer srv.Close()
 		exp.Register("alpha_transport", srv.Telemetry())
 		// Endpoint metrics aggregate across sessions at scrape time.
@@ -147,7 +172,7 @@ func main() {
 			conn = loadProvisioned(nil)
 		} else {
 			var err error
-			conn, err = udptransport.Listen(pc, cfg, *wait)
+			conn, err = udptransport.ListenOpts(pc, cfg, *wait, ioOpts)
 			fatalIf(err)
 		}
 		defer conn.Close()
@@ -181,7 +206,7 @@ func main() {
 		if *provision != "" {
 			conn = loadProvisioned(peerAddr)
 		} else {
-			conn, err = udptransport.Dial(pc, peerAddr, cfg, 10*time.Second)
+			conn, err = udptransport.DialOpts(pc, peerAddr, cfg, 10*time.Second, ioOpts)
 			fatalIf(err)
 		}
 		defer conn.Close()
@@ -226,8 +251,9 @@ func main() {
 		fatalIf(err)
 		b, err := net.ResolveUDPAddr("udp", *bAddr)
 		fatalIf(err)
-		r := udptransport.NewRelay(pc, a, b, relay.Config{Tracer: tracer})
+		r := udptransport.NewRelayOpts(pc, a, b, relay.Config{Tracer: tracer}, ioOpts)
 		exp.Register("alpha_relay", r.Telemetry())
+		exp.Register("alpha_relay_transport", r.TransportTelemetry())
 		if *anchorsF != "" {
 			data, err := os.ReadFile(*anchorsF)
 			fatalIf(err)

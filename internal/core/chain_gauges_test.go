@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"alpha/internal/packet"
+)
+
+// TestChainGaugesTrackDepletion checks the chain-pressure gauges: fresh
+// endpoints report full chains, every exchange moves the sender's signature
+// gauge and the receiver's acknowledgment gauge, and a rekey restores them.
+func TestChainGaugesTrackDepletion(t *testing.T) {
+	cfg := baseConfig(packet.ModeBase, true)
+	h := newHarness(t, cfg)
+	h.handshake()
+
+	am, bm := h.a.Telemetry(), h.b.Telemetry()
+	if got := am.SigChainLen.Load(); got != int64(cfg.ChainLen) {
+		t.Fatalf("SigChainLen = %d, want %d", got, cfg.ChainLen)
+	}
+	full := am.SigChainRemaining.Load()
+	if full <= 0 || full > int64(cfg.ChainLen) {
+		t.Fatalf("fresh SigChainRemaining = %d, want 1..%d", full, cfg.ChainLen)
+	}
+	bFullAck := bm.AckChainRemaining.Load()
+
+	const sends = 5
+	for i := 0; i < sends; i++ {
+		if _, err := h.a.Send(h.now, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		h.a.Flush(h.now)
+		h.run(20)
+	}
+	// Each exchange consumes at least one pair per side (reliable mode may
+	// consume more); the gauges must have moved by at least that much.
+	depleted := am.SigChainRemaining.Load()
+	if depleted > full-sends {
+		t.Fatalf("after %d exchanges SigChainRemaining = %d, want <= %d", sends, depleted, full-sends)
+	}
+	if got := bm.AckChainRemaining.Load(); got > bFullAck-sends {
+		t.Fatalf("after %d exchanges peer AckChainRemaining = %d, want <= %d", sends, got, bFullAck-sends)
+	}
+
+	// A rekey swaps in fresh chains; the gauges must snap back up.
+	if _, err := h.a.Rekey(h.now); err != nil {
+		t.Fatalf("Rekey: %v", err)
+	}
+	h.run(40)
+	if h.countKind(h.a, EventRekeyed) == 0 {
+		t.Fatal("rekey never completed")
+	}
+	if got := am.SigChainRemaining.Load(); got <= depleted {
+		t.Fatalf("post-rekey SigChainRemaining = %d, want > %d", got, depleted)
+	}
+}

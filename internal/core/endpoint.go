@@ -168,7 +168,18 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 	if _, err := rand.Read(e.nonce); err != nil {
 		return nil, fmt.Errorf("core: generating nonce: %w", err)
 	}
+	e.noteChainGauges()
 	return e, nil
+}
+
+// noteChainGauges refreshes the chain-pressure gauges from the live chain
+// state. Called wherever a chain element is consumed or a chain is swapped,
+// so exporters watch depletion approach long before EventChainLow fires.
+func (e *Endpoint) noteChainGauges() {
+	e.tel.SigChainRemaining.Set(int64(e.sigChain.Remaining()))
+	e.tel.SigChainLen.Set(int64(e.sigChain.Len()))
+	e.tel.AckChainRemaining.Set(int64(e.ackChain.Remaining()))
+	e.tel.AckChainLen.Set(int64(e.ackChain.Len()))
 }
 
 func newOwner(cfg Config, tagOdd, tagEven []byte) (hashchain.Owner, error) {

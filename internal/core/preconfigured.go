@@ -215,5 +215,6 @@ func NewPreconfiguredEndpoint(p *Provisioned) (*Endpoint, error) {
 	if _, err := rand.Read(e.nonce); err != nil {
 		return nil, err
 	}
+	e.noteChainGauges()
 	return e, nil
 }

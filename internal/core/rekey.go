@@ -155,6 +155,7 @@ func (e *Endpoint) maybeCompleteRekey(msgID uint64) {
 	e.ackChain = e.rekey.newAck
 	e.rekey = nil
 	e.chainLow = false
+	e.noteChainGauges()
 	e.emit(Event{Kind: EventRekeyed, MsgID: msgID})
 }
 

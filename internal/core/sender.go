@@ -137,6 +137,7 @@ func (e *Endpoint) startExchange(now time.Time, batch []*outMsg) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrChainExhausted, err)
 	}
+	e.noteChainGauges()
 	if !e.chainLow && e.sigChain.Remaining() < e.sigChain.Len()/3 {
 		e.chainLow = true
 		e.emit(Event{Kind: EventChainLow})

@@ -99,9 +99,9 @@ func TestWriteText(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	// Sorted output, one metric per line: 18 counters + 2 histograms.
-	if len(lines) != 20 {
-		t.Fatalf("got %d lines, want 20\n%s", len(lines), buf.String())
+	// Sorted output, one metric per line: 18 counters + 4 gauges + 2 histograms.
+	if len(lines) != 24 {
+		t.Fatalf("got %d lines, want 24\n%s", len(lines), buf.String())
 	}
 	for i := 1; i < len(lines); i++ {
 		if lines[i-1] > lines[i] {

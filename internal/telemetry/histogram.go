@@ -30,6 +30,12 @@ var SizeBuckets = []int64{
 	1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 64 << 10,
 }
 
+// BatchBuckets is the bucket layout for datagrams-per-syscall batch sizes
+// on the batched UDP I/O paths: powers of two from a lone datagram up past
+// the default recvmmsg/sendmmsg window, so the histogram shows directly how
+// full each socket operation ran.
+var BatchBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
 // Histogram counts observations into fixed buckets. It must be initialized
 // with Init before use; Observe on an uninitialized histogram is a no-op.
 // All methods are safe for concurrent use and allocation-free except

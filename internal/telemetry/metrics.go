@@ -30,6 +30,14 @@ type EndpointMetrics struct {
 	AckLatency      Histogram
 	// PayloadSize buckets delivered (verified) payload sizes.
 	PayloadSize Histogram
+
+	// Chain-pressure gauges: undisclosed elements remaining on the local
+	// signature and acknowledgment chains, next to their disclosable
+	// lengths, so rekey pressure is a plottable ratio on a dashboard
+	// before EventChainLow fires (that event triggers at remaining <
+	// len/3, by which point the chain is already two-thirds spent).
+	SigChainRemaining, AckChainRemaining Gauge
+	SigChainLen, AckChainLen             Gauge
 }
 
 // Init fixes the histogram bucket layouts; counters need no setup.
@@ -75,11 +83,31 @@ func (m *EndpointMetrics) counters() [18]endpointCounter {
 	}
 }
 
+// gauges pairs each chain gauge with its export name.
+func (m *EndpointMetrics) gauges() [4]struct {
+	name string
+	g    *Gauge
+} {
+	return [4]struct {
+		name string
+		g    *Gauge
+	}{
+		{"sig_chain_remaining", &m.SigChainRemaining},
+		{"sig_chain_len", &m.SigChainLen},
+		{"ack_chain_remaining", &m.AckChainRemaining},
+		{"ack_chain_len", &m.AckChainLen},
+	}
+}
+
 // Walk reports every metric to v.
 func (m *EndpointMetrics) Walk(v Visitor) {
 	cs := m.counters()
 	for i := range cs {
 		v.Counter(cs[i].name, cs[i].c.Load())
+	}
+	gs := m.gauges()
+	for i := range gs {
+		v.Gauge(gs[i].name, gs[i].g.Load())
 	}
 	v.Histogram("ack_latency_ns", m.AckLatency.Snapshot())
 	v.Histogram("payload_size_bytes", m.PayloadSize.Snapshot())
@@ -99,6 +127,12 @@ func (m *EndpointMetrics) AddTo(dst *EndpointMetrics) {
 			d[i].c.SetMax(n)
 		} else {
 			d[i].c.Add(n)
+		}
+	}
+	gs, dg := m.gauges(), dst.gauges()
+	for i := range gs {
+		if n := gs[i].g.Load(); n != 0 {
+			dg[i].g.Add(n)
 		}
 	}
 	m.AckLatency.AddTo(&dst.AckLatency)
@@ -174,9 +208,99 @@ func (m *RelayMetrics) Walk(v Visitor) {
 	v.Histogram("extracted_size_bytes", m.ExtractedSize.Snapshot())
 }
 
+// IOMetrics counts one socket path's batched datagram I/O: how many socket
+// operations moved how many datagrams. On the recvmmsg/sendmmsg engine one
+// batch is one syscall, so datagrams−batches is the syscall budget that
+// batching saved (exported as io_*_syscalls_saved); on the portable
+// fallback every operation carries a single datagram and the saving reads
+// zero — which is exactly the comparison BenchmarkUDPBurst records.
+type IOMetrics struct {
+	ReadBatches      Counter
+	WriteBatches     Counter
+	DatagramsRead    Counter
+	DatagramsWritten Counter
+
+	// ReadBatchSize / WriteBatchSize bucket datagrams-per-operation — the
+	// live evidence behind tuning -io-batch.
+	ReadBatchSize  Histogram
+	WriteBatchSize Histogram
+}
+
+// Init fixes the histogram bucket layouts.
+func (m *IOMetrics) Init() *IOMetrics {
+	m.ReadBatchSize.Init(BatchBuckets)
+	m.WriteBatchSize.Init(BatchBuckets)
+	return m
+}
+
+// NoteRead records one read operation that delivered n datagrams.
+func (m *IOMetrics) NoteRead(n int) {
+	m.ReadBatches.Inc()
+	m.DatagramsRead.Add(uint64(n))
+	m.ReadBatchSize.Observe(int64(n))
+}
+
+// NoteWrite records one write operation that sent n datagrams.
+func (m *IOMetrics) NoteWrite(n int) {
+	m.WriteBatches.Inc()
+	m.DatagramsWritten.Add(uint64(n))
+	m.WriteBatchSize.Observe(int64(n))
+}
+
+// Walk reports every metric to v, including the derived syscalls-saved
+// pair.
+func (m *IOMetrics) Walk(v Visitor) {
+	rb, wb := m.ReadBatches.Load(), m.WriteBatches.Load()
+	dr, dw := m.DatagramsRead.Load(), m.DatagramsWritten.Load()
+	v.Counter("io_read_batches", rb)
+	v.Counter("io_write_batches", wb)
+	v.Counter("io_datagrams_read", dr)
+	v.Counter("io_datagrams_written", dw)
+	var savedR, savedW uint64
+	if dr > rb {
+		savedR = dr - rb
+	}
+	if dw > wb {
+		savedW = dw - wb
+	}
+	v.Counter("io_read_syscalls_saved", savedR)
+	v.Counter("io_write_syscalls_saved", savedW)
+	v.Histogram("io_read_batch_size", m.ReadBatchSize.Snapshot())
+	v.Histogram("io_write_batch_size", m.WriteBatchSize.Snapshot())
+}
+
+// RelayTransportMetrics counts the UDP relay's socket-level activity — the
+// datagram layer beneath relay.Relay's per-verdict counters.
+type RelayTransportMetrics struct {
+	IO IOMetrics
+
+	Datagrams Counter // datagrams read off the socket
+	Bytes     Counter // bytes read off the socket
+	// UnknownPeerDrops counts datagrams from addresses other than the two
+	// configured peers, discarded before verification (previously a silent
+	// continue).
+	UnknownPeerDrops Counter
+}
+
+// Init fixes the embedded histogram layouts.
+func (m *RelayTransportMetrics) Init() *RelayTransportMetrics {
+	m.IO.Init()
+	return m
+}
+
+// Walk reports every metric to v.
+func (m *RelayTransportMetrics) Walk(v Visitor) {
+	v.Counter("datagrams", m.Datagrams.Load())
+	v.Counter("bytes", m.Bytes.Load())
+	v.Counter("unknown_peer_drops", m.UnknownPeerDrops.Load())
+	m.IO.Walk(v)
+}
+
 // TransportMetrics counts UDP server activity: session lifecycle and the
 // datagram drops that previously vanished without a trace.
 type TransportMetrics struct {
+	IO IOMetrics
+
 	SessionsCreated Counter
 	SessionsRemoved Counter
 	ActiveSessions  Gauge
@@ -197,8 +321,15 @@ type TransportMetrics struct {
 	EndpointFailures Counter
 }
 
+// Init fixes the embedded histogram layouts; counters need no setup.
+func (m *TransportMetrics) Init() *TransportMetrics {
+	m.IO.Init()
+	return m
+}
+
 // Walk reports every metric to v.
 func (m *TransportMetrics) Walk(v Visitor) {
+	m.IO.Walk(v)
 	v.Counter("sessions_created", m.SessionsCreated.Load())
 	v.Counter("sessions_removed", m.SessionsRemoved.Load())
 	v.Gauge("active_sessions", m.ActiveSessions.Load())

@@ -1,0 +1,16 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package udpio
+
+import (
+	"errors"
+	"net"
+
+	"alpha/internal/telemetry"
+)
+
+// newBatchConn reports that the OS batched path is unavailable here; Wrap
+// falls back to the portable engine.
+func newBatchConn(*net.UDPConn, int, *telemetry.IOMetrics) (Conn, error) {
+	return nil, errors.New("udpio: batched I/O unsupported on this platform")
+}

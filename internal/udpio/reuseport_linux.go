@@ -1,0 +1,57 @@
+//go:build linux
+
+package udpio
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT, absent from the frozen stdlib syscall
+// tables. It is 15 on every Linux ABI the batched path supports (mips and
+// sparc renumber it, and are not batched targets).
+const soReusePort = 0xf
+
+// ReusePortSupported reports whether ListenReusePort works on this
+// platform.
+func ReusePortSupported() bool { return true }
+
+// ListenReusePort opens n UDP sockets bound to the same local address with
+// SO_REUSEPORT, so the kernel shards inbound flows across them and each
+// socket can run its own read loop on its own core. addr may carry port 0:
+// the first socket picks the port and the rest join it.
+func ListenReusePort(network, addr string, n int) ([]net.PacketConn, error) {
+	if n < 1 {
+		n = 1
+	}
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	pcs := make([]net.PacketConn, 0, n)
+	for i := 0; i < n; i++ {
+		pc, err := lc.ListenPacket(context.Background(), network, addr)
+		if err != nil {
+			for _, p := range pcs {
+				p.Close()
+			}
+			return nil, fmt.Errorf("udpio: reuseport socket %d: %w", i, err)
+		}
+		pcs = append(pcs, pc)
+		if i == 0 {
+			// Subsequent sockets must join the concrete port the kernel
+			// picked, not re-roll port 0.
+			addr = pc.LocalAddr().String()
+		}
+	}
+	return pcs, nil
+}

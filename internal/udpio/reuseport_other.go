@@ -1,0 +1,18 @@
+//go:build !linux
+
+package udpio
+
+import (
+	"errors"
+	"net"
+)
+
+// ReusePortSupported reports whether ListenReusePort works on this
+// platform.
+func ReusePortSupported() bool { return false }
+
+// ListenReusePort is Linux-only; other platforms keep the single-socket
+// read loop.
+func ListenReusePort(network, addr string, n int) ([]net.PacketConn, error) {
+	return nil, errors.New("udpio: SO_REUSEPORT sharding is Linux-only")
+}

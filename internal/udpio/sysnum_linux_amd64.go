@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package udpio
+
+// Raw syscall numbers for the batched datagram ops. sendmmsg (Linux 3.0)
+// postdates the standard library's frozen syscall tables, so both numbers
+// are spelled out per architecture.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

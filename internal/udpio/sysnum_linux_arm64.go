@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package udpio
+
+// Raw syscall numbers for the batched datagram ops on the arm64 ABI.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

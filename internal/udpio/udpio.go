@@ -1,0 +1,114 @@
+// Package udpio is the batched datagram I/O engine beneath the UDP
+// transport. On Linux it drains and fills the socket with recvmmsg and
+// sendmmsg — one syscall moves up to a whole ALPHA-C/M burst of datagrams —
+// and everywhere else it degrades to a portable one-datagram-at-a-time shim
+// behind the same interface, so the transport code above it never branches
+// on platform.
+//
+// Buffer ownership follows one rule (DESIGN.md §5e): the caller owns every
+// Message.Buf. ReadBatch writes into caller-provided buffers and never
+// retains them past the call; WriteBatch reads from them and returns only
+// after the kernel has copied the data out, so a buffer may be recycled the
+// moment either call returns.
+//
+// Deadlines set on the underlying socket (SetReadDeadline and friends)
+// apply to both engines: the batched path waits for readiness through the
+// runtime netpoller, exactly like net.PacketConn reads.
+package udpio
+
+import (
+	"net"
+
+	"alpha/internal/telemetry"
+)
+
+// DefaultBatch is the batch size transports use when none is configured:
+// large enough to carry an entire ALPHA-C/M burst (the S1 plus BatchSize
+// S2s) in one syscall, small enough that a slab of MaxPacketSize read
+// buffers stays modest.
+const DefaultBatch = 64
+
+// Message is one datagram in a batch: its buffer, the valid length, and
+// the source (after ReadBatch) or destination (for WriteBatch) address.
+type Message struct {
+	Buf  []byte
+	N    int
+	Addr net.Addr
+}
+
+// Conn is a datagram socket with batched read and write paths.
+//
+// ReadBatch blocks until at least one datagram is available, then fills as
+// many of ms as the socket can supply without blocking again and returns
+// the count; every ms[i].Buf must be non-empty. WriteBatch transmits all
+// messages (ms[i].Buf[:ms[i].N] to ms[i].Addr) and returns the number sent,
+// short only on error. Both are safe for concurrent use.
+type Conn interface {
+	ReadBatch(ms []Message) (int, error)
+	WriteBatch(ms []Message) (int, error)
+	// Batched reports whether the OS batched path (recvmmsg/sendmmsg) is
+	// live rather than the portable fallback.
+	Batched() bool
+}
+
+// Wrap returns the best Conn for pc: the recvmmsg/sendmmsg engine when pc
+// is a *net.UDPConn on a supported platform, the portable shim otherwise.
+// batch caps the datagrams moved per syscall (0 means DefaultBatch); m
+// receives I/O accounting and may be nil.
+func Wrap(pc net.PacketConn, batch int, m *telemetry.IOMetrics) Conn {
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	if m == nil {
+		m = new(telemetry.IOMetrics)
+	}
+	if uc, ok := pc.(*net.UDPConn); ok {
+		if c, err := newBatchConn(uc, batch, m); err == nil {
+			return c
+		}
+	}
+	return &portableConn{pc: pc, m: m}
+}
+
+// Portable wraps pc with the one-datagram-at-a-time fallback regardless of
+// platform — the reference implementation the batched engine must agree
+// with, and the switch for exercising the portable path on Linux.
+func Portable(pc net.PacketConn, m *telemetry.IOMetrics) Conn {
+	if m == nil {
+		m = new(telemetry.IOMetrics)
+	}
+	return &portableConn{pc: pc, m: m}
+}
+
+// portableConn implements Conn over any net.PacketConn with one datagram
+// per socket operation: ReadBatch fills exactly one message, WriteBatch
+// loops WriteTo.
+type portableConn struct {
+	pc net.PacketConn
+	m  *telemetry.IOMetrics
+}
+
+func (c *portableConn) Batched() bool { return false }
+
+func (c *portableConn) ReadBatch(ms []Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	n, addr, err := c.pc.ReadFrom(ms[0].Buf)
+	if err != nil {
+		return 0, err
+	}
+	ms[0].N, ms[0].Addr = n, addr
+	c.m.NoteRead(1)
+	return 1, nil
+}
+
+func (c *portableConn) WriteBatch(ms []Message) (int, error) {
+	for i := range ms {
+		if _, err := c.pc.WriteTo(ms[i].Buf[:ms[i].N], ms[i].Addr); err != nil {
+			return i, err
+		}
+		c.m.NoteWrite(1)
+	}
+	return len(ms), nil
+}

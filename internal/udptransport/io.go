@@ -1,0 +1,42 @@
+// I/O engine selection for the UDP transport. Every socket the package
+// touches is wrapped in a udpio.Conn: batched recvmmsg/sendmmsg where the
+// platform supports it, the portable one-datagram shim everywhere else.
+
+package udptransport
+
+import (
+	"alpha/internal/telemetry"
+	"alpha/internal/udpio"
+	"net"
+)
+
+// IOOptions selects and sizes the datagram I/O engine.
+type IOOptions struct {
+	// Batch caps the datagrams moved per syscall on the batched engine and
+	// sizes the read slabs. 0 means udpio.DefaultBatch.
+	Batch int
+	// ForcePortable pins the portable one-datagram engine even where the
+	// batched one is available — the switch the dual-engine test suite and
+	// the before/after benchmarks flip.
+	ForcePortable bool
+}
+
+func (o IOOptions) batch() int {
+	if o.Batch <= 0 {
+		return udpio.DefaultBatch
+	}
+	return o.Batch
+}
+
+// wrap builds the configured engine over pc.
+func (o IOOptions) wrap(pc net.PacketConn, m *telemetry.IOMetrics) udpio.Conn {
+	if o.ForcePortable {
+		return udpio.Portable(pc, m)
+	}
+	return udpio.Wrap(pc, o.batch(), m)
+}
+
+// connBatch sizes a single-association Conn's read slab: one association
+// never needs the server's full burst depth, and each slab slot pins a
+// MaxPacketSize buffer.
+const connBatch = 8

@@ -12,19 +12,26 @@ import (
 	"alpha/internal/relay"
 	"alpha/internal/suite"
 	"alpha/internal/telemetry"
+	"alpha/internal/udpio"
 )
 
 // Relay forwards datagrams between two peers, applying ALPHA hop-by-hop
 // verification to everything it relays. Packets arriving from addresses
-// other than the two configured peers are ignored.
+// other than the two configured peers are dropped (and counted). The data
+// path is batched end to end: one recvmmsg drains a burst into a slab of
+// pooled buffers, every verified datagram of the burst is forwarded with
+// one sendmmsg, and the slab is reused for the next burst.
 type Relay struct {
 	pc   net.PacketConn
-	a, b net.Addr
+	io   udpio.Conn
+	a, b *net.UDPAddr
 	r    *relay.Relay
 	mu   sync.Mutex
 
 	// OnDecision, if set, observes every verdict.
 	OnDecision func(d relay.Decision)
+
+	tel telemetry.RelayTransportMetrics
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -33,10 +40,46 @@ type Relay struct {
 
 // NewRelay creates a verifying UDP relay between peers a and b.
 func NewRelay(pc net.PacketConn, a, b net.Addr, cfg relay.Config) *Relay {
-	r := &Relay{pc: pc, a: a, b: b, r: relay.New(cfg), closed: make(chan struct{})}
+	return NewRelayOpts(pc, a, b, cfg, IOOptions{})
+}
+
+// NewRelayOpts is NewRelay with an explicit I/O engine selection.
+func NewRelayOpts(pc net.PacketConn, a, b net.Addr, cfg relay.Config, opts IOOptions) *Relay {
+	r := &Relay{
+		pc:     pc,
+		a:      asUDPAddr(a),
+		b:      asUDPAddr(b),
+		r:      relay.New(cfg),
+		closed: make(chan struct{}),
+	}
+	r.tel.Init()
+	r.io = opts.wrap(pc, &r.tel.IO)
 	r.wg.Add(1)
-	go r.loop()
+	go r.loop(opts.batch())
 	return r
+}
+
+// asUDPAddr resolves the configured peer to a comparable form once, so the
+// hot loop never calls Addr.String.
+func asUDPAddr(a net.Addr) *net.UDPAddr {
+	if ua, ok := a.(*net.UDPAddr); ok {
+		return ua
+	}
+	ua, err := net.ResolveUDPAddr("udp", a.String())
+	if err != nil {
+		return &net.UDPAddr{}
+	}
+	return ua
+}
+
+// sameAddr reports whether from is the configured peer, without
+// allocating.
+func sameAddr(from net.Addr, peer *net.UDPAddr) bool {
+	ua, ok := from.(*net.UDPAddr)
+	if !ok {
+		return false
+	}
+	return ua.Port == peer.Port && ua.IP.Equal(peer.IP)
 }
 
 // Seed installs a statically provisioned association (§3.4) so the relay
@@ -58,6 +101,11 @@ func (r *Relay) Stats() relay.Stats {
 // counters are atomic, so no lock is needed to read them.
 func (r *Relay) Telemetry() *telemetry.RelayMetrics { return r.r.Telemetry() }
 
+// TransportTelemetry returns the relay's socket-level metric set: datagram
+// and byte counts, unknown-peer drops, and the I/O engine's batch
+// accounting.
+func (r *Relay) TransportTelemetry() *telemetry.RelayTransportMetrics { return &r.tel }
+
 // Close stops the relay and closes its socket.
 func (r *Relay) Close() error {
 	r.closeOnce.Do(func() {
@@ -68,37 +116,63 @@ func (r *Relay) Close() error {
 	return nil
 }
 
-func (r *Relay) loop() {
+// loop is the relay data path. The read slab comes from the shared buffer
+// pool and is reused for every burst: WriteBatch returns only after the
+// kernel has copied the forwarded datagrams out, and relay.Process copies
+// everything it keeps, so no buffer outlives the iteration that read it.
+func (r *Relay) loop(batch int) {
 	defer r.wg.Done()
-	buf := make([]byte, 64<<10)
+	ms := make([]udpio.Message, batch)
+	bps := make([]*[]byte, batch)
+	for i := range ms {
+		bps[i] = bufPool.Get().(*[]byte)
+		ms[i].Buf = *bps[i]
+	}
+	defer func() {
+		for _, bp := range bps {
+			bufPool.Put(bp)
+		}
+	}()
+	fwd := make([]udpio.Message, 0, batch)
 	for {
-		n, from, err := r.pc.ReadFrom(buf)
+		n, err := r.io.ReadBatch(ms)
 		if err != nil {
 			return
 		}
-		var to net.Addr
-		switch from.String() {
-		case r.a.String():
-			to = r.b
-		case r.b.String():
-			to = r.a
-		default:
+		now := time.Now()
+		fwd = fwd[:0]
+		for i := 0; i < n; i++ {
+			r.tel.Datagrams.Inc()
+			r.tel.Bytes.Add(uint64(ms[i].N))
+			var to net.Addr
+			switch {
+			case sameAddr(ms[i].Addr, r.a):
+				to = r.b
+			case sameAddr(ms[i].Addr, r.b):
+				to = r.a
+			default:
+				r.tel.UnknownPeerDrops.Inc()
+				continue
+			}
+			data := ms[i].Buf[:ms[i].N]
+			r.mu.Lock()
+			d := r.r.Process(now, data)
+			r.mu.Unlock()
+			if r.OnDecision != nil {
+				r.OnDecision(d)
+			}
+			if d.Verdict != relay.Forward {
+				continue
+			}
+			if d.Rewritten != nil {
+				data = d.Rewritten
+			}
+			fwd = append(fwd, udpio.Message{Buf: data, N: len(data), Addr: to})
+		}
+		if len(fwd) == 0 {
 			continue
 		}
-		data := append([]byte(nil), buf[:n]...)
-		r.mu.Lock()
-		d := r.r.Process(time.Now(), data)
-		r.mu.Unlock()
-		if r.OnDecision != nil {
-			r.OnDecision(d)
-		}
-		if d.Verdict != relay.Forward {
-			continue
-		}
-		if d.Rewritten != nil {
-			data = d.Rewritten
-		}
-		if _, err := r.pc.WriteTo(data, to); err != nil {
+		if _, err := r.io.WriteBatch(fwd); err != nil {
 			return
 		}
 	}

@@ -1,17 +1,23 @@
-// Multi-association server: one socket, many peers.
+// Multi-association server: one socket (or a SO_REUSEPORT group), many
+// peers.
 //
 // A Conn serves exactly one association. Real responders — sinks, home
 // agents, middleback-ends — accept many initiators on one port. Server owns
-// the socket's read loop and demultiplexes by the association ID every
+// the socket read loops and demultiplexes by the association ID every
 // ALPHA packet carries, spawning a Session per handshake and routing
 // subsequent traffic to it.
 //
-// Dispatch is parallel: the read loop only classifies datagrams and hands
-// them to per-session worker goroutines over bounded channels, so one slow
+// The read loops are batched: each drains up to a full burst of datagrams
+// from its socket in one recvmmsg into a slab of pooled buffers before
+// demuxing, so an ALPHA-C/M burst costs one syscall instead of one per S2.
+// Dispatch stays parallel: the loops only classify datagrams and hand them
+// to per-session worker goroutines over bounded channels, so one slow
 // association (an expensive Merkle verification, say) cannot stall traffic
-// for its neighbours. Read buffers come from a sync.Pool and are recycled
-// once the engine has consumed them — packet.Decode copies every field it
-// returns, so a buffer is dead the moment Handle returns.
+// for its neighbours. Buffers are recycled once the engine has consumed
+// them — packet.Decode copies every field it returns, so a buffer is dead
+// the moment Handle returns. Session replies leave through a coalescing
+// writer: everything a Poll produces (the S2s of a burst plus its S1) goes
+// out in one sendmmsg.
 
 package udptransport
 
@@ -19,16 +25,18 @@ import (
 	"encoding/binary"
 	"errors"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
 	"alpha/internal/core"
 	"alpha/internal/packet"
 	"alpha/internal/telemetry"
+	"alpha/internal/udpio"
 )
 
 // sessionShards splits the association routing table so lookups from the
-// read loop do not contend with session creation and removal on one lock.
+// read loops do not contend with session creation and removal on one lock.
 // Power of two; association IDs are random, so low bits spread evenly.
 const sessionShards = 16
 
@@ -37,7 +45,7 @@ const sessionShards = 16
 // semantics the network already imposes on UDP.
 const inboxSize = 64
 
-// bufPool recycles datagram read buffers across the read loop and session
+// bufPool recycles datagram read buffers across the read loops and session
 // workers.
 var bufPool = sync.Pool{
 	New: func() any {
@@ -47,10 +55,12 @@ var bufPool = sync.Pool{
 }
 
 // datagram is one received packet en route to a session worker. buf is the
-// pooled backing array; n is the valid prefix.
+// pooled backing array; n is the valid prefix; via is the socket engine it
+// arrived on, which the session adopts for replies.
 type datagram struct {
 	now  time.Time
 	from net.Addr
+	via  udpio.Conn
 	buf  *[]byte
 	n    int
 }
@@ -60,10 +70,13 @@ type sessionShard struct {
 	sessions map[uint64]*Session
 }
 
-// Server accepts ALPHA associations on a shared datagram socket.
+// Server accepts ALPHA associations on a shared datagram socket, or on a
+// group of SO_REUSEPORT sockets each with its own read loop.
 type Server struct {
-	pc  net.PacketConn
+	pcs []net.PacketConn
+	ios []udpio.Conn
 	cfg core.Config
+	io  IOOptions
 
 	shards [sessionShards]sessionShard
 
@@ -78,32 +91,63 @@ type Server struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
-	// tel counts transport activity; tracer (from cfg.Tracer) records
-	// session lifecycle and drop events. retired accumulates the endpoint
-	// metrics of removed sessions so server-wide aggregates never shrink
-	// when an association ends (see EndpointTelemetry).
+	// tel counts transport activity (including the I/O engine's batch
+	// accounting); tracer (from cfg.Tracer) records session lifecycle and
+	// drop events. retired accumulates the endpoint metrics of removed
+	// sessions so server-wide aggregates never shrink when an association
+	// ends (see EndpointTelemetry).
 	tel     telemetry.TransportMetrics
 	tracer  *telemetry.Tracer
 	retired telemetry.EndpointMetrics
 }
 
-// NewServer starts serving. Each arriving handshake creates a responder
-// endpoint with the given config; established sessions surface via Accept.
+// NewServer starts serving on one socket with default I/O options. Each
+// arriving handshake creates a responder endpoint with the given config;
+// established sessions surface via Accept.
 func NewServer(pc net.PacketConn, cfg core.Config) *Server {
+	return NewServerOpts(cfg, IOOptions{}, pc)
+}
+
+// NewServerOpts starts serving across one or more sockets — typically a
+// SO_REUSEPORT group — with one batched read loop per socket.
+func NewServerOpts(cfg core.Config, opts IOOptions, pcs ...net.PacketConn) *Server {
 	s := &Server{
-		pc:       pc,
+		pcs:      pcs,
 		cfg:      cfg,
+		io:       opts,
 		acceptCh: make(chan struct{}, 1),
 		closed:   make(chan struct{}),
 		tracer:   cfg.Tracer,
 	}
+	s.tel.Init()
 	s.retired.Init()
 	for i := range s.shards {
 		s.shards[i].sessions = make(map[uint64]*Session)
 	}
-	s.wg.Add(1)
-	go s.readLoop()
+	s.ios = make([]udpio.Conn, len(pcs))
+	for i, pc := range pcs {
+		s.ios[i] = opts.wrap(pc, &s.tel.IO)
+	}
+	for _, io := range s.ios {
+		s.wg.Add(1)
+		go s.readLoop(io)
+	}
 	return s
+}
+
+// NewReusePortServer binds loops SO_REUSEPORT sockets to addr and serves a
+// read loop per socket, letting the kernel shard inbound flows across
+// them. loops <= 0 means GOMAXPROCS. Linux-only; elsewhere it returns the
+// udpio error and the caller falls back to a single-socket NewServer.
+func NewReusePortServer(network, addr string, loops int, cfg core.Config, opts IOOptions) (*Server, error) {
+	if loops <= 0 {
+		loops = runtime.GOMAXPROCS(0)
+	}
+	pcs, err := udpio.ListenReusePort(network, addr, loops)
+	if err != nil {
+		return nil, err
+	}
+	return NewServerOpts(cfg, opts, pcs...), nil
 }
 
 // Accept blocks until the next association establishes (or the server
@@ -150,11 +194,16 @@ func (s *Server) Sessions() int {
 	return n
 }
 
-// Close stops the server, its socket, and every session.
+// LocalAddr returns the address of the server's (first) socket.
+func (s *Server) LocalAddr() net.Addr { return s.pcs[0].LocalAddr() }
+
+// Close stops the server, its sockets, and every session.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.closed)
-		s.pc.Close()
+		for _, pc := range s.pcs {
+			pc.Close()
+		}
 	})
 	s.wg.Wait()
 	return nil
@@ -164,15 +213,35 @@ func (s *Server) shard(assoc uint64) *sessionShard {
 	return &s.shards[assoc%sessionShards]
 }
 
-func (s *Server) readLoop() {
+// readLoop drains one socket in bursts. Each recvmmsg fills a slab of
+// pooled buffers; consumed slots are replaced from the pool before the next
+// call, so buffer ownership moves to the session workers datagram by
+// datagram.
+func (s *Server) readLoop(io udpio.Conn) {
 	defer s.wg.Done()
-	for {
-		bp := bufPool.Get().(*[]byte)
-		n, from, err := s.pc.ReadFrom(*bp)
-		if err != nil {
+	batch := s.io.batch()
+	ms := make([]udpio.Message, batch)
+	bps := make([]*[]byte, batch)
+	for i := range ms {
+		bps[i] = bufPool.Get().(*[]byte)
+		ms[i].Buf = *bps[i]
+	}
+	defer func() {
+		for _, bp := range bps {
 			bufPool.Put(bp)
-			s.closeOnce.Do(func() { close(s.closed); s.pc.Close() })
-			// Stop all session timers and workers.
+		}
+	}()
+	for {
+		n, err := io.ReadBatch(ms)
+		if err != nil {
+			s.closeOnce.Do(func() {
+				close(s.closed)
+				for _, pc := range s.pcs {
+					pc.Close()
+				}
+			})
+			// Stop all session timers and workers (idempotent; every
+			// failing read loop may run this).
 			for i := range s.shards {
 				sh := &s.shards[i]
 				sh.mu.Lock()
@@ -183,15 +252,21 @@ func (s *Server) readLoop() {
 			}
 			return
 		}
-		s.dispatch(time.Now(), from, bp, n)
+		now := time.Now()
+		for i := 0; i < n; i++ {
+			s.dispatch(now, io, ms[i].Addr, bps[i], ms[i].N)
+			bps[i] = bufPool.Get().(*[]byte)
+			ms[i].Buf = *bps[i]
+		}
 	}
 }
 
 // dispatch classifies one datagram and hands it to its session's worker,
-// creating the session for a fresh handshake. Every drop that used to be a
+// creating the session for a fresh handshake. Ownership of bp transfers to
+// the worker (or back to the pool on a drop). Every drop that used to be a
 // silent `continue` is counted here; split from readLoop so tests can drive
 // it directly.
-func (s *Server) dispatch(now time.Time, from net.Addr, bp *[]byte, n int) {
+func (s *Server) dispatch(now time.Time, via udpio.Conn, from net.Addr, bp *[]byte, n int) {
 	s.tel.Datagrams.Inc()
 	s.tel.Bytes.Add(uint64(n))
 	if n < packet.HeaderSize {
@@ -221,7 +296,7 @@ func (s *Server) dispatch(now time.Time, from net.Addr, bp *[]byte, n int) {
 			bufPool.Put(bp)
 			return
 		}
-		sess = newSession(s, ep, from)
+		sess = newSession(s, ep, from, via)
 		sh.sessions[assoc] = sess
 		s.tel.SessionsCreated.Inc()
 		s.tel.ActiveSessions.Inc()
@@ -233,7 +308,7 @@ func (s *Server) dispatch(now time.Time, from net.Addr, bp *[]byte, n int) {
 	// behind, and the datagram is dropped as the network would drop
 	// it. The single reader preserves per-session arrival order.
 	select {
-	case sess.inbox <- datagram{now: now, from: from, buf: bp, n: n}:
+	case sess.inbox <- datagram{now: now, from: from, via: via, buf: bp, n: n}:
 	default:
 		s.tel.InboxDrops.Inc()
 		s.tracer.Trace(now.UnixNano(), telemetry.TraceInboxDrop, assoc, 0, telemetry.ReasonInboxFull)
@@ -243,7 +318,9 @@ func (s *Server) dispatch(now time.Time, from net.Addr, bp *[]byte, n int) {
 
 // remove drops a session from the routing table, folding its endpoint
 // counters into the retired set so server-wide aggregates survive session
-// churn. The presence check makes double-removal harmless.
+// churn. Chain-pressure gauges are point-in-time, not cumulative, so they
+// are zeroed before the fold — a retired chain exerts no pressure. The
+// presence check makes double-removal harmless.
 func (s *Server) remove(assoc uint64) {
 	sh := s.shard(assoc)
 	sh.mu.Lock()
@@ -255,7 +332,12 @@ func (s *Server) remove(assoc uint64) {
 	if !ok {
 		return
 	}
-	sess.ep.Telemetry().AddTo(&s.retired)
+	et := sess.ep.Telemetry()
+	et.SigChainRemaining.Set(0)
+	et.SigChainLen.Set(0)
+	et.AckChainRemaining.Set(0)
+	et.AckChainLen.Set(0)
+	et.AddTo(&s.retired)
 	s.tel.SessionsRemoved.Inc()
 	s.tel.ActiveSessions.Dec()
 	s.tracer.Trace(time.Now().UnixNano(), telemetry.TraceSessionEnd, assoc, 0, 0)
@@ -288,6 +370,9 @@ type Session struct {
 	mu     sync.Mutex
 	ep     *core.Endpoint
 	peer   net.Addr
+	io     udpio.Conn // socket engine replies leave through
+
+	wbatch []udpio.Message // coalescing scratch for pumpLocked
 
 	inbox       chan datagram
 	events      chan core.Event
@@ -296,11 +381,12 @@ type Session struct {
 	stopOnce    sync.Once
 }
 
-func newSession(srv *Server, ep *core.Endpoint, peer net.Addr) *Session {
+func newSession(srv *Server, ep *core.Endpoint, peer net.Addr, via udpio.Conn) *Session {
 	sess := &Session{
 		server:    srv,
 		ep:        ep,
 		peer:      peer,
+		io:        via,
 		inbox:     make(chan datagram, inboxSize),
 		events:    make(chan core.Event, 256),
 		timerStop: make(chan struct{}),
@@ -374,7 +460,7 @@ func (s *Session) worker() {
 	for {
 		select {
 		case d := <-s.inbox:
-			s.handle(d.now, d.from, (*d.buf)[:d.n], s.server)
+			s.handle(d.now, d.from, d.via, (*d.buf)[:d.n], s.server)
 			bufPool.Put(d.buf)
 		case <-s.timerStop:
 			return
@@ -386,11 +472,14 @@ func (s *Session) worker() {
 
 // handle feeds one datagram into the session's engine. The engine copies
 // everything it keeps, so data may be recycled once this returns.
-func (s *Session) handle(now time.Time, from net.Addr, data []byte, srv *Server) {
+func (s *Session) handle(now time.Time, from net.Addr, via udpio.Conn, data []byte, srv *Server) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if from != nil {
 		s.peer = from // track peer mobility (ALPHA identity is the chain, not the address)
+	}
+	if via != nil {
+		s.io = via // replies follow the socket the kernel picked for this flow
 	}
 	evs, _ := s.ep.Handle(now, data)
 	for _, ev := range evs {
@@ -406,6 +495,9 @@ func (s *Session) handle(now time.Time, from net.Addr, data []byte, srv *Server)
 	s.pumpLocked(now)
 }
 
+// pumpLocked drains the engine outbox through the coalescing writer: the
+// whole Poll harvest — an ALPHA-C/M burst's S2s plus its S1 — leaves in
+// one WriteBatch, hence (on Linux) one sendmmsg. Callers hold s.mu.
 func (s *Session) pumpLocked(now time.Time) {
 	out, evs := s.ep.Poll(now)
 	for _, ev := range evs {
@@ -414,14 +506,15 @@ func (s *Session) pumpLocked(now time.Time) {
 		default:
 		}
 	}
-	if s.peer == nil {
+	if s.peer == nil || len(out) == 0 {
 		return
 	}
+	ms := s.wbatch[:0]
 	for _, raw := range out {
-		if _, err := s.server.pc.WriteTo(raw, s.peer); err != nil {
-			return
-		}
+		ms = append(ms, udpio.Message{Buf: raw, N: len(raw), Addr: s.peer})
 	}
+	s.wbatch = ms
+	s.io.WriteBatch(ms)
 }
 
 func (s *Session) timerLoop() {

@@ -18,7 +18,7 @@ import (
 func dispatchRaw(s *Server, raw []byte) {
 	bp := bufPool.Get().(*[]byte)
 	n := copy(*bp, raw)
-	s.dispatch(time.Now(), &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9999}, bp, n)
+	s.dispatch(time.Now(), s.ios[0], &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9999}, bp, n)
 }
 
 func newTelemetryServer(t *testing.T, tracer *telemetry.Tracer) *Server {

@@ -12,12 +12,16 @@ import (
 )
 
 func TestServerAcceptsMultipleDialers(t *testing.T) {
+	forEachEngine(t, testServerAcceptsMultipleDialers)
+}
+
+func testServerAcceptsMultipleDialers(t *testing.T, opts IOOptions) {
 	spc, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := core.Config{Mode: packet.ModeBase, Reliable: true, ChainLen: 64}
-	srv := NewServer(spc, cfg)
+	srv := NewServerOpts(cfg, opts, spc)
 	defer srv.Close()
 
 	const dialers = 4
@@ -35,7 +39,7 @@ func TestServerAcceptsMultipleDialers(t *testing.T) {
 				dialed <- result{i, nil, err}
 				return
 			}
-			c, err := Dial(pc, spc.LocalAddr(), cfg, 5*time.Second)
+			c, err := DialOpts(pc, spc.LocalAddr(), cfg, 5*time.Second, opts)
 			dialed <- result{i, c, err}
 		}()
 	}

@@ -5,7 +5,9 @@
 //
 // The package works with any net.PacketConn, so tests can use in-process
 // UDP over the loopback interface and deployments can substitute their own
-// datagram transports.
+// datagram transports. All socket I/O goes through internal/udpio: batched
+// recvmmsg/sendmmsg on Linux, a portable shim elsewhere, selectable per
+// connection with IOOptions.
 package udptransport
 
 import (
@@ -16,15 +18,20 @@ import (
 	"time"
 
 	"alpha/internal/core"
+	"alpha/internal/packet"
+	"alpha/internal/udpio"
 )
 
 // Conn is a blocking, goroutine-safe wrapper around one ALPHA association
 // on a datagram socket.
 type Conn struct {
 	pc   net.PacketConn
+	io   udpio.Conn
 	mu   sync.Mutex
 	ep   *core.Endpoint
 	peer net.Addr
+
+	wbatch []udpio.Message // coalescing scratch for pumpLocked
 
 	events      chan core.Event
 	established chan struct{}
@@ -40,17 +47,22 @@ var ErrClosed = errors.New("udptransport: connection closed")
 // Dial starts an association as initiator toward peer and blocks until it
 // establishes or the timeout expires.
 func Dial(pc net.PacketConn, peer net.Addr, cfg core.Config, timeout time.Duration) (*Conn, error) {
+	return DialOpts(pc, peer, cfg, timeout, IOOptions{})
+}
+
+// DialOpts is Dial with an explicit I/O engine selection.
+func DialOpts(pc net.PacketConn, peer net.Addr, cfg core.Config, timeout time.Duration, opts IOOptions) (*Conn, error) {
 	ep, err := core.NewEndpoint(cfg)
 	if err != nil {
 		return nil, err
 	}
-	c := newConn(pc, ep, peer)
+	c := newConn(pc, ep, peer, opts)
 	hs1, err := ep.StartHandshake(time.Now())
 	if err != nil {
 		c.Close()
 		return nil, err
 	}
-	if _, err := pc.WriteTo(hs1, peer); err != nil {
+	if _, err := c.io.WriteBatch([]udpio.Message{{Buf: hs1, N: len(hs1), Addr: peer}}); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("udptransport: sending HS1: %w", err)
 	}
@@ -70,11 +82,16 @@ func Dial(pc net.PacketConn, peer net.Addr, cfg core.Config, timeout time.Durati
 // the socket and blocks until the association establishes or the timeout
 // expires.
 func Listen(pc net.PacketConn, cfg core.Config, timeout time.Duration) (*Conn, error) {
+	return ListenOpts(pc, cfg, timeout, IOOptions{})
+}
+
+// ListenOpts is Listen with an explicit I/O engine selection.
+func ListenOpts(pc net.PacketConn, cfg core.Config, timeout time.Duration, opts IOOptions) (*Conn, error) {
 	ep, err := core.NewEndpoint(cfg)
 	if err != nil {
 		return nil, err
 	}
-	c := newConn(pc, ep, nil)
+	c := newConn(pc, ep, nil, opts)
 	c.start()
 	select {
 	case <-c.established:
@@ -93,7 +110,12 @@ func Listen(pc net.PacketConn, cfg core.Config, timeout time.Duration) (*Conn, e
 // The connection is returned immediately; if the endpoint is already
 // established (preconfigured), it is usable at once.
 func Wrap(pc net.PacketConn, ep *core.Endpoint, peer net.Addr) *Conn {
-	c := newConn(pc, ep, peer)
+	return WrapOpts(pc, ep, peer, IOOptions{})
+}
+
+// WrapOpts is Wrap with an explicit I/O engine selection.
+func WrapOpts(pc net.PacketConn, ep *core.Endpoint, peer net.Addr, opts IOOptions) *Conn {
+	c := newConn(pc, ep, peer, opts)
 	if ep.Established() {
 		c.estOnce.Do(func() { close(c.established) })
 	}
@@ -101,9 +123,13 @@ func Wrap(pc net.PacketConn, ep *core.Endpoint, peer net.Addr) *Conn {
 	return c
 }
 
-func newConn(pc net.PacketConn, ep *core.Endpoint, peer net.Addr) *Conn {
+func newConn(pc net.PacketConn, ep *core.Endpoint, peer net.Addr, opts IOOptions) *Conn {
+	if opts.Batch <= 0 || opts.Batch > connBatch {
+		opts.Batch = connBatch // one association never needs the server's burst depth
+	}
 	return &Conn{
 		pc:          pc,
+		io:          opts.wrap(pc, nil),
 		ep:          ep,
 		peer:        peer,
 		events:      make(chan core.Event, 256),
@@ -169,12 +195,17 @@ func (c *Conn) Close() error {
 	return nil
 }
 
-// readLoop feeds received datagrams into the engine.
+// readLoop feeds received datagrams into the engine, a burst at a time.
+// The slab buffers are reused across iterations: the engine copies every
+// field it keeps, so nothing retains them once Handle returns.
 func (c *Conn) readLoop() {
 	defer c.wg.Done()
-	buf := make([]byte, 64<<10)
+	ms := make([]udpio.Message, connBatch)
+	for i := range ms {
+		ms[i].Buf = make([]byte, packet.MaxPacketSize)
+	}
 	for {
-		n, addr, err := c.pc.ReadFrom(buf)
+		n, err := c.io.ReadBatch(ms)
 		if err != nil {
 			select {
 			case <-c.closed:
@@ -183,15 +214,16 @@ func (c *Conn) readLoop() {
 			}
 			return
 		}
-		data := append([]byte(nil), buf[:n]...)
 		now := time.Now()
 		c.mu.Lock()
-		if c.peer == nil {
-			// Responder: adopt the first sender as our peer.
-			c.peer = addr
+		for i := 0; i < n; i++ {
+			if c.peer == nil {
+				// Responder: adopt the first sender as our peer.
+				c.peer = ms[i].Addr
+			}
+			evs, _ := c.ep.Handle(now, ms[i].Buf[:ms[i].N])
+			c.dispatch(evs)
 		}
-		evs, _ := c.ep.Handle(now, data)
-		c.dispatch(evs)
 		c.pumpLocked(now)
 		c.mu.Unlock()
 	}
@@ -226,18 +258,21 @@ func (c *Conn) timerLoop() {
 	}
 }
 
-// pumpLocked drains the engine outbox onto the socket. Callers hold c.mu.
+// pumpLocked drains the engine outbox onto the socket through the
+// coalescing writer: one Poll harvest, one WriteBatch, one sendmmsg.
+// Callers hold c.mu.
 func (c *Conn) pumpLocked(now time.Time) {
 	out, evs := c.ep.Poll(now)
 	c.dispatch(evs)
-	if c.peer == nil {
+	if c.peer == nil || len(out) == 0 {
 		return
 	}
+	ms := c.wbatch[:0]
 	for _, raw := range out {
-		if _, err := c.pc.WriteTo(raw, c.peer); err != nil {
-			return
-		}
+		ms = append(ms, udpio.Message{Buf: raw, N: len(raw), Addr: c.peer})
 	}
+	c.wbatch = ms
+	c.io.WriteBatch(ms)
 }
 
 // dispatch forwards events to the application channel without blocking.

@@ -26,32 +26,11 @@ func udpPair(t *testing.T) (net.PacketConn, net.PacketConn) {
 	return a, b
 }
 
-// connect establishes an association over loopback UDP.
+// connect establishes an association over loopback UDP with the default
+// I/O engine.
 func connect(t *testing.T, cfg core.Config) (*Conn, *Conn) {
 	t.Helper()
-	pa, pb := udpPair(t)
-	type res struct {
-		c   *Conn
-		err error
-	}
-	ch := make(chan res, 1)
-	go func() {
-		c, err := Listen(pb, cfg, 5*time.Second)
-		ch <- res{c, err}
-	}()
-	dialer, err := Dial(pa, pb.LocalAddr(), cfg, 5*time.Second)
-	if err != nil {
-		t.Fatalf("Dial: %v", err)
-	}
-	r := <-ch
-	if r.err != nil {
-		t.Fatalf("Listen: %v", r.err)
-	}
-	t.Cleanup(func() {
-		dialer.Close()
-		r.c.Close()
-	})
-	return dialer, r.c
+	return connectOpts(t, cfg, IOOptions{})
 }
 
 // collect drains events until predicate or timeout.
@@ -74,8 +53,12 @@ func collect(t *testing.T, c *Conn, want core.EventKind, n int, timeout time.Dur
 }
 
 func TestUDPHandshakeAndMessage(t *testing.T) {
+	forEachEngine(t, testUDPHandshakeAndMessage)
+}
+
+func testUDPHandshakeAndMessage(t *testing.T, opts IOOptions) {
 	cfg := core.Config{Mode: packet.ModeBase, Reliable: true, ChainLen: 64}
-	dialer, listener := connect(t, cfg)
+	dialer, listener := connectOpts(t, cfg, opts)
 	if dialer.Peer() == nil || listener.Peer() == nil {
 		t.Fatalf("peers not learned")
 	}
@@ -101,10 +84,14 @@ func TestUDPHandshakeAndMessage(t *testing.T) {
 }
 
 func TestUDPBulkAllModes(t *testing.T) {
+	forEachEngine(t, testUDPBulkAllModes)
+}
+
+func testUDPBulkAllModes(t *testing.T, opts IOOptions) {
 	for _, mode := range []packet.Mode{packet.ModeBase, packet.ModeC, packet.ModeM, packet.ModeCM} {
 		t.Run(mode.String(), func(t *testing.T) {
 			cfg := core.Config{Mode: mode, Reliable: true, ChainLen: 256, BatchSize: 4}
-			dialer, listener := connect(t, cfg)
+			dialer, listener := connectOpts(t, cfg, opts)
 			const total = 12
 			for i := 0; i < total; i++ {
 				if _, err := dialer.Send([]byte(fmt.Sprintf("bulk-%02d", i))); err != nil {
@@ -119,13 +106,17 @@ func TestUDPBulkAllModes(t *testing.T) {
 }
 
 func TestUDPThroughVerifyingRelay(t *testing.T) {
+	forEachEngine(t, testUDPThroughVerifyingRelay)
+}
+
+func testUDPThroughVerifyingRelay(t *testing.T, opts IOOptions) {
 	// dialer <-> relay <-> listener over three loopback sockets.
 	pa, pb := udpPair(t)
 	pr, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := NewRelay(pr, pa.LocalAddr(), pb.LocalAddr(), relay.Config{})
+	r := NewRelayOpts(pr, pa.LocalAddr(), pb.LocalAddr(), relay.Config{}, opts)
 	defer r.Close()
 
 	cfg := core.Config{Mode: packet.ModeBase, Reliable: true, ChainLen: 64}
@@ -135,10 +126,10 @@ func TestUDPThroughVerifyingRelay(t *testing.T) {
 	}
 	ch := make(chan res, 1)
 	go func() {
-		c, err := Listen(pb, cfg, 5*time.Second)
+		c, err := ListenOpts(pb, cfg, 5*time.Second, opts)
 		ch <- res{c, err}
 	}()
-	dialer, err := Dial(pa, pr.LocalAddr(), cfg, 5*time.Second)
+	dialer, err := DialOpts(pa, pr.LocalAddr(), cfg, 5*time.Second, opts)
 	if err != nil {
 		t.Fatalf("Dial through relay: %v", err)
 	}
@@ -187,6 +178,10 @@ func TestUDPSendAfterClose(t *testing.T) {
 }
 
 func TestUDPPreconfiguredWrap(t *testing.T) {
+	forEachEngine(t, testUDPPreconfiguredWrap)
+}
+
+func testUDPPreconfiguredWrap(t *testing.T, opts IOOptions) {
 	// §3.4 static bootstrapping over real sockets: no handshake packets,
 	// traffic verified from the first datagram.
 	cfg := core.Config{Mode: packet.ModeBase, Reliable: true, ChainLen: 64}
@@ -203,8 +198,8 @@ func TestUDPPreconfiguredWrap(t *testing.T) {
 		t.Fatal(err)
 	}
 	pa, pb := udpPair(t)
-	dialer := Wrap(pa, epA, pb.LocalAddr())
-	listener := Wrap(pb, epB, nil)
+	dialer := WrapOpts(pa, epA, pb.LocalAddr(), opts)
+	listener := WrapOpts(pb, epB, nil, opts)
 	t.Cleanup(func() { dialer.Close(); listener.Close() })
 	if _, err := dialer.Send([]byte("no handshake on the wire")); err != nil {
 		t.Fatal(err)
