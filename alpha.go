@@ -36,6 +36,7 @@ import (
 	"net"
 	"time"
 
+	"alpha/internal/adaptive"
 	"alpha/internal/core"
 	"alpha/internal/netsim"
 	"alpha/internal/packet"
@@ -125,6 +126,7 @@ const (
 	EventDropped     = core.EventDropped
 	EventRekeyed     = core.EventRekeyed
 	EventPeerRekeyed = core.EventPeerRekeyed
+	EventModeChanged = core.EventModeChanged
 )
 
 // Re-exported error values for errors.Is tests on events and decisions.
@@ -210,6 +212,28 @@ func NewExporter() *Exporter { return telemetry.NewExporter() }
 // NewTracer creates a packet-lifecycle tracer keeping the most recent size
 // events (rounded up to a power of two).
 func NewTracer(size int) *Tracer { return telemetry.NewTracer(size) }
+
+// Runtime adaptation: Profile is the (mode, batch-size) pair new exchanges
+// use. Endpoint.SetProfile — and its serialized Conn/Session wrappers —
+// switches it at the next exchange boundary without disturbing in-flight
+// exchanges; the adaptive controller closes the loop, sampling an
+// endpoint's telemetry and issuing those transitions itself (Conn and
+// Session expose EnableAdaptive, simulator nodes AttachAdaptive).
+type (
+	Profile            = core.Profile
+	AdaptiveConfig     = adaptive.Config
+	AdaptiveController = adaptive.Controller
+	AdaptiveDecision   = adaptive.Decision
+	AdaptiveSample     = adaptive.Sample
+	ControllerMetrics  = telemetry.ControllerMetrics
+)
+
+// NewAdaptiveController creates a closed-loop mode/batch controller seeded
+// with the endpoint's association and current profile. Feed it with
+// adaptive.Drive (or SampleEndpoint + Observe) on a steady cadence.
+func NewAdaptiveController(cfg AdaptiveConfig, ep *Endpoint) *AdaptiveController {
+	return adaptive.ForEndpoint(cfg, ep)
+}
 
 // Simulator types: a deterministic discrete-event multi-hop network for
 // tests, experiments and the examples.

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"time"
 
+	"alpha/internal/adaptive"
 	"alpha/internal/core"
 	"alpha/internal/packet"
 	"alpha/internal/relay"
@@ -28,6 +29,48 @@ import (
 	"alpha/internal/telemetry"
 	"alpha/internal/udptransport"
 )
+
+// maxIOBatch bounds -io-batch: each read loop pre-allocates batch-many
+// full-size packet slabs, so an absurd value is almost certainly a typo.
+const maxIOBatch = 1024
+
+// maxTraceSize bounds -trace-size (the ring rounds up to a power of two).
+const maxTraceSize = 1 << 20
+
+// validateFlags fail-fasts on out-of-range numeric flags before any socket
+// is opened, reporting every problem at once with the offending flag name.
+func validateFlags(batch, traceLen, ioBatch, reuse, count int, chainLow float64, wait time.Duration) error {
+	var errs []string
+	if batch < 1 || batch > packet.MaxMACs {
+		errs = append(errs, fmt.Sprintf("-batch %d out of range [1, %d]", batch, packet.MaxMACs))
+	}
+	if traceLen < 1 || traceLen > maxTraceSize {
+		errs = append(errs, fmt.Sprintf("-trace-size %d out of range [1, %d]", traceLen, maxTraceSize))
+	}
+	if ioBatch < 0 || ioBatch > maxIOBatch {
+		errs = append(errs, fmt.Sprintf("-io-batch %d out of range [0, %d] (0 = default)", ioBatch, maxIOBatch))
+	}
+	if reuse < 0 {
+		errs = append(errs, fmt.Sprintf("-reuseport %d must be >= 0", reuse))
+	}
+	if count < 0 {
+		errs = append(errs, fmt.Sprintf("-count %d must be >= 0", count))
+	}
+	if chainLow != 0 && (chainLow <= 0 || chainLow >= 1) {
+		errs = append(errs, fmt.Sprintf("-chain-low %v out of range (0, 1) (0 = default %.3g)", chainLow, core.DefaultChainLowFraction))
+	}
+	if wait <= 0 {
+		errs = append(errs, fmt.Sprintf("-wait %v must be positive", wait))
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	msg := errs[0]
+	for _, e := range errs[1:] {
+		msg += "\n" + e
+	}
+	return fmt.Errorf("%s", msg)
+}
 
 func main() {
 	var (
@@ -48,8 +91,15 @@ func main() {
 		traceLen  = flag.Int("trace-size", 4096, "packet-trace ring size (most recent events kept)")
 		ioBatch   = flag.Int("io-batch", 0, "datagrams per recvmmsg/sendmmsg syscall (0 = default; 1 effectively disables batching)")
 		reuse     = flag.Int("reuseport", 0, "serve role: SO_REUSEPORT read loops sharing the port (0 = single socket; capped at GOMAXPROCS; Linux only)")
+		adaptOn   = flag.Bool("adaptive", false, "run the closed-loop mode/batch controller on each association (overrides -mode/-batch at runtime)")
+		chainLow  = flag.Float64("chain-low", 0, "chain fraction below which ChainLow/auto-rekey fires, in (0, 1) (0 = default)")
+		perAssoc  = flag.Bool("metrics-per-assoc", false, "serve role: export one labeled metric family per live association on /metrics")
 	)
 	flag.Parse()
+	if err := validateFlags(*batch, *traceLen, *ioBatch, *reuse, *count, *chainLow, *wait); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var mode packet.Mode
 	switch *modeStr {
@@ -66,18 +116,27 @@ func main() {
 	}
 	tracer := telemetry.NewTracer(*traceLen)
 	cfg := core.Config{
-		Suite:     suite.SHA1(),
-		Mode:      mode,
-		BatchSize: *batch,
-		Reliable:  *reliable,
-		ChainLen:  4096,
-		Tracer:    tracer,
+		Suite:            suite.SHA1(),
+		Mode:             mode,
+		BatchSize:        *batch,
+		Reliable:         *reliable,
+		ChainLen:         4096,
+		ChainLowFraction: *chainLow,
+		Tracer:           tracer,
 	}
+
+	// One process-wide controller metric group: counters aggregate across
+	// associations; the target gauges reflect the most recent decision.
+	ctrlMet := &telemetry.ControllerMetrics{}
+	adaptCfg := adaptive.Config{Metrics: ctrlMet, Tracer: tracer}
 
 	// Every role registers its metric groups on one exporter; -metrics-addr
 	// serves them live, and the exit path prints a final snapshot.
 	exp := telemetry.NewExporter()
 	exp.SetTracer(tracer)
+	if *adaptOn {
+		exp.Register("alpha_adaptive", ctrlMet)
+	}
 	if *metrics != "" {
 		ln, err := net.Listen("tcp", *metrics)
 		fatalIf(err)
@@ -139,6 +198,11 @@ func main() {
 		exp.Register("alpha_endpoint", telemetry.WalkerFunc(func(v telemetry.Visitor) {
 			srv.EndpointTelemetry().Walk(v)
 		}))
+		// Per-association families materialize at scrape time, so session
+		// churn needs no registration bookkeeping.
+		if *perAssoc {
+			exp.RegisterDynamic(srv.SessionGroups("alpha_session"))
+		}
 		fmt.Printf("serving on %s\n", *addr)
 		deadline := time.After(*wait)
 		for {
@@ -151,6 +215,9 @@ func main() {
 			select {
 			case sess := <-acceptCh:
 				fmt.Printf("accepted association %016x from %s\n", sess.Endpoint().Assoc(), sess.Peer())
+				if *adaptOn {
+					sess.EnableAdaptive(adaptCfg)
+				}
 				go func() {
 					for ev := range sess.Events() {
 						if ev.Kind == core.EventDelivered {
@@ -177,6 +244,9 @@ func main() {
 		}
 		defer conn.Close()
 		exp.Register("alpha_endpoint", conn.Endpoint().Telemetry())
+		if *adaptOn {
+			conn.EnableAdaptive(adaptCfg)
+		}
 		fmt.Printf("association established with %s\n", conn.Peer())
 		deadline := time.After(*wait)
 		for {
@@ -211,6 +281,9 @@ func main() {
 		}
 		defer conn.Close()
 		exp.Register("alpha_endpoint", conn.Endpoint().Telemetry())
+		if *adaptOn {
+			conn.EnableAdaptive(adaptCfg)
+		}
 		fmt.Printf("association established with %s\n", *peer)
 		for i := 0; i < *count; i++ {
 			payload := fmt.Sprintf("%s #%d", *send, i)

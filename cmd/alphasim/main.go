@@ -19,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	"alpha/internal/adaptive"
 	"alpha/internal/attack"
 	"alpha/internal/core"
 	"alpha/internal/netsim"
@@ -48,8 +49,14 @@ func main() {
 		workloadK = flag.String("workload", "bulk", "workload: bulk, signaling, sensor")
 		seed      = flag.Int64("seed", 42, "simulation seed")
 		duration  = flag.Duration("duration", 60*time.Second, "max simulated time")
+		adaptOn   = flag.Bool("adaptive", false, "attach the closed-loop mode/batch controller to the signer (-mode/-batch become the starting profile)")
+		lossShift = flag.Duration("loss-shift", 0, "shifting-loss scenario (line topology): hops run clean for this long, take -loss for an equal phase, then recover")
 	)
 	flag.Parse()
+	if *lossShift > 0 && *topo != "line" {
+		fmt.Fprintln(os.Stderr, "-loss-shift requires -topo line")
+		os.Exit(2)
+	}
 
 	var mode packet.Mode
 	switch *modeStr {
@@ -90,6 +97,11 @@ func main() {
 	if cfg.ChainLen < 64 {
 		cfg.ChainLen = 64
 	}
+	if *adaptOn {
+		// The controller may shrink the batch (down to Basic's one message
+		// per exchange), so size the chain for the worst case.
+		cfg.ChainLen = 8 * max(64, *msgs)
+	}
 
 	net := netsim.New(*seed)
 	epS, err := core.NewEndpoint(cfg)
@@ -99,7 +111,12 @@ func main() {
 	s := netsim.NewEndpointNode(net, "signer", "verifier", epS)
 	v := netsim.NewEndpointNode(net, "verifier", "signer", epV)
 
-	link := netsim.LinkConfig{Latency: *latency, Jitter: *jitter, Loss: *loss, Bandwidth: *bw}
+	linkLoss := *loss
+	if *lossShift > 0 {
+		linkLoss = 0 // the lossy phase is scheduled below via VaryDuplexLink
+	}
+	link := netsim.LinkConfig{Latency: *latency, Jitter: *jitter, Loss: linkLoss, Bandwidth: *bw}
+	var lineNames []string
 	var relays []*netsim.RelayNode
 	addRelay := func(name string, tamper bool) {
 		if tamper {
@@ -118,6 +135,7 @@ func main() {
 		}
 		names = append(names, "verifier")
 		net.Line(link, names...)
+		lineNames = names
 	case "grid":
 		// signer and verifier sit at opposite corners of a hops×hops
 		// relay grid.
@@ -159,6 +177,24 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("association established over %d hops (assoc %016x)\n\n", *hops+1, epS.Assoc())
+
+	var ctrlMet *telemetry.ControllerMetrics
+	if *adaptOn {
+		ctrlMet = &telemetry.ControllerMetrics{}
+		s.AttachAdaptive(adaptive.Config{Metrics: ctrlMet})
+		fmt.Printf("adaptive controller attached (starting profile %v/%d)\n", mode, cfg.BatchSize)
+	}
+	if *lossShift > 0 {
+		lossy := link
+		lossy.Loss = *loss
+		for i := 0; i+1 < len(lineNames); i++ {
+			check(net.VaryDuplexLink(lineNames[i], lineNames[i+1],
+				netsim.LinkPhase{Start: *lossShift, Config: lossy},
+				netsim.LinkPhase{Start: 2 * *lossShift, Config: link},
+			))
+		}
+		fmt.Printf("loss shifts: 0%% for %v, then %.0f%% for %v, then 0%%\n", *lossShift, *loss*100, *lossShift)
+	}
 
 	if *attackK == "flood" {
 		fl := attack.NewFloodNode(net, "mallory", "verifier", epS.Assoc())
@@ -226,6 +262,13 @@ func main() {
 	t.Add("signer retransmits", epS.Stats().Retransmits)
 	t.Add("signer bytes sent", stats.Bytes(int64(epS.Stats().BytesSent)))
 	t.Add("verifier drops", epV.Stats().Dropped)
+	if ctrlMet != nil {
+		p := epS.Profile()
+		t.Add("adaptive decisions", ctrlMet.Decisions.Load())
+		t.Add("adaptive flaps", ctrlMet.Flaps.Load())
+		t.Add("mode changes", s.CountEvents(core.EventModeChanged))
+		t.Add("final profile", fmt.Sprintf("%v/%d", p.Mode, p.BatchSize))
+	}
 	fmt.Print(t)
 	fmt.Println()
 

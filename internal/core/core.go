@@ -41,6 +41,10 @@ const (
 	DefaultFlushDelay     = 2 * time.Millisecond
 )
 
+// DefaultChainLowFraction is the chain-remaining fraction below which
+// EventChainLow fires when Config.ChainLowFraction is left zero.
+const DefaultChainLowFraction = 1.0 / 3
+
 // Config parameterizes an Endpoint. The zero value selects the basic
 // unreliable ALPHA mode over SHA-1 with sensible defaults; see the field
 // comments for the paper sections each knob corresponds to.
@@ -85,6 +89,12 @@ type Config struct {
 	// positive, chains store one element per interval and recompute the
 	// rest (the sensor-node trade-off of §4.1.3). 0 stores all elements.
 	CheckpointInterval int
+	// ChainLowFraction is the fraction of a chain's disclosable length
+	// below which EventChainLow fires (and AutoRekey engages): the rekey
+	// pressure knob. 0 selects 1/3, the historical default; otherwise it
+	// must lie in (0, 1). Tunable per association at runtime with
+	// Endpoint.SetChainLowFraction.
+	ChainLowFraction float64
 	// Coalesce packs multiple outgoing packets of one Poll into bundle
 	// datagrams (§3.2.1: combining A and S packets of independent simplex
 	// channels), up to CoalesceLimit bytes each. Fewer datagrams means
@@ -141,6 +151,9 @@ func (c Config) withDefaults() Config {
 	if c.FlushDelay == 0 {
 		c.FlushDelay = DefaultFlushDelay
 	}
+	if c.ChainLowFraction == 0 {
+		c.ChainLowFraction = DefaultChainLowFraction
+	}
 	if c.RTO == 0 {
 		c.RTO = DefaultRTO
 	}
@@ -174,6 +187,9 @@ func (c Config) validate() error {
 	if (c.Mode == packet.ModeM || c.Mode == packet.ModeCM) && c.BatchSize > packet.MaxLeafCount {
 		return fmt.Errorf("core: batch size %d exceeds Merkle leaf limit", c.BatchSize)
 	}
+	if c.ChainLowFraction <= 0 || c.ChainLowFraction >= 1 {
+		return fmt.Errorf("core: chain-low fraction %v outside (0, 1)", c.ChainLowFraction)
+	}
 	return nil
 }
 
@@ -206,6 +222,11 @@ const (
 	// EventPeerRekeyed fires when the peer rotated its chains; the new
 	// anchors were verified through the old protected channel.
 	EventPeerRekeyed
+	// EventModeChanged fires when a runtime profile transition
+	// (SetProfile) took effect: every exchange started from now on uses
+	// the Mode and Batch the event carries. Exchanges already in flight
+	// finish under the profile they were created with.
+	EventModeChanged
 )
 
 // String returns the event kind's name.
@@ -229,6 +250,8 @@ func (k EventKind) String() string {
 		return "Rekeyed"
 	case EventPeerRekeyed:
 		return "PeerRekeyed"
+	case EventModeChanged:
+		return "ModeChanged"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -246,6 +269,10 @@ type Event struct {
 	MsgIndex uint32
 	// Payload carries the verified message for Delivered events.
 	Payload []byte
+	// Mode and Batch carry the newly active profile for ModeChanged
+	// events.
+	Mode  packet.Mode
+	Batch int
 	// Err carries the reason for Dropped and SendFailed events.
 	Err error
 }

@@ -157,6 +157,8 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 		tracer:  cfg.Tracer,
 	}
 	e.tel.Init()
+	e.tel.Mode.Set(int64(cfg.Mode))
+	e.tel.BatchSize.Set(int64(cfg.BatchSize))
 	var err error
 	if e.sigChain, err = newOwner(cfg, hashchain.TagS1, hashchain.TagS2); err != nil {
 		return nil, err

@@ -137,7 +137,7 @@ func (e *Endpoint) handleS1(now time.Time, hdr packet.Header, s1 *packet.S1) []E
 	e.noteChainGauges()
 	// The acknowledgment chain depletes as fast as the peer sends; warn
 	// (and auto-rekey, if configured) from the verifier side too.
-	if !e.chainLow && e.ackChain.Remaining() < e.ackChain.Len()/3 {
+	if !e.chainLow && e.ackChainIsLow() {
 		e.chainLow = true
 		e.emit(Event{Kind: EventChainLow})
 	}

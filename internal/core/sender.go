@@ -34,6 +34,11 @@ const (
 type txExchange struct {
 	seq   uint32
 	state txState
+	// mode is pinned at startExchange: an exchange runs its whole lifetime
+	// under the profile it was created with, so a runtime SetProfile never
+	// mixes modes within one S1/S2 round (the S2s must match what the S1
+	// announced).
+	mode  packet.Mode
 	msgs  []*outMsg
 	pair  hashchain.Pair // our signature-chain elements for this exchange
 	trees []*merkle.Tree // modes M (one tree) and CM (k subtrees)
@@ -138,7 +143,7 @@ func (e *Endpoint) startExchange(now time.Time, batch []*outMsg) error {
 		return fmt.Errorf("%w: %v", ErrChainExhausted, err)
 	}
 	e.noteChainGauges()
-	if !e.chainLow && e.sigChain.Remaining() < e.sigChain.Len()/3 {
+	if !e.chainLow && e.sigChainIsLow() {
 		e.chainLow = true
 		e.emit(Event{Kind: EventChainLow})
 	}
@@ -146,17 +151,18 @@ func (e *Endpoint) startExchange(now time.Time, batch []*outMsg) error {
 	e.nextSeq++
 	x := &txExchange{
 		seq:   seq,
+		mode:  e.cfg.Mode,
 		msgs:  batch,
 		pair:  pair,
 		acked: make([]bool, len(batch)),
 	}
 	s1 := &packet.S1{
-		Mode:    e.cfg.Mode,
+		Mode:    x.mode,
 		AuthIdx: pair.AuthIdx,
 		Auth:    pair.Auth,
 		KeyIdx:  pair.KeyIdx,
 	}
-	switch e.cfg.Mode {
+	switch x.mode {
 	case packet.ModeBase, packet.ModeC:
 		// One slab holds the batch's MACs; the MAC input is assembled in
 		// the endpoint's scratch buffer instead of per-message slices.
@@ -269,13 +275,13 @@ func (e *Endpoint) sendS2s(now time.Time, x *txExchange) error {
 	x.s2s = make([][]byte, len(x.msgs))
 	for i, m := range x.msgs {
 		s2 := &packet.S2{
-			Mode:     e.cfg.Mode,
+			Mode:     x.mode,
 			KeyIdx:   x.pair.KeyIdx,
 			Key:      x.pair.Key,
 			MsgIndex: uint32(i),
 			Payload:  m.payload,
 		}
-		switch e.cfg.Mode {
+		switch x.mode {
 		case packet.ModeM:
 			proof, err := x.trees[0].Proof(i)
 			if err != nil {

@@ -5,6 +5,7 @@ package netsim
 import (
 	"time"
 
+	"alpha/internal/adaptive"
 	"alpha/internal/core"
 )
 
@@ -22,6 +23,7 @@ type EndpointNode struct {
 	OnEvent func(now time.Time, ev core.Event)
 
 	timerGen uint64 // invalidates stale timer events
+	ctrlGen  uint64 // invalidates a detached controller's tick chain
 }
 
 // NewEndpointNode wraps an endpoint and registers it on the network.
@@ -114,6 +116,36 @@ func (en *EndpointNode) record(now time.Time, evs []core.Event) {
 func (en *EndpointNode) transmit(raw []byte) {
 	_ = en.net.Inject(en.Name, en.Peer, raw)
 }
+
+// AttachAdaptive runs an adaptive controller against this node's endpoint:
+// every cfg.Interval of virtual time it samples the endpoint, feeds the
+// controller, applies changed decisions via SetProfile and re-pumps the
+// engine. The tick chain keeps the event queue non-empty, so scenarios
+// using an attached controller should run with Run/RunFor deadlines, not
+// RunUntilIdle. Returns the controller for inspection.
+func (en *EndpointNode) AttachAdaptive(cfg adaptive.Config) *adaptive.Controller {
+	if cfg.Interval <= 0 {
+		cfg.Interval = adaptive.DefaultInterval
+	}
+	ctrl := adaptive.ForEndpoint(cfg, en.EP)
+	en.ctrlGen++
+	gen := en.ctrlGen
+	var tick func(t time.Time)
+	tick = func(t time.Time) {
+		if gen != en.ctrlGen {
+			return // detached or replaced
+		}
+		if d, err := adaptive.Drive(ctrl, en.EP, t); err == nil && d.Changed {
+			en.pump(t) // a new profile may change flush deadlines
+		}
+		en.net.Schedule(t.Add(cfg.Interval), tick)
+	}
+	en.net.Schedule(en.net.Now().Add(cfg.Interval), tick)
+	return ctrl
+}
+
+// DetachAdaptive stops the attached controller's tick chain.
+func (en *EndpointNode) DetachAdaptive() { en.ctrlGen++ }
 
 // arm schedules the engine's next timeout as a simulator event.
 func (en *EndpointNode) arm(now time.Time) {

@@ -189,6 +189,53 @@ func (n *Network) SetLoss(from, to string, loss float64) error {
 	return nil
 }
 
+// SetLinkConfig replaces a directed link's whole configuration
+// mid-simulation; queued transmissions keep the serialization they were
+// scheduled with, new ones see the new link.
+func (n *Network) SetLinkConfig(from, to string, cfg LinkConfig) error {
+	l, ok := n.links[linkKey{from, to}]
+	if !ok {
+		return fmt.Errorf("netsim: no link %s->%s", from, to)
+	}
+	l.cfg = cfg
+	return nil
+}
+
+// LinkPhase is one segment of a time-varying link profile.
+type LinkPhase struct {
+	// Start is the phase's onset, relative to the moment VaryLink is
+	// called.
+	Start time.Duration
+	// Config is the link configuration that takes effect at Start.
+	Config LinkConfig
+}
+
+// VaryLink schedules a time-varying profile on a directed link: each
+// phase's configuration is applied at its Start offset. This is how
+// scenarios model links that change underfoot — a mesh hop degrading as a
+// node moves, then recovering — which is exactly the condition an adaptive
+// mode controller exists for.
+func (n *Network) VaryLink(from, to string, phases ...LinkPhase) error {
+	if _, ok := n.links[linkKey{from, to}]; !ok {
+		return fmt.Errorf("netsim: no link %s->%s", from, to)
+	}
+	for _, p := range phases {
+		cfg := p.Config
+		n.Schedule(n.now.Add(p.Start), func(time.Time) {
+			n.links[linkKey{from, to}].cfg = cfg
+		})
+	}
+	return nil
+}
+
+// VaryDuplexLink applies the same phase schedule to both directions.
+func (n *Network) VaryDuplexLink(a, b string, phases ...LinkPhase) error {
+	if err := n.VaryLink(a, b, phases...); err != nil {
+		return err
+	}
+	return n.VaryLink(b, a, phases...)
+}
+
 // SetRoute pins the next hop used at node `at` for destination `dest`.
 func (n *Network) SetRoute(at, dest, nextHop string) {
 	n.routes[linkKey{at, dest}] = nextHop

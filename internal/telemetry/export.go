@@ -34,17 +34,27 @@ func (f WalkerFunc) Walk(v Visitor) { f(v) }
 
 // Exporter aggregates named metric groups and renders them. Groups are
 // walked in registration order; a group's prefix namespaces every metric it
-// reports (prefix_name).
+// reports (prefix_name). Groups may carry a label set, and may be produced
+// dynamically at scrape time — the mechanism behind per-association metric
+// families whose membership changes as sessions come and go.
 type Exporter struct {
-	mu     sync.Mutex
-	groups []exportGroup
-	tracer *Tracer
+	mu      sync.Mutex
+	groups  []exportGroup
+	dynamic []GroupFunc
+	tracer  *Tracer
 }
 
 type exportGroup struct {
 	prefix string
+	labels string // rendered inside {} in Prometheus output; "" for none
 	w      Walker
 }
+
+// GroupFunc produces metric groups at scrape time. It is called with the
+// exporter's lock NOT held and must call emit once per group it wants
+// rendered in this scrape. Labels use Prometheus pair syntax without
+// braces, e.g. `assoc="4f2a90cc01d7b3e6"`.
+type GroupFunc func(emit func(prefix, labels string, w Walker))
 
 // NewExporter creates an empty exporter.
 func NewExporter() *Exporter { return &Exporter{} }
@@ -53,8 +63,27 @@ func NewExporter() *Exporter { return &Exporter{} }
 // Registering the same prefix twice keeps both groups; callers own prefix
 // uniqueness.
 func (e *Exporter) Register(prefix string, w Walker) {
+	e.RegisterLabeled(prefix, "", w)
+}
+
+// RegisterLabeled adds a metric group whose samples carry a fixed label set
+// (e.g. prefix "alpha_session", labels `assoc="4f2a..."`). In Prometheus
+// output the labels render inside braces; in JSON/text/Snapshot output they
+// are folded into the group key as prefix{labels}, so two groups sharing a
+// prefix but not labels stay distinct.
+func (e *Exporter) RegisterLabeled(prefix, labels string, w Walker) {
 	e.mu.Lock()
-	e.groups = append(e.groups, exportGroup{prefix: prefix, w: w})
+	e.groups = append(e.groups, exportGroup{prefix: prefix, labels: labels, w: w})
+	e.mu.Unlock()
+}
+
+// RegisterDynamic adds a scrape-time group producer. Each render calls f to
+// enumerate the groups that exist right now — the natural fit for
+// per-session metric families under churn, where registering each session
+// individually would leak groups as sessions retire.
+func (e *Exporter) RegisterDynamic(f GroupFunc) {
+	e.mu.Lock()
+	e.dynamic = append(e.dynamic, f)
 	e.mu.Unlock()
 }
 
@@ -67,17 +96,36 @@ func (e *Exporter) SetTracer(t *Tracer) {
 
 func (e *Exporter) snapshotGroups() []exportGroup {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return append([]exportGroup(nil), e.groups...)
+	groups := append([]exportGroup(nil), e.groups...)
+	dynamic := append([]GroupFunc(nil), e.dynamic...)
+	e.mu.Unlock()
+	// Dynamic producers run unlocked: they may take their own locks (e.g.
+	// a server's session table) and must not deadlock against Register.
+	for _, f := range dynamic {
+		f(func(prefix, labels string, w Walker) {
+			groups = append(groups, exportGroup{prefix: prefix, labels: labels, w: w})
+		})
+	}
+	return groups
+}
+
+// key returns the group's Snapshot/JSON identity: prefix{labels}, or just
+// the prefix for unlabeled groups.
+func (g exportGroup) key() string {
+	if g.labels == "" {
+		return g.prefix
+	}
+	return g.prefix + "{" + g.labels + "}"
 }
 
 // Snapshot returns every registered metric keyed by its full name:
 // counters and gauges as uint64/int64, histograms as HistogramSnapshot.
-// This is the programmatic API the CLIs and examples print at exit.
+// Labeled groups key as prefix_name{labels}. This is the programmatic API
+// the CLIs and examples print at exit.
 func (e *Exporter) Snapshot() map[string]any {
 	out := make(map[string]any)
 	for _, g := range e.snapshotGroups() {
-		g.w.Walk(&mapVisitor{prefix: g.prefix, out: out})
+		g.w.Walk(&mapVisitor{prefix: g.prefix, labels: g.labels, out: out})
 	}
 	return out
 }
@@ -85,12 +133,20 @@ func (e *Exporter) Snapshot() map[string]any {
 // mapVisitor flattens a walk into a name->value map.
 type mapVisitor struct {
 	prefix string
+	labels string
 	out    map[string]any
 }
 
-func (m *mapVisitor) Counter(name string, v uint64)              { m.out[m.prefix+"_"+name] = v }
-func (m *mapVisitor) Gauge(name string, v int64)                 { m.out[m.prefix+"_"+name] = v }
-func (m *mapVisitor) Histogram(name string, h HistogramSnapshot) { m.out[m.prefix+"_"+name] = h }
+func (m *mapVisitor) key(name string) string {
+	if m.labels == "" {
+		return m.prefix + "_" + name
+	}
+	return m.prefix + "_" + name + "{" + m.labels + "}"
+}
+
+func (m *mapVisitor) Counter(name string, v uint64)              { m.out[m.key(name)] = v }
+func (m *mapVisitor) Gauge(name string, v int64)                 { m.out[m.key(name)] = v }
+func (m *mapVisitor) Histogram(name string, h HistogramSnapshot) { m.out[m.key(name)] = h }
 
 // WriteText renders a sorted name value dump, one metric per line —
 // the exit-summary format. Histograms print count/sum only.
@@ -120,8 +176,11 @@ func (e *Exporter) WriteText(w io.Writer) error {
 // and gauges as single samples, histograms as cumulative _bucket/_sum/_count
 // families.
 func (e *Exporter) WritePrometheus(w io.Writer) error {
+	// typed is shared across groups so a metric family split over many
+	// labeled groups (one per association) declares its TYPE exactly once.
+	typed := make(map[string]bool)
 	for _, g := range e.snapshotGroups() {
-		pv := &promVisitor{w: w, prefix: g.prefix}
+		pv := &promVisitor{w: w, prefix: g.prefix, labels: g.labels, typed: typed}
 		g.w.Walk(pv)
 		if pv.err != nil {
 			return pv.err
@@ -133,6 +192,8 @@ func (e *Exporter) WritePrometheus(w io.Writer) error {
 type promVisitor struct {
 	w      io.Writer
 	prefix string
+	labels string
+	typed  map[string]bool
 	err    error
 }
 
@@ -142,37 +203,67 @@ func (p *promVisitor) printf(format string, args ...any) {
 	}
 }
 
+// typeLine declares a family's TYPE on first sight.
+func (p *promVisitor) typeLine(full, kind string) {
+	if !p.typed[full] {
+		p.typed[full] = true
+		p.printf("# TYPE %s %s\n", full, kind)
+	}
+}
+
+// sample renders one labeled or unlabeled sample line. extra is an optional
+// pre-formatted label pair (e.g. `le="128"`) merged with the group labels.
+func (p *promVisitor) sample(full, extra string, value any) {
+	labels := p.labels
+	switch {
+	case labels == "":
+		labels = extra
+	case extra != "":
+		labels = labels + "," + extra
+	}
+	if labels == "" {
+		p.printf("%s %v\n", full, value)
+	} else {
+		p.printf("%s{%s} %v\n", full, labels, value)
+	}
+}
+
 func (p *promVisitor) Counter(name string, v uint64) {
 	full := p.prefix + "_" + name
-	p.printf("# TYPE %s counter\n%s %d\n", full, full, v)
+	p.typeLine(full, "counter")
+	p.sample(full, "", v)
 }
 
 func (p *promVisitor) Gauge(name string, v int64) {
 	full := p.prefix + "_" + name
-	p.printf("# TYPE %s gauge\n%s %d\n", full, full, v)
+	p.typeLine(full, "gauge")
+	p.sample(full, "", v)
 }
 
 func (p *promVisitor) Histogram(name string, h HistogramSnapshot) {
 	full := p.prefix + "_" + name
-	p.printf("# TYPE %s histogram\n", full)
+	p.typeLine(full, "histogram")
 	cum := uint64(0)
 	for i, bound := range h.Bounds {
 		cum += h.Counts[i]
-		p.printf("%s_bucket{le=\"%d\"} %d\n", full, bound, cum)
+		p.sample(full+"_bucket", fmt.Sprintf("le=%q", fmt.Sprint(bound)), cum)
 	}
-	p.printf("%s_bucket{le=\"+Inf\"} %d\n", full, h.Count)
-	p.printf("%s_sum %d\n%s_count %d\n", full, h.Sum, full, h.Count)
+	p.sample(full+"_bucket", `le="+Inf"`, h.Count)
+	p.sample(full+"_sum", "", h.Sum)
+	p.sample(full+"_count", "", h.Count)
 }
 
 // WriteJSON renders an expvar-style JSON object: one nested object per
-// group prefix, histograms as {count, sum, buckets:[{le, n}]}.
+// group (labeled groups key as prefix{labels}), histograms as
+// {count, sum, buckets:[{le, n}]}.
 func (e *Exporter) WriteJSON(w io.Writer) error {
 	top := make(map[string]map[string]any)
 	for _, g := range e.snapshotGroups() {
-		obj, ok := top[g.prefix]
+		key := g.key()
+		obj, ok := top[key]
 		if !ok {
 			obj = make(map[string]any)
-			top[g.prefix] = obj
+			top[key] = obj
 		}
 		g.w.Walk(&jsonVisitor{out: obj})
 	}

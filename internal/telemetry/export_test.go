@@ -99,9 +99,9 @@ func TestWriteText(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	// Sorted output, one metric per line: 18 counters + 4 gauges + 2 histograms.
-	if len(lines) != 24 {
-		t.Fatalf("got %d lines, want 24\n%s", len(lines), buf.String())
+	// Sorted output, one metric per line: 19 counters + 6 gauges + 2 histograms.
+	if len(lines) != 27 {
+		t.Fatalf("got %d lines, want 27\n%s", len(lines), buf.String())
 	}
 	for i := 1; i < len(lines); i++ {
 		if lines[i-1] > lines[i] {
@@ -127,6 +127,85 @@ func TestWalkerFuncDynamicGroup(t *testing.T) {
 	}
 	if got := e.Snapshot()["dyn_scrapes"]; got != uint64(2) {
 		t.Fatalf("second scrape = %v, want 2 (walker must run per scrape)", got)
+	}
+}
+
+func TestRegisterLabeled(t *testing.T) {
+	e := NewExporter()
+	a := NewEndpointMetrics()
+	a.SentS1.Add(7)
+	a.PayloadSize.Observe(100)
+	b := NewEndpointMetrics()
+	b.SentS1.Add(11)
+	e.RegisterLabeled("alpha_session", `assoc="000000000000abcd"`, a)
+	e.RegisterLabeled("alpha_session", `assoc="000000000000beef"`, b)
+
+	var buf strings.Builder
+	if err := e.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`alpha_session_sent_s1{assoc="000000000000abcd"} 7`,
+		`alpha_session_sent_s1{assoc="000000000000beef"} 11`,
+		// Histogram buckets merge the group labels with le.
+		`alpha_session_payload_size_bytes_bucket{assoc="000000000000abcd",le="128"} 1`,
+		`alpha_session_payload_size_bytes_sum{assoc="000000000000abcd"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+	// One family, two labeled groups: the TYPE line must not repeat.
+	if n := strings.Count(out, "# TYPE alpha_session_sent_s1 counter"); n != 1 {
+		t.Errorf("TYPE line for sent_s1 appears %d times, want 1", n)
+	}
+
+	// Snapshot and JSON keys keep the two associations distinct.
+	snap := e.Snapshot()
+	if got := snap[`alpha_session_sent_s1{assoc="000000000000abcd"}`]; got != uint64(7) {
+		t.Errorf("labeled snapshot key = %v, want 7", got)
+	}
+	var jbuf strings.Builder
+	if err := e.WriteJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]map[string]any
+	if err := json.Unmarshal([]byte(jbuf.String()), &top); err != nil {
+		t.Fatal(err)
+	}
+	if got := top[`alpha_session{assoc="000000000000beef"}`]["sent_s1"]; got != float64(11) {
+		t.Errorf("labeled JSON group = %v, want 11", got)
+	}
+}
+
+func TestRegisterDynamic(t *testing.T) {
+	// A dynamic producer enumerates groups at scrape time, so per-session
+	// families follow session churn without leaking registrations.
+	sessions := map[string]*EndpointMetrics{}
+	add := func(label string, s1 uint64) {
+		m := NewEndpointMetrics()
+		m.SentS1.Add(s1)
+		sessions[label] = m
+	}
+	add(`assoc="0000000000000001"`, 1)
+	e := NewExporter()
+	e.RegisterDynamic(func(emit func(prefix, labels string, w Walker)) {
+		for label, m := range sessions {
+			emit("alpha_session", label, m)
+		}
+	})
+	if got := e.Snapshot()[`alpha_session_sent_s1{assoc="0000000000000001"}`]; got != uint64(1) {
+		t.Fatalf("first scrape = %v, want 1", got)
+	}
+	add(`assoc="0000000000000002"`, 2)
+	delete(sessions, `assoc="0000000000000001"`)
+	snap := e.Snapshot()
+	if _, ok := snap[`alpha_session_sent_s1{assoc="0000000000000001"}`]; ok {
+		t.Fatal("retired session still exported")
+	}
+	if got := snap[`alpha_session_sent_s1{assoc="0000000000000002"}`]; got != uint64(2) {
+		t.Fatalf("new session = %v, want 2", got)
 	}
 }
 

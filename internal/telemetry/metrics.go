@@ -34,10 +34,17 @@ type EndpointMetrics struct {
 	// Chain-pressure gauges: undisclosed elements remaining on the local
 	// signature and acknowledgment chains, next to their disclosable
 	// lengths, so rekey pressure is a plottable ratio on a dashboard
-	// before EventChainLow fires (that event triggers at remaining <
-	// len/3, by which point the chain is already two-thirds spent).
+	// before EventChainLow fires (the trigger fraction defaults to 1/3 of
+	// the chain and is tunable per association).
 	SigChainRemaining, AckChainRemaining Gauge
 	SigChainLen, AckChainLen             Gauge
+
+	// Profile state: the mode (packet.Mode ordinal) and batch size new
+	// exchanges currently start with, and how many runtime transitions
+	// (SetProfile) the association has applied — the observable face of
+	// the adaptive controller's actuator.
+	Mode, BatchSize Gauge
+	ModeChanges     Counter
 }
 
 // Init fixes the histogram bucket layouts; counters need no setup.
@@ -60,8 +67,8 @@ type endpointCounter struct {
 	max  bool
 }
 
-func (m *EndpointMetrics) counters() [18]endpointCounter {
-	return [18]endpointCounter{
+func (m *EndpointMetrics) counters() [19]endpointCounter {
+	return [19]endpointCounter{
 		{"sent_s1", &m.SentS1, false},
 		{"sent_a1", &m.SentA1, false},
 		{"sent_s2", &m.SentS2, false},
@@ -80,22 +87,29 @@ func (m *EndpointMetrics) counters() [18]endpointCounter {
 		{"payload_bytes", &m.PayloadBytes, false},
 		{"ack_latency_ns_sum", &m.AckLatencyNS, false},
 		{"ack_latency_ns_max", &m.AckLatencyMaxNS, true},
+		{"mode_changes", &m.ModeChanges, false},
 	}
 }
 
-// gauges pairs each chain gauge with its export name.
-func (m *EndpointMetrics) gauges() [4]struct {
+// gauges pairs each gauge with its export name. fold marks gauges that sum
+// meaningfully across sessions (chain pressure); mode and batch size are
+// per-association state, so AddTo leaves them alone.
+func (m *EndpointMetrics) gauges() [6]struct {
 	name string
 	g    *Gauge
+	fold bool
 } {
-	return [4]struct {
+	return [6]struct {
 		name string
 		g    *Gauge
+		fold bool
 	}{
-		{"sig_chain_remaining", &m.SigChainRemaining},
-		{"sig_chain_len", &m.SigChainLen},
-		{"ack_chain_remaining", &m.AckChainRemaining},
-		{"ack_chain_len", &m.AckChainLen},
+		{"sig_chain_remaining", &m.SigChainRemaining, true},
+		{"sig_chain_len", &m.SigChainLen, true},
+		{"ack_chain_remaining", &m.AckChainRemaining, true},
+		{"ack_chain_len", &m.AckChainLen, true},
+		{"mode", &m.Mode, false},
+		{"batch_size", &m.BatchSize, false},
 	}
 }
 
@@ -131,12 +145,55 @@ func (m *EndpointMetrics) AddTo(dst *EndpointMetrics) {
 	}
 	gs, dg := m.gauges(), dst.gauges()
 	for i := range gs {
+		if !gs[i].fold {
+			continue
+		}
 		if n := gs[i].g.Load(); n != 0 {
 			dg[i].g.Add(n)
 		}
 	}
 	m.AckLatency.AddTo(&dst.AckLatency)
 	m.PayloadSize.AddTo(&dst.PayloadSize)
+}
+
+// ControllerMetrics exposes one adaptive controller's closed loop: the
+// signal estimates it maintains (EWMAs, exported as gauges so a dashboard
+// shows what the controller currently believes), the target profile it has
+// decided on, and how often it decides, holds, or flaps. Counters and
+// gauges only — the decision path stays allocation-free.
+type ControllerMetrics struct {
+	// Samples counts signal observations; Decisions counts applied
+	// profile changes; Holds counts samples where hysteresis, confirmation
+	// or cool-down kept the profile despite a differing target; Flaps
+	// counts changes that reverted the immediately preceding change within
+	// the flap window (the instability a controller must avoid).
+	Samples, Decisions, Holds, Flaps Counter
+
+	// TargetMode / TargetBatch is the profile the controller currently
+	// wants (it equals the endpoint profile once applied).
+	TargetMode, TargetBatch Gauge
+
+	// Signal estimates, scaled for integer export: smoothed loss in parts
+	// per million, smoothed ack RTT in nanoseconds, smoothed goodput in
+	// bytes/s, chain depletion in ppm of the chain spent, and the queue
+	// backlog at the last sample.
+	LossPPM, AckRTTNS, GoodputBps Gauge
+	ChainSpentPPM, QueueDepth     Gauge
+}
+
+// Walk reports every metric to v.
+func (m *ControllerMetrics) Walk(v Visitor) {
+	v.Counter("samples", m.Samples.Load())
+	v.Counter("decisions", m.Decisions.Load())
+	v.Counter("holds", m.Holds.Load())
+	v.Counter("flaps", m.Flaps.Load())
+	v.Gauge("target_mode", m.TargetMode.Load())
+	v.Gauge("target_batch", m.TargetBatch.Load())
+	v.Gauge("loss_ppm", m.LossPPM.Load())
+	v.Gauge("ack_rtt_ns", m.AckRTTNS.Load())
+	v.Gauge("goodput_bps", m.GoodputBps.Load())
+	v.Gauge("chain_spent_ppm", m.ChainSpentPPM.Load())
+	v.Gauge("queue_depth", m.QueueDepth.Load())
 }
 
 // RelayMetrics counts a verifying relay's activity, with one counter per

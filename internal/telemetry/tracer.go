@@ -42,6 +42,14 @@ const (
 	TraceSessionStart
 	// TraceSessionEnd: a session was removed from the routing table.
 	TraceSessionEnd
+	// TraceAdaptiveDecision: the adaptive controller decided on a new
+	// target profile. Seq carries the decision ordinal; Detail packs the
+	// target as mode<<16 | batch.
+	TraceAdaptiveDecision
+	// TraceModeChange: an endpoint applied a runtime profile transition.
+	// Seq is the first exchange sequence that will use it; Detail packs
+	// the new profile as mode<<16 | batch.
+	TraceModeChange
 )
 
 // String returns the event kind's name.
@@ -69,6 +77,10 @@ func (k TraceKind) String() string {
 		return "SessionStart"
 	case TraceSessionEnd:
 		return "SessionEnd"
+	case TraceAdaptiveDecision:
+		return "AdaptiveDecision"
+	case TraceModeChange:
+		return "ModeChange"
 	default:
 		return "Unknown"
 	}

@@ -1,0 +1,163 @@
+// Runtime profile control over UDP: serialized SetProfile wrappers and the
+// background sampling loop that lets internal/adaptive steer a live
+// connection, plus the per-association scrape-time metric families that
+// make the controller observable in production.
+
+package udptransport
+
+import (
+	"fmt"
+	"time"
+
+	"alpha/internal/adaptive"
+	"alpha/internal/core"
+	"alpha/internal/telemetry"
+)
+
+// SetProfile switches the association's Mode/BatchSize at the next
+// exchange boundary (see core.Endpoint.SetProfile). Safe for concurrent
+// use; the engine is re-pumped immediately so a re-batched queue drains
+// under the new profile without waiting for the next timer tick.
+func (c *Conn) SetProfile(p core.Profile) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	if err := c.ep.SetProfile(now, p); err != nil {
+		return err
+	}
+	c.pumpLocked(now)
+	return nil
+}
+
+// Profile returns the profile new exchanges currently use.
+func (c *Conn) Profile() core.Profile {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ep.Profile()
+}
+
+// SetChainLowFraction retunes the EventChainLow / auto-rekey threshold.
+func (c *Conn) SetChainLowFraction(f float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ep.SetChainLowFraction(f)
+}
+
+// EnableAdaptive starts a closed-loop controller on this connection: a
+// background goroutine samples the endpoint every cfg.Interval and applies
+// changed decisions under the connection lock. It stops when the
+// connection closes. Call at most once per connection; the returned
+// controller is live (its telemetry sinks keep updating) but must not be
+// fed samples by the caller.
+func (c *Conn) EnableAdaptive(cfg adaptive.Config) *adaptive.Controller {
+	c.mu.Lock()
+	ctrl := adaptive.ForEndpoint(cfg, c.ep)
+	c.mu.Unlock()
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = adaptive.DefaultInterval
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.closed:
+				return
+			case <-ticker.C:
+			}
+			now := time.Now()
+			c.mu.Lock()
+			if d, err := adaptive.Drive(ctrl, c.ep, now); err == nil && d.Changed {
+				c.pumpLocked(now)
+			}
+			c.mu.Unlock()
+		}
+	}()
+	return ctrl
+}
+
+// SetProfile switches this session's Mode/BatchSize at the next exchange
+// boundary. Safe for concurrent use.
+func (s *Session) SetProfile(p core.Profile) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ep == nil {
+		return ErrClosed
+	}
+	now := time.Now()
+	if err := s.ep.SetProfile(now, p); err != nil {
+		return err
+	}
+	s.pumpLocked(now)
+	return nil
+}
+
+// Profile returns the profile new exchanges currently use.
+func (s *Session) Profile() core.Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ep.Profile()
+}
+
+// SetChainLowFraction retunes the EventChainLow / auto-rekey threshold.
+func (s *Session) SetChainLowFraction(f float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ep.SetChainLowFraction(f)
+}
+
+// EnableAdaptive starts a closed-loop controller on this session,
+// stopping when the session or server closes. Call at most once.
+func (s *Session) EnableAdaptive(cfg adaptive.Config) *adaptive.Controller {
+	s.mu.Lock()
+	ctrl := adaptive.ForEndpoint(cfg, s.ep)
+	s.mu.Unlock()
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = adaptive.DefaultInterval
+	}
+	s.server.wg.Add(1)
+	go func() {
+		defer s.server.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.timerStop:
+				return
+			case <-s.server.closed:
+				return
+			case <-ticker.C:
+			}
+			now := time.Now()
+			s.mu.Lock()
+			if d, err := adaptive.Drive(ctrl, s.ep, now); err == nil && d.Changed {
+				s.pumpLocked(now)
+			}
+			s.mu.Unlock()
+		}
+	}()
+	return ctrl
+}
+
+// SessionGroups returns a scrape-time group producer that exports every
+// live session's endpoint metrics as one labeled family per association
+// (prefix{assoc="<16-hex id>"}). Register it with
+// Exporter.RegisterDynamic; membership follows session churn with no
+// per-session registration, and the walkers are the sessions' live atomic
+// sets, so a scrape costs no locking beyond the routing-table shards.
+func (s *Server) SessionGroups(prefix string) telemetry.GroupFunc {
+	return func(emit func(prefix, labels string, w telemetry.Walker)) {
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			for assoc, sess := range sh.sessions {
+				emit(prefix, fmt.Sprintf("assoc=%q", fmt.Sprintf("%016x", assoc)), sess.ep.Telemetry())
+			}
+			sh.mu.Unlock()
+		}
+	}
+}
