@@ -13,6 +13,7 @@ import (
 	"alpha/internal/analytic"
 	"alpha/internal/baseline"
 	"alpha/internal/core"
+	"alpha/internal/hashchain"
 	"alpha/internal/merkle"
 	"alpha/internal/packet"
 	"alpha/internal/relay"
@@ -460,7 +461,7 @@ func BenchmarkSuiteOps(b *testing.B) {
 			}
 		})
 		b.Run(s.Name()+"/chain-step", func(b *testing.B) {
-			tag := []byte("ALPHA-S1")
+			tag := hashchain.TagS1
 			cur := append(make([]byte, 0, s.Size()), key...)
 			scratch := make([]byte, 0, s.Size())
 			var parts [2][]byte

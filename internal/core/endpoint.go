@@ -343,9 +343,12 @@ var errSuiteMismatch = errors.New("alpha: suite mismatch")
 // reasonCode maps a drop error onto the telemetry reason code carried in
 // TraceDrop events, so trace lines and counters name failures identically.
 func reasonCode(err error) uint32 {
+	var parseErr *packet.ParseError
 	switch {
 	case err == nil:
 		return telemetry.ReasonNone
+	case errors.As(err, &parseErr):
+		return telemetry.ReasonMalformed
 	case errors.Is(err, ErrUnknownAssoc):
 		return telemetry.ReasonUnknownAssoc
 	case errors.Is(err, ErrBadAuthElement):

@@ -21,13 +21,17 @@ import (
 // handshakeSchemeRSA identifies RSA-PKCS#1v1.5-SHA256 anchor signatures.
 const handshakeSchemeRSA = 1
 
+// tagHandshakeV1 domain-separates handshake signature digests from every
+// hash-chain computation (and from future handshake versions).
+var tagHandshakeV1 = []byte("ALPHA-handshake-v1")
+
 // handshakeDigest computes the digest a protected handshake signs: the
 // association ID, chain parameters and both anchors. SHA-256 is used
 // unconditionally here — the asymmetric identity should not inherit the
 // possibly weaker association suite.
 func handshakeDigest(assoc uint64, hs *packet.Handshake) [32]byte {
 	h := sha256.New()
-	h.Write([]byte("ALPHA-handshake-v1"))
+	h.Write(tagHandshakeV1)
 	var b [8]byte
 	binary.BigEndian.PutUint64(b[:], assoc)
 	h.Write(b[:])

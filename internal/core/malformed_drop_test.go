@@ -1,0 +1,58 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"alpha/internal/packet"
+	"alpha/internal/telemetry"
+)
+
+// TestMalformedPacketCountedAsDrop checks the typed-error plumbing end to
+// end on the endpoint side: an undecodable datagram surfaces as an
+// EventDropped carrying a *packet.ParseError, bumps the Dropped counter,
+// and traces with the ReasonMalformed drop code.
+func TestMalformedPacketCountedAsDrop(t *testing.T) {
+	cfg := baseConfig(packet.ModeC, false)
+	cfg.Tracer = telemetry.NewTracer(16)
+	ep, err := NewEndpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	inputs := [][]byte{
+		{},                        // empty datagram
+		{0xDE, 0xAD, 0xBE, 0xEF}, // bad magic
+		{0xA1, 0xFA, 0x01, 0x7F}, // good magic, truncated header
+	}
+	for i, in := range inputs {
+		evs, err := ep.Handle(now, in)
+		if err != nil {
+			t.Fatalf("input %d: Handle returned engine error %v for hostile input", i, err)
+		}
+		if len(evs) != 1 || evs[0].Kind != EventDropped {
+			t.Fatalf("input %d: events = %+v, want one EventDropped", i, evs)
+		}
+		var pe *packet.ParseError
+		if !errors.As(evs[0].Err, &pe) {
+			t.Fatalf("input %d: drop error is %T, want *packet.ParseError: %v", i, evs[0].Err, evs[0].Err)
+		}
+	}
+	if got := ep.Telemetry().Dropped.Load(); got != uint64(len(inputs)) {
+		t.Fatalf("Dropped counter = %d, want %d", got, len(inputs))
+	}
+	drops := 0
+	for _, ev := range cfg.Tracer.Snapshot() {
+		if ev.Kind == telemetry.TraceDrop {
+			drops++
+			if ev.Detail != telemetry.ReasonMalformed {
+				t.Fatalf("drop traced with reason %s, want %s",
+					telemetry.ReasonString(ev.Detail), telemetry.ReasonString(telemetry.ReasonMalformed))
+			}
+		}
+	}
+	if drops != len(inputs) {
+		t.Fatalf("tracer recorded %d drops, want %d", drops, len(inputs))
+	}
+}

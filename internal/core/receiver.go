@@ -271,6 +271,8 @@ func (e *Endpoint) handleS2(now time.Time, hdr packet.Header, s2 *packet.S2) []E
 
 // verifyS2Payload checks an S2's payload against the exchange's buffered
 // pre-signature material.
+//
+//alpha:hotpath
 func (e *Endpoint) verifyS2Payload(rx *rxExchange, hdr packet.Header, s2 *packet.S2) bool {
 	switch rx.mode {
 	case packet.ModeBase, packet.ModeC:

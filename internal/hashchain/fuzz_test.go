@@ -1,0 +1,104 @@
+package hashchain
+
+import (
+	"testing"
+
+	"alpha/internal/suite"
+)
+
+// FuzzHashchainVerify is a structured property fuzzer for the disclosure
+// walker. From a fuzzer-chosen secret and shape it builds a real chain and
+// checks the §3.2.1 verification invariants: genuine disclosures verify in
+// and out of order, any bit flip is rejected, the anchor itself never
+// passes as a disclosure, swapped odd/even domain tags are rejected, and
+// arbitrary element material never panics the walker.
+func FuzzHashchainVerify(f *testing.F) {
+	f.Add([]byte("secret"), uint8(8), uint8(3), uint16(0), []byte("junk"), uint32(1))
+	f.Add([]byte("s"), uint8(1), uint8(1), uint16(9), []byte(""), uint32(0))
+	f.Add([]byte("long-seed-material"), uint8(63), uint8(40), uint16(77), []byte("\xff"), uint32(1<<20))
+	f.Fuzz(func(t *testing.T, secret []byte, nRaw, discloseRaw uint8, flip uint16, junk []byte, junkIdx uint32) {
+		if len(secret) == 0 {
+			secret = []byte{0}
+		}
+		s := suite.SHA1()
+		n := int(nRaw)%64 + 1
+		c, err := New(s, TagS1, TagS2, secret, n)
+		if err != nil {
+			t.Fatalf("New(n=%d): %v", n, err)
+		}
+		w, err := NewWalker(s, TagS1, TagS2, c.Anchor(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// The anchor is public; replaying it must never count as a
+		// disclosure.
+		if w.Probe(c.Anchor(), 0) == nil {
+			t.Fatal("anchor accepted as a disclosure")
+		}
+
+		// A walker keyed with swapped parity tags disagrees on every
+		// domain-separation tag, so the first genuine element must fail.
+		swapped, err := NewWalker(s, TagS2, TagS1, c.Anchor(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		k := int(discloseRaw)%n + 1
+		var elems [][]byte
+		var idxs []uint32
+		for i := 0; i < k; i++ {
+			elem, idx, err := c.Next()
+			if err != nil {
+				t.Fatalf("Next %d/%d: %v", i, k, err)
+			}
+			elems = append(elems, append([]byte(nil), elem...))
+			idxs = append(idxs, idx)
+			if err := w.Verify(elem, idx); err != nil {
+				t.Fatalf("genuine element %d rejected: %v", idx, err)
+			}
+			if swapped.Probe(elem, idx) == nil {
+				t.Fatalf("element %d accepted under swapped parity tags", idx)
+			}
+		}
+		if w.Index() != idxs[k-1] {
+			t.Fatalf("walker at index %d after verifying up to %d", w.Index(), idxs[k-1])
+		}
+
+		// Out-of-order re-verification: every already-disclosed element
+		// still verifies from the advanced position (ALPHA-C/M packets
+		// arrive reordered).
+		pick := int(flip) % k
+		if err := w.Probe(elems[pick], idxs[pick]); err != nil {
+			t.Fatalf("re-probe of element %d failed: %v", idxs[pick], err)
+		}
+
+		// Any single-bit mutation must be rejected.
+		mut := append([]byte(nil), elems[pick]...)
+		mut[int(flip)%len(mut)] ^= 1 << (flip % 8)
+		if w.Probe(mut, idxs[pick]) == nil {
+			t.Fatal("bit-flipped element accepted")
+		}
+		// A genuine element at the wrong index must be rejected.
+		if w.Probe(elems[pick], idxs[pick]+1) == nil {
+			t.Fatal("element accepted at the wrong disclosure index")
+		}
+
+		// Hostile-input safety: arbitrary bytes at an arbitrary index
+		// must never panic (and non-digest sizes must fail outright).
+		if err := w.Probe(junk, junkIdx); err == nil && len(junk) != s.Size() {
+			t.Fatal("junk of non-digest size accepted")
+		}
+		w.Probe(nil, junkIdx)
+
+		// Forward verification from a fresh walker: disclosing the
+		// furthest element first hashes forward to the anchor.
+		fresh, err := NewWalker(s, TagS1, TagS2, c.Anchor(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Verify(elems[k-1], idxs[k-1]); err != nil {
+			t.Fatalf("forward verification of element %d failed: %v", idxs[k-1], err)
+		}
+	})
+}

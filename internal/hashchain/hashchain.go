@@ -196,6 +196,8 @@ type Pair struct {
 
 // VerifyLink reports whether child at disclosure index j hashes to parent
 // d[j-1] under the correct purpose tag. It does not allocate.
+//
+//alpha:hotpath
 func VerifyLink(s suite.Suite, tagOdd, tagEven []byte, parent, child []byte, j uint32) bool {
 	if j == 0 {
 		return false
@@ -273,6 +275,7 @@ func (w *Walker) Trusted() []byte { return w.last }
 // expected element from the trusted one; this is what lets the out-of-order
 // packets of ALPHA-C, ALPHA-M and reordering paths verify after the chain
 // position has already moved on.
+//alpha:hotpath
 func (w *Walker) Verify(elem []byte, idx uint32) error {
 	if err := w.Probe(elem, idx); err != nil {
 		return err
@@ -287,6 +290,7 @@ func (w *Walker) Verify(elem []byte, idx uint32) error {
 // Probe is like Verify but never advances the walker. Relays use it when
 // they want to check authenticity without committing state (e.g. while a
 // packet might still be dropped for other reasons).
+//alpha:hotpath
 func (w *Walker) Probe(elem []byte, idx uint32) error {
 	if len(elem) != w.s.Size() {
 		return ErrVerifyFailed

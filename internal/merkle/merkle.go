@@ -177,6 +177,7 @@ func (t *Tree) Proof(j int) ([][]byte, error) {
 // the root with the disclosed chain element key. n is the batch's real leaf
 // count (needed to derive the padded depth). Verification is allocation-free:
 // intermediate digests live in pooled scratch.
+//alpha:hotpath
 func Verify(s suite.Suite, key, root []byte, m []byte, j, n int, proof [][]byte) bool {
 	sc := suite.GetScratch()
 	sc.Parts[0], sc.Parts[1] = tagLeaf, m
@@ -187,6 +188,8 @@ func Verify(s suite.Suite, key, root []byte, m []byte, j, n int, proof [][]byte)
 }
 
 // VerifyLeaf is Verify for a precomputed leaf digest.
+//
+//alpha:hotpath
 func VerifyLeaf(s suite.Suite, key, root []byte, leaf []byte, j, n int, proof [][]byte) bool {
 	if j < 0 || j >= n || n < 1 || n > MaxLeaves {
 		return false
@@ -361,6 +364,8 @@ func (t *AckTree) Open(j int, ack bool) (*Opening, error) {
 // VerifyOpening checks a disclosed (n)ack against a buffered AMT root, using
 // the by-now-disclosed acknowledgment-chain element key. n is the message
 // count of the batch. Like Verify, it does not allocate.
+//
+//alpha:hotpath
 func VerifyOpening(s suite.Suite, key, root []byte, n int, o *Opening) bool {
 	if o == nil || int(o.Index) >= n || n < 1 {
 		return false

@@ -1,0 +1,130 @@
+package packet_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"alpha/internal/core"
+	"alpha/internal/netsim"
+	"alpha/internal/packet"
+)
+
+// fuzzCorpusDir is FuzzParsePacket's seed corpus. The netsim-* entries in
+// it are written by TestNetsimCorpusSeeds below (run with
+// ALPHA_WRITE_CORPUS=1) so the fuzzer starts from real protocol traffic —
+// handshakes, S1/A1/S2/A2 in every mode — rather than hand-built packets.
+const fuzzCorpusDir = "testdata/fuzz/FuzzParsePacket"
+
+// captureNetsimTraffic runs one exchange over an s — tap — v line in the
+// simulator and returns every datagram crossing the tap, in arrival order.
+func captureNetsimTraffic(t *testing.T, mode packet.Mode, reliable bool) [][]byte {
+	t.Helper()
+	net := netsim.New(7)
+	cfg := core.Config{Mode: mode, Reliable: reliable, ChainLen: 64, BatchSize: 4, RTO: 100 * time.Millisecond}
+	epS, err := core.NewEndpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epV, err := core.NewEndpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := netsim.NewEndpointNode(net, "s", "v", epS)
+	netsim.NewEndpointNode(net, "v", "s", epV)
+	var captured [][]byte
+	net.AddNode("tap", netsim.HandlerFunc(func(n *netsim.Network, now time.Time, pkt netsim.Packet) {
+		captured = append(captured, append([]byte(nil), pkt.Data...))
+		if err := n.Forward("tap", pkt); err != nil {
+			t.Errorf("tap forward: %v", err)
+		}
+	}))
+	link := netsim.LinkConfig{Latency: time.Millisecond}
+	net.AddDuplexLink("s", "tap", link)
+	net.AddDuplexLink("tap", "v", link)
+	net.AutoRoute()
+	if err := sender.Start(net.Now()); err != nil {
+		t.Fatal(err)
+	}
+	net.RunFor(500 * time.Millisecond)
+	if !sender.EP.Established() {
+		t.Fatal("association did not establish through the tap")
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := sender.Send(net.Now(), []byte(fmt.Sprintf("corpus-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sender.Flush(net.Now())
+	net.RunFor(2 * time.Second)
+	return captured
+}
+
+// TestNetsimCorpusSeeds taps simulated protocol runs in every mode and
+// checks two things about the traffic: each datagram survives the
+// canonical Decode→Encode roundtrip, and a representative per-mode,
+// per-type sample is committed as FuzzParsePacket seeds. Run with
+// ALPHA_WRITE_CORPUS=1 to (re)write the seed files after a wire-format
+// change.
+func TestNetsimCorpusSeeds(t *testing.T) {
+	write := os.Getenv("ALPHA_WRITE_CORPUS") != ""
+	scenarios := []struct {
+		mode     packet.Mode
+		reliable bool
+	}{
+		{packet.ModeBase, true},
+		{packet.ModeC, true},
+		{packet.ModeM, true},
+		{packet.ModeCM, false},
+	}
+	for _, sc := range scenarios {
+		t.Run(fmt.Sprintf("%v/reliable=%v", sc.mode, sc.reliable), func(t *testing.T) {
+			caught := captureNetsimTraffic(t, sc.mode, sc.reliable)
+			if len(caught) == 0 {
+				t.Fatal("tap captured no traffic")
+			}
+			// Sample the first seedsPerType datagrams of each packet type.
+			const seedsPerType = 2
+			perType := map[packet.Type]int{}
+			for _, raw := range caught {
+				hdr, msg, err := packet.Decode(raw)
+				if err != nil {
+					t.Fatalf("simulator emitted undecodable packet: %v", err)
+				}
+				re, err := packet.Encode(hdr, msg)
+				if err != nil {
+					t.Fatalf("captured %v failed to re-encode: %v", hdr.Type, err)
+				}
+				if string(re) != string(raw) {
+					t.Fatalf("captured %v is not in canonical form", hdr.Type)
+				}
+				i := perType[hdr.Type]
+				if i >= seedsPerType {
+					continue
+				}
+				perType[hdr.Type] = i + 1
+				name := fmt.Sprintf("netsim-%v-%v-%d", sc.mode, hdr.Type, i)
+				path := filepath.Join(fuzzCorpusDir, name)
+				if write {
+					entry := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", raw)
+					if err := os.WriteFile(path, []byte(entry), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				if _, err := os.Stat(path); err != nil {
+					t.Errorf("seed %s missing from the committed corpus; regenerate with ALPHA_WRITE_CORPUS=1: %v", name, err)
+				}
+			}
+			// A protocol run must at least produce a handshake and the
+			// S1/S2 data path; acks require an established exchange.
+			for _, want := range []packet.Type{packet.TypeHS1, packet.TypeHS2, packet.TypeS1, packet.TypeS2} {
+				if perType[want] == 0 {
+					t.Errorf("capture saw no %v packets", want)
+				}
+			}
+		})
+	}
+}

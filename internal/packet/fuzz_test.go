@@ -1,16 +1,20 @@
 package packet
 
 import (
+	"errors"
 	"testing"
 
 	"alpha/internal/suite"
 )
 
-// FuzzDecode drives the wire parser with arbitrary bytes. Without -fuzz it
-// runs the seed corpus as a regression test; with `go test -fuzz=FuzzDecode`
-// it explores mutations. The invariants: never panic, never accept trailing
-// garbage, and anything that decodes must re-encode.
-func FuzzDecode(f *testing.F) {
+// FuzzParsePacket drives the wire parser with arbitrary bytes. Without
+// -fuzz it runs the seed corpus (hand-built seeds below plus the netsim
+// captures committed under testdata/fuzz/FuzzParsePacket) as a regression
+// test; with `go test -fuzz=FuzzParsePacket` it explores mutations. The
+// invariants: never panic, never accept trailing garbage, report every
+// failure as a typed *ParseError, and anything that decodes must re-encode
+// to exactly the input bytes (the wire form is canonical).
+func FuzzParsePacket(f *testing.F) {
 	s := suite.SHA1()
 	d := func(seed byte) []byte {
 		b := make([]byte, s.Size())
@@ -42,6 +46,15 @@ func FuzzDecode(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, m, err := Decode(data)
 		if err != nil {
+			// The typed-error contract: every parse failure is a
+			// *ParseError whose offset stays inside the input.
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Decode error is not a *ParseError: %T %v", err, err)
+			}
+			if pe.Offset < 0 || pe.Offset > len(data) {
+				t.Fatalf("ParseError offset %d outside input of %d bytes", pe.Offset, len(data))
+			}
 			return
 		}
 		re, err := Encode(h, m)

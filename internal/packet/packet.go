@@ -149,6 +149,31 @@ var (
 	ErrOversize   = errors.New("packet: exceeds maximum packet size")
 )
 
+// ParseError is the error type every failed Decode returns. It records
+// which body the parser was inside (TypeInvalid while still in the fixed
+// header) and how many bytes it had consumed, and wraps the underlying
+// cause so errors.Is against the sentinels above keeps working. Endpoints
+// and relays map any *ParseError onto the ReasonMalformed drop code, which
+// is what ties hostile-input parse failures to the telemetry counters.
+type ParseError struct {
+	// PacketType is the body being parsed when decoding failed, or
+	// TypeInvalid for failures in (or before) the fixed header.
+	PacketType Type
+	// Offset is the number of input bytes consumed before the failure.
+	Offset int
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	if e.PacketType == TypeInvalid {
+		return fmt.Sprintf("%v (offset %d)", e.Err, e.Offset)
+	}
+	return fmt.Sprintf("packet: decoding %v body: %v (offset %d)", e.PacketType, e.Err, e.Offset)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
 // Encode serializes a header and body into a fresh buffer.
 func Encode(hdr Header, msg Message) ([]byte, error) {
 	if hdr.Type != msg.Type() {
@@ -177,56 +202,62 @@ func Encode(hdr Header, msg Message) ([]byte, error) {
 	return w.buf, nil
 }
 
-// Decode parses a raw packet into its header and typed body.
+// Decode parses a raw packet into its header and typed body. Every failure
+// is reported as a *ParseError wrapping one of the sentinel errors (or a
+// suite/body-level cause), so callers can both classify with errors.Is and
+// extract parse position with errors.As.
 func Decode(b []byte) (Header, Message, error) {
 	if len(b) > MaxPacketSize {
-		return Header{}, nil, ErrOversize
+		return Header{}, nil, &ParseError{Offset: 0, Err: ErrOversize}
 	}
 	r := &reader{buf: b}
+	fail := func(t Type, err error) (Header, Message, error) {
+		return Header{}, nil, &ParseError{PacketType: t, Offset: r.off, Err: err}
+	}
 	magic, err := r.u16()
 	if err != nil {
-		return Header{}, nil, err
+		return fail(TypeInvalid, err)
 	}
 	if magic != Magic {
-		return Header{}, nil, ErrBadMagic
+		return fail(TypeInvalid, ErrBadMagic)
 	}
 	ver, err := r.u8()
 	if err != nil {
-		return Header{}, nil, err
+		return fail(TypeInvalid, err)
 	}
 	if ver != Version {
-		return Header{}, nil, ErrBadVersion
+		return fail(TypeInvalid, ErrBadVersion)
 	}
 	var hdr Header
 	t, err := r.u8()
 	if err != nil {
-		return Header{}, nil, err
+		return fail(TypeInvalid, err)
 	}
 	hdr.Type = Type(t)
 	sid, err := r.u8()
 	if err != nil {
-		return Header{}, nil, err
+		return fail(TypeInvalid, err)
 	}
 	hdr.Suite = suite.ID(sid)
 	if hdr.Flags, err = r.u8(); err != nil {
-		return Header{}, nil, err
+		return fail(TypeInvalid, err)
 	}
 	if hdr.Assoc, err = r.u64(); err != nil {
-		return Header{}, nil, err
+		return fail(TypeInvalid, err)
 	}
 	if hdr.Seq, err = r.u32(); err != nil {
-		return Header{}, nil, err
+		return fail(TypeInvalid, err)
 	}
 	reserved, err := r.u8()
 	if err != nil {
-		return Header{}, nil, err
+		return fail(TypeInvalid, err)
 	}
 	if reserved != 0 {
-		return Header{}, nil, fmt.Errorf("packet: reserved header byte %#x must be zero", reserved)
+		return fail(TypeInvalid, fmt.Errorf("packet: reserved header byte %#x must be zero", reserved))
 	}
 	st, err := suite.ByID(hdr.Suite)
 	if err != nil {
-		return Header{}, nil, err
+		return fail(TypeInvalid, err)
 	}
 	var msg Message
 	switch hdr.Type {
@@ -245,13 +276,13 @@ func Decode(b []byte) (Header, Message, error) {
 	case TypeBundle:
 		msg = &Bundle{}
 	default:
-		return Header{}, nil, ErrBadType
+		return fail(TypeInvalid, ErrBadType)
 	}
 	if err := msg.decodeBody(r, st.Size()); err != nil {
-		return Header{}, nil, fmt.Errorf("packet: decoding %v body: %w", hdr.Type, err)
+		return fail(hdr.Type, err)
 	}
 	if r.remaining() != 0 {
-		return Header{}, nil, ErrTrailing
+		return fail(hdr.Type, ErrTrailing)
 	}
 	return hdr, msg, nil
 }

@@ -381,7 +381,9 @@ func (r *Relay) Process(now time.Time, data []byte) Decision {
 	r.tnow = now.UnixNano()
 	hdr, msg, err := packet.Decode(data)
 	if err != nil {
-		return r.drop(packet.Header{Type: packet.TypeInvalid}, telemetry.ReasonMalformed, fmt.Errorf("%w: %v", ErrMalformed, err))
+		// Double-wrap so callers can match the relay-level ErrMalformed
+		// and still extract the parser's typed *packet.ParseError.
+		return r.drop(packet.Header{Type: packet.TypeInvalid}, telemetry.ReasonMalformed, fmt.Errorf("%w: %w", ErrMalformed, err))
 	}
 	switch m := msg.(type) {
 	case *packet.Bundle:
@@ -636,6 +638,10 @@ func (r *Relay) processA1(hdr packet.Header, a1 *packet.A1) Decision {
 
 // processS2 is the heart of hop-by-hop filtering: the payload must match a
 // buffered pre-signature or it dies here.
+// processS2 is the relay's per-payload hot path: every data-bearing packet
+// of every flow funnels through here.
+//
+//alpha:hotpath
 func (r *Relay) processS2(hdr packet.Header, s2 *packet.S2) Decision {
 	f, early := r.lookup(hdr)
 	if early != nil {
@@ -653,7 +659,7 @@ func (r *Relay) processS2(hdr packet.Header, s2 *packet.S2) Decision {
 		if !hashchain.VerifyLink(f.st, hashchain.TagS1, hashchain.TagS2, x.auth, s2.Key, s2.KeyIdx) {
 			return r.drop(hdr, telemetry.ReasonBadElement, core.ErrBadAuthElement)
 		}
-		x.key = append([]byte(nil), s2.Key...)
+		x.key = append([]byte(nil), s2.Key...) //alpha:alloc-ok one copy per exchange, not per packet
 	} else if !suite.Equal(x.key, s2.Key) {
 		return r.drop(hdr, telemetry.ReasonBadElement, core.ErrBadAuthElement)
 	}
@@ -693,8 +699,8 @@ func (r *Relay) processS2(hdr packet.Header, s2 *packet.S2) Decision {
 	// case the announcing host aborts the rotation (lost ack); the flow's
 	// next verified S1 settles which generation is live (see processS1).
 	if core.IsRekeyPayload(s2.Payload) {
-		if p, ok := core.DecodeRekey(s2.Payload, f.st.Size()); ok {
-			if sig, ack, err := core.UpdateAnchors(f.st, p); err == nil {
+		if p, ok := core.DecodeRekey(s2.Payload, f.st.Size()); ok { //alpha:alloc-ok rekey happens once per chain lifetime
+			if sig, ack, err := core.UpdateAnchors(f.st, p); err == nil { //alpha:alloc-ok rekey happens once per chain lifetime
 				if f.prevSig[d] == nil || f.sig[d].Index() > 0 || f.ack[d].Index() > 0 {
 					f.prevSig[d], f.prevAck[d] = f.sig[d], f.ack[d]
 				}
@@ -706,6 +712,8 @@ func (r *Relay) processS2(hdr packet.Header, s2 *packet.S2) Decision {
 }
 
 // processA2 verifies a pre-(n)ack opening against buffered A1 material.
+//
+//alpha:hotpath
 func (r *Relay) processA2(hdr packet.Header, a2 *packet.A2) Decision {
 	f, early := r.lookup(hdr)
 	if early != nil {

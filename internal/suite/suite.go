@@ -11,10 +11,10 @@
 package suite
 
 import (
-	"bytes"
 	"crypto/hmac"
 	"crypto/sha1"
 	"crypto/sha256"
+	"crypto/subtle"
 	"fmt"
 	"hash"
 	"sync"
@@ -94,7 +94,10 @@ func (c *macCache) get(key []byte) *keyedMAC {
 	defer c.mu.Unlock()
 	for i := len(c.entries) - 1; i >= 0; i-- {
 		e := c.entries[i]
-		if bytes.Equal(e.key, key) {
+		// The cache is keyed by disclosed chain elements, i.e. secrets: a
+		// timing-dependent lookup would leak how many leading bytes of a
+		// probe key match a cached real key.
+		if subtle.ConstantTimeCompare(e.key, key) == 1 {
 			c.entries = append(c.entries[:i], c.entries[i+1:]...)
 			return e
 		}
@@ -133,6 +136,10 @@ func (s *hashSuite) Hash(parts ...[]byte) []byte {
 	return s.HashInto(nil, parts...)
 }
 
+// HashInto is the chain-step primitive every verification path funnels
+// through; it must stay allocation-free.
+//
+//alpha:hotpath
 func (s *hashSuite) HashInto(dst []byte, parts ...[]byte) []byte {
 	if s.oneShot != nil {
 		return s.oneShot(dst, parts...)
@@ -155,10 +162,14 @@ func (s *hashSuite) MAC(key []byte, msg ...[]byte) []byte {
 	return s.MACInto(nil, key, msg...)
 }
 
+// MACInto computes the per-packet MAC; the keyed-state cache keeps the
+// steady-state path allocation-free.
+//
+//alpha:hotpath
 func (s *hashSuite) MACInto(dst, key []byte, msg ...[]byte) []byte {
 	e := s.macs.get(key)
 	if e == nil {
-		e = &keyedMAC{key: append([]byte(nil), key...), mac: hmac.New(s.fn, key)}
+		e = &keyedMAC{key: append([]byte(nil), key...), mac: hmac.New(s.fn, key)} //alpha:alloc-ok cache miss, amortized across a chain element's lifetime
 	} else {
 		// Reset restores the precomputed after-key (inner pad) state
 		// without rehashing the key for marshalable hashes (SHA-1,
@@ -202,8 +213,11 @@ func ByID(id ID) (Suite, error) {
 	}
 }
 
-// Equal reports whether two digests are equal in constant time.
-func Equal(a, b []byte) bool { return hmac.Equal(a, b) }
+// Equal reports whether two digests are equal in constant time. Callers
+// must use this (or subtle.ConstantTimeCompare directly) for every MAC,
+// digest, and chain-element comparison; the ctcompare analyzer in
+// tools/alphavet enforces it.
+func Equal(a, b []byte) bool { return subtle.ConstantTimeCompare(a, b) == 1 }
 
 // Scratch is pooled working memory for hot-path hashing in free functions
 // that have no owning struct to park buffers on (Merkle proof verification,

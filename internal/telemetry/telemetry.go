@@ -32,9 +32,13 @@ import "sync/atomic"
 type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one.
+//
+//alpha:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//alpha:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Load returns the current value.

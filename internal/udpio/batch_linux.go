@@ -115,6 +115,9 @@ func (c *batchConn) recvmmsg(fd uintptr) bool {
 	return true
 }
 
+// ReadBatch drains up to len(ms) datagrams in one recvmmsg syscall.
+//
+//alpha:hotpath
 func (c *batchConn) ReadBatch(ms []Message) (int, error) {
 	if len(ms) == 0 {
 		return 0, nil
@@ -206,6 +209,9 @@ func (c *batchConn) sendmmsg(fd uintptr) bool {
 	return true
 }
 
+// WriteBatch pushes the messages out in sendmmsg bursts.
+//
+//alpha:hotpath
 func (c *batchConn) WriteBatch(ms []Message) (int, error) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()

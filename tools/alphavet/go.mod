@@ -1,0 +1,3 @@
+module alpha/tools/alphavet
+
+go 1.22

@@ -1,0 +1,139 @@
+// Package buildtagpair keeps the platform matrix honest in internal/udpio:
+// every foo_linux.go must ship a foo_unsupported.go or foo_other.go fallback,
+// and every symbol the package's build-neutral files reference from the
+// linux file must also be declared by the fallback — otherwise darwin/windows
+// builds break the moment someone adds a linux-only helper (the exact
+// regression the cross-compile CI job exists to catch, caught here without a
+// second toolchain).
+//
+// Arch-suffixed files (foo_linux_amd64.go) are exempt: their symbols are only
+// referenced from other linux files.
+package buildtagpair
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+
+	"alpha/tools/alphavet/internal/vet"
+)
+
+var Analyzer = &vet.Analyzer{
+	Name: "buildtagpair",
+	Doc:  "every _linux.go in internal/udpio needs a matching _unsupported/_other fallback with the same referenced symbols",
+	Run:  run,
+}
+
+// targetPkg limits the check to the package that actually maintains paired
+// platform files.
+const targetPkg = "internal/udpio"
+
+func run(pass *vet.Pass) error {
+	if !strings.HasSuffix(pass.Path, targetPkg) {
+		return nil
+	}
+
+	// Index every file of the directory (compiled + build-ignored) by name.
+	type srcFile struct {
+		ast  *ast.File
+		name string // base name
+	}
+	var all []srcFile
+	for _, f := range pass.Files {
+		all = append(all, srcFile{f, filepath.Base(pass.Fset.Position(f.Pos()).Filename)})
+	}
+	for _, f := range pass.IgnoredFiles {
+		all = append(all, srcFile{f, filepath.Base(pass.Fset.Position(f.Pos()).Filename)})
+	}
+
+	// Symbols referenced from build-neutral files (no _linux/_other/
+	// _unsupported/_arch suffix): these must exist on every platform.
+	neutralRefs := make(map[string]bool)
+	for _, sf := range all {
+		if platformSuffixed(sf.name) {
+			continue
+		}
+		ast.Inspect(sf.ast, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				neutralRefs[id.Name] = true
+			}
+			return true
+		})
+	}
+
+	for _, sf := range all {
+		base, ok := strings.CutSuffix(sf.name, "_linux.go")
+		if !ok {
+			continue
+		}
+		var fallback *srcFile
+		for i := range all {
+			if all[i].name == base+"_unsupported.go" || all[i].name == base+"_other.go" {
+				fallback = &all[i]
+				break
+			}
+		}
+		if fallback == nil {
+			pass.Reportf(sf.ast.Name.Pos(),
+				"%s has no %s_unsupported.go or %s_other.go fallback; non-linux builds will miss its symbols",
+				sf.name, base, base)
+			continue
+		}
+		fallbackDecls := topLevelDecls(fallback.ast)
+		for name, pos := range topLevelDecls(sf.ast) {
+			if !neutralRefs[name] {
+				continue // linux-internal helper; fallback need not mirror it
+			}
+			if _, ok := fallbackDecls[name]; !ok {
+				pass.Reportf(pos,
+					"%s declares %s, referenced from build-neutral files, but fallback %s does not declare it",
+					sf.name, name, fallback.name)
+			}
+		}
+	}
+	return nil
+}
+
+// platformSuffixed reports whether the file name encodes a GOOS/GOARCH
+// constraint or an explicit fallback role.
+func platformSuffixed(name string) bool {
+	stem := strings.TrimSuffix(name, ".go")
+	for _, suffix := range []string{
+		"_linux", "_darwin", "_windows", "_unix",
+		"_amd64", "_arm64", "_386", "_arm",
+		"_unsupported", "_other",
+	} {
+		if strings.HasSuffix(stem, suffix) || strings.Contains(stem, suffix+"_") {
+			return true
+		}
+	}
+	return false
+}
+
+// topLevelDecls returns the names (and positions) of the file's package-level
+// funcs, types, vars, and consts. Methods are excluded: neutral code reaches
+// them through interfaces, so each platform's conn type may differ freely.
+func topLevelDecls(f *ast.File) map[string]token.Pos {
+	decls := make(map[string]token.Pos)
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if d.Recv == nil {
+				decls[d.Name.Name] = d.Name.Pos()
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					decls[s.Name.Name] = s.Name.Pos()
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						decls[n.Name] = n.Pos()
+					}
+				}
+			}
+		}
+	}
+	return decls
+}

@@ -1,0 +1,12 @@
+package buildtagpair_test
+
+import (
+	"testing"
+
+	"alpha/tools/alphavet/internal/analyzers/buildtagpair"
+	"alpha/tools/alphavet/internal/vet/vettest"
+)
+
+func TestBuildtagpair(t *testing.T) {
+	vettest.Run(t, "testdata/buildtagpair", buildtagpair.Analyzer)
+}

@@ -1,0 +1,10 @@
+//go:build linux
+
+package udpio
+
+// goodInit has a complete _unsupported twin: no findings.
+func goodInit() error { return nil }
+
+// goodHelper is linux-internal (never referenced from neutral files), so the
+// fallback need not mirror it.
+func goodHelper() {}

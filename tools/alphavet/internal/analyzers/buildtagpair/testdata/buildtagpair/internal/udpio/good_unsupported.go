@@ -1,0 +1,5 @@
+//go:build !linux
+
+package udpio
+
+func goodInit() error { return nil }

@@ -1,0 +1,5 @@
+//go:build linux
+
+package udpio // want `orphan_linux.go has no orphan_unsupported.go or orphan_other.go fallback`
+
+func orphanInit() error { return nil }

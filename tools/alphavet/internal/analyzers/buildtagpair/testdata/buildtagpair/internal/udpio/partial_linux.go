@@ -1,0 +1,9 @@
+//go:build linux
+
+package udpio
+
+const partialSupported = true // want `partial_linux.go declares partialSupported, referenced from build-neutral files, but fallback partial_other.go does not declare it`
+
+// partialInit is mirrored by partial_other.go, but partialSupported above is
+// not — non-linux builds would fail to resolve it.
+func partialInit() error { return nil } // this one is mirrored

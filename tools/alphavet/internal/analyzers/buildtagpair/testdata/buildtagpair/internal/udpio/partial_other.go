@@ -1,0 +1,5 @@
+//go:build !linux
+
+package udpio
+
+func partialInit() error { return nil }

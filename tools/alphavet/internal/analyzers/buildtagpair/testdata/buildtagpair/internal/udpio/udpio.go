@@ -1,0 +1,16 @@
+// Neutral file of the fixture udpio package: references the platform
+// symbols every GOOS must provide.
+package udpio
+
+func open() error {
+	if err := goodInit(); err != nil {
+		return err
+	}
+	if err := orphanInit(); err != nil {
+		return err
+	}
+	if !partialSupported {
+		return nil
+	}
+	return partialInit()
+}

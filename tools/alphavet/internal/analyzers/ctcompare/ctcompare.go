@@ -1,0 +1,224 @@
+// Package ctcompare flags timing-unsafe comparisons of secret byte material.
+//
+// ALPHA's security argument (paper §3) assumes MAC, digest, and hash-chain
+// element comparisons are constant-time: an early-exit bytes.Equal on a MAC
+// lets an on-path attacker binary-search a forgery byte by byte. This
+// analyzer flags bytes.Equal, reflect.DeepEqual, and ==/!= on values whose
+// name or type marks them as secret material, unless the comparison goes
+// through an approved constant-time comparator
+// (crypto/subtle.ConstantTimeCompare, crypto/hmac.Equal, suite.Equal) or the
+// line carries an `//alpha:not-secret <why>` waiver.
+package ctcompare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"alpha/tools/alphavet/internal/vet"
+)
+
+var Analyzer = &vet.Analyzer{
+	Name: "ctcompare",
+	Doc:  "flags non-constant-time comparisons of MACs, digests, and chain elements",
+	Run:  run,
+}
+
+// secretWords are camelCase tokens that mark a value as secret material.
+// They are matched against whole tokens of identifier and type names, so
+// "macIn", "chainKey", and "rootDigest" match but "machine" does not.
+var secretWords = map[string]bool{
+	"mac": true, "macs": true, "hmac": true,
+	"digest": true, "digests": true,
+	"key": true, "keys": true,
+	"secret": true, "secrets": true,
+	"root": true, "roots": true,
+	"element": true, "elements": true, "elem": true,
+	"anchor": true, "anchors": true,
+	"proof": true, "proofs": true,
+	"sum": true, "sums": true,
+}
+
+func run(pass *vet.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkBinary(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags bytes.Equal / reflect.DeepEqual over secret arguments.
+func checkCall(pass *vet.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch {
+	case fn.Pkg().Path() == "bytes" && (fn.Name() == "Equal" || fn.Name() == "Compare"):
+	case fn.Pkg().Path() == "reflect" && fn.Name() == "DeepEqual":
+	default:
+		return
+	}
+	if len(call.Args) != 2 {
+		return
+	}
+	for _, arg := range call.Args {
+		if isSecret(pass, arg) {
+			if pass.HasLineDirective(call.Pos(), "not-secret") {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"%s.%s on secret value %s is not constant-time; use crypto/subtle.ConstantTimeCompare (or add //alpha:not-secret with a reason)",
+				fn.Pkg().Name(), fn.Name(), exprString(arg))
+			return
+		}
+	}
+}
+
+// checkBinary flags ==/!= where an operand is secret byte material
+// (strings or byte arrays; slices cannot be compared with ==).
+func checkBinary(pass *vet.Pass, be *ast.BinaryExpr) {
+	for _, op := range []ast.Expr{be.X, be.Y} {
+		tv, ok := pass.Info.Types[op]
+		if !ok || tv.Value != nil || tv.IsNil() {
+			// Comparisons against constants or nil are not data-dependent
+			// on the secret's full contents in the way we police here.
+			return
+		}
+	}
+	for _, op := range []ast.Expr{be.X, be.Y} {
+		if isSecret(pass, op) {
+			if pass.HasLineDirective(be.Pos(), "not-secret") {
+				return
+			}
+			pass.Reportf(be.Pos(),
+				"%s comparison of secret value %s is not constant-time; use crypto/subtle.ConstantTimeCompare (or add //alpha:not-secret with a reason)",
+				be.Op, exprString(op))
+			return
+		}
+	}
+}
+
+// isSecret reports whether expr is byte material (string, []byte, or [N]byte)
+// whose identifier, field, or named-type name contains a secret token.
+func isSecret(pass *vet.Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || !isByteMaterial(tv.Type) {
+		return false
+	}
+	if nameIsSecret(typeName(tv.Type)) {
+		return true
+	}
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return nameIsSecret(e.Name)
+	case *ast.SelectorExpr:
+		return nameIsSecret(e.Sel.Name)
+	case *ast.CallExpr:
+		// e.g. w.Element(j), chain.Key() — judge by the callee's name.
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			return nameIsSecret(fun.Name)
+		case *ast.SelectorExpr:
+			return nameIsSecret(fun.Sel.Name)
+		}
+	case *ast.IndexExpr:
+		return isSecret(pass, e.X)
+	case *ast.SliceExpr:
+		return isSecret(pass, e.X)
+	}
+	return false
+}
+
+func isByteMaterial(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Slice:
+		return isByte(u.Elem())
+	case *types.Array:
+		return isByte(u.Elem())
+	}
+	return false
+}
+
+func isByte(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+func typeName(t types.Type) string {
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// nameIsSecret splits name on case boundaries and underscores and checks
+// each token against the secret vocabulary.
+func nameIsSecret(name string) bool {
+	for _, tok := range splitName(name) {
+		if secretWords[tok] {
+			return true
+		}
+	}
+	return false
+}
+
+func splitName(name string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_':
+			flush()
+		case unicode.IsUpper(r) && i > 0 && (unicode.IsLower(runes[i-1]) ||
+			(i+1 < len(runes) && unicode.IsLower(runes[i+1]))):
+			flush()
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}
+
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.SliceExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,12 @@
+package ctcompare_test
+
+import (
+	"testing"
+
+	"alpha/tools/alphavet/internal/analyzers/ctcompare"
+	"alpha/tools/alphavet/internal/vet/vettest"
+)
+
+func TestCtcompare(t *testing.T) {
+	vettest.Run(t, "testdata/ctcompare", ctcompare.Analyzer)
+}

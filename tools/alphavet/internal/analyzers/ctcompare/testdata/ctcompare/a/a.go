@@ -1,0 +1,51 @@
+// Fixture for the ctcompare analyzer: timing-unsafe comparisons of secret
+// byte material must be flagged; approved comparators, waived lines, and
+// non-secret data must not.
+package a
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"reflect"
+)
+
+type session struct {
+	mac    []byte
+	digest [20]byte
+	peer   string
+}
+
+func positives(s *session, mac, payloadMAC []byte, want [20]byte, chainKey string) bool {
+	if bytes.Equal(s.mac, mac) { // want `bytes.Equal on secret value`
+		return true
+	}
+	if bytes.Compare(mac, payloadMAC) == 0 { // want `bytes.Compare on secret value`
+		return true
+	}
+	if s.digest == want { // want `== comparison of secret value`
+		return true
+	}
+	if chainKey != s.peer { // want `!= comparison of secret value`
+		return true
+	}
+	macs := [][]byte{mac}
+	return reflect.DeepEqual(macs[0], mac) // want `reflect.DeepEqual on secret value`
+}
+
+func negatives(s *session, mac, payload, other []byte) bool {
+	// The approved comparator.
+	if subtle.ConstantTimeCompare(s.mac, mac) == 1 {
+		return true
+	}
+	// Non-secret byte data may use bytes.Equal freely.
+	if bytes.Equal(payload, other) {
+		return true
+	}
+	// Comparing a secret against a constant is configuration, not a MAC
+	// check — the length guard idiom.
+	if len(mac) == 0 {
+		return false
+	}
+	// Explicitly waived: the "mac" here is a vendor OUI, not a secret.
+	return bytes.Equal(s.mac, other) //alpha:not-secret hardware address, not a MAC
+}

@@ -1,0 +1,371 @@
+// Package hotpathalloc guards the zero-allocation discipline of the packet
+// hot path (DESIGN.md §5c). Functions whose doc comment carries
+// `//alpha:hotpath` — and every function they statically call within the
+// module — may not:
+//
+//   - call into package fmt (formatting allocates and boxes);
+//   - create escaping closures (any func literal except an immediately
+//     invoked one);
+//   - append to a fresh/unsized slice (append to a `var s []T`-style local
+//     or to a nil/empty-literal conversion — growth reallocs on the hot path);
+//   - allocate maps (make(map...) or map literals);
+//   - box a concrete value into an interface (explicit conversion or call
+//     argument, the classic hidden allocation).
+//
+// A finding can be waived line-by-line with `//alpha:alloc-ok <why>`; the
+// waiver also stops call-graph traversal through calls on that line (for
+// amortized slow paths like cache misses). Interface method calls are not
+// traversed: the static analysis cannot resolve dynamic targets, so
+// interface boundaries are where the guarantee is re-established by
+// annotating the implementations.
+package hotpathalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"alpha/tools/alphavet/internal/vet"
+)
+
+var Analyzer = &vet.Analyzer{
+	Name:      "hotpathalloc",
+	Doc:       "//alpha:hotpath functions and their static callees must not allocate",
+	RunModule: runModule,
+}
+
+// funcKey identifies a function declaration across packages by stable
+// strings (export-data token positions are not comparable with source ones).
+type funcKey struct {
+	pkg  string // package path
+	recv string // receiver type name, "" for plain functions
+	name string
+}
+
+type declInfo struct {
+	pass *vet.Pass
+	decl *ast.FuncDecl
+}
+
+func runModule(passes []*vet.Pass) error {
+	// Index every function declaration in the module.
+	decls := make(map[funcKey]declInfo)
+	var roots []funcKey
+	for _, pass := range passes {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := keyOf(fn)
+				decls[key] = declInfo{pass, fd}
+				if vet.FuncDirective(fd, "hotpath") {
+					roots = append(roots, key)
+				}
+			}
+		}
+	}
+
+	checked := make(map[funcKey]bool)
+	for _, root := range roots {
+		visit(decls, root, rootName(root), checked)
+	}
+	return nil
+}
+
+// visit checks one function and recurses into its module-local callees.
+// Each function is checked once: the first hot root to reach it wins the
+// attribution in the message.
+func visit(decls map[funcKey]declInfo, key funcKey, root string, checked map[funcKey]bool) {
+	if checked[key] {
+		return
+	}
+	checked[key] = true
+	di, ok := decls[key]
+	if !ok || di.decl.Body == nil {
+		return
+	}
+	pass, fd := di.pass, di.decl
+
+	via := ""
+	if rootName(key) != root {
+		via = fmt.Sprintf(" (hot via %s)", root)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pass.HasLineDirective(n.Pos(), "alloc-ok") {
+				// Waived: no finding, and no traversal into the callee —
+				// this is how amortized slow paths (cache misses) opt out.
+				return true
+			}
+			checkCall(pass, n, via, decls, root, checked)
+		case *ast.FuncLit:
+			if pass.HasLineDirective(n.Pos(), "alloc-ok") {
+				return true
+			}
+			if !isIIFE(fd.Body, n) {
+				pass.Reportf(n.Pos(), "closure in hot path %s%s; closures escape and allocate", rootName(key), via)
+				return false
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[n]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					if !pass.HasLineDirective(n.Pos(), "alloc-ok") {
+						pass.Reportf(n.Pos(), "map literal in hot path %s%s", rootName(key), via)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	checkAppends(pass, fd, via, key)
+}
+
+func checkCall(pass *vet.Pass, call *ast.CallExpr, via string, decls map[funcKey]declInfo, root string, checked map[funcKey]bool) {
+	// make(map[...]...) — builtin, no callee object.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) > 0 {
+		if tv, ok := pass.Info.Types[call.Args[0]]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				pass.Reportf(call.Pos(), "make(map) in hot path%s", via)
+			}
+		}
+		return
+	}
+
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path%s; formatting allocates", fn.Name(), via)
+		return
+	}
+
+	// Interface boxing at call boundaries: a concrete (non-interface)
+	// argument bound to an interface parameter.
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		checkBoxing(pass, call, sig, via)
+	}
+
+	// Recurse into module-local callees (skip interface-method dispatch:
+	// the static target is unknown).
+	if !strings.HasPrefix(fn.Pkg().Path(), "alpha") {
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if types.IsInterface(s.Recv().Underlying()) {
+				return
+			}
+		}
+	}
+	visit(decls, keyOf(fn), root, checked)
+}
+
+// checkBoxing reports concrete→interface conversions among call arguments.
+func checkBoxing(pass *vet.Pass, call *ast.CallExpr, sig *types.Signature, via string) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		tv, ok := pass.Info.Types[arg]
+		if !ok || tv.Type == nil || tv.IsNil() {
+			continue
+		}
+		if types.IsInterface(tv.Type.Underlying()) {
+			continue // already an interface, no new box
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			continue // pointer-in-interface does not copy the pointee
+		}
+		if tv.Value != nil {
+			continue // constants box at compile time or are interned
+		}
+		if pass.HasLineDirective(arg.Pos(), "alloc-ok") {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into interface %s in hot path%s",
+			types.TypeString(tv.Type, nil), types.TypeString(pt, nil), via)
+	}
+}
+
+// checkAppends flags appends that grow fresh or unsized slices.
+func checkAppends(pass *vet.Pass, fd *ast.FuncDecl, via string, key funcKey) {
+	// Locals declared with no backing capacity: `var s []T` or `s := []T{}`
+	// (or explicit nil). Appending to these reallocs as it grows.
+	unsized := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+							unsized[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok.String() != ":=" || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+					continue
+				}
+				if isEmptySliceExpr(pass, n.Rhs[i]) {
+					unsized[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" || len(call.Args) == 0 {
+			return true
+		}
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		if pass.HasLineDirective(call.Pos(), "alloc-ok") {
+			return true
+		}
+		arg0 := ast.Unparen(call.Args[0])
+		switch {
+		case isEmptySliceExpr(pass, arg0):
+			pass.Reportf(call.Pos(), "append to fresh slice in hot path %s%s; reuse a scratch buffer", rootName(key), via)
+		default:
+			if id0, ok := arg0.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id0]; obj != nil && unsized[obj] {
+					pass.Reportf(call.Pos(), "append to un-presized slice %s in hot path %s%s; preallocate with make(_, 0, n) or reuse a buffer",
+						id0.Name, rootName(key), via)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isEmptySliceExpr matches []T(nil), []T{}, and plain nil converted
+// implicitly — the fresh-allocation append idioms.
+func isEmptySliceExpr(pass *vet.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		tv, ok := pass.Info.Types[e]
+		if !ok {
+			return false
+		}
+		_, isSlice := tv.Type.Underlying().(*types.Slice)
+		return isSlice && len(e.Elts) == 0
+	case *ast.CallExpr:
+		// Conversion []T(nil).
+		if len(e.Args) != 1 {
+			return false
+		}
+		tv, ok := pass.Info.Types[e.Fun]
+		if !ok || !tv.IsType() {
+			return false
+		}
+		if _, isSlice := tv.Type.Underlying().(*types.Slice); !isSlice {
+			return false
+		}
+		atv, ok := pass.Info.Types[e.Args[0]]
+		return ok && atv.IsNil()
+	}
+	return false
+}
+
+// isIIFE reports whether lit is immediately invoked (its parent is a call
+// whose Fun is the literal).
+func isIIFE(body *ast.BlockStmt, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if ast.Unparen(call.Fun) == lit {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func calleeFunc(pass *vet.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func keyOf(fn *types.Func) funcKey {
+	key := funcKey{pkg: fn.Pkg().Path(), name: fn.Name()}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			key.recv = n.Obj().Name()
+		}
+	}
+	return key
+}
+
+func rootName(key funcKey) string {
+	short := key.pkg
+	if i := strings.LastIndex(short, "/"); i >= 0 {
+		short = short[i+1:]
+	}
+	if key.recv != "" {
+		return short + "." + key.recv + "." + key.name
+	}
+	return short + "." + key.name
+}

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"alpha/tools/alphavet/internal/analyzers/hotpathalloc"
+	"alpha/tools/alphavet/internal/vet/vettest"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	vettest.Run(t, "testdata/hotpathalloc", hotpathalloc.Analyzer)
+}

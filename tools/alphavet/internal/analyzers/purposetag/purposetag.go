@@ -1,0 +1,228 @@
+// Package purposetag enforces the hash-chain domain-separation discipline of
+// paper §3.2.1: the purpose tags that separate signature chains (S1/S2) from
+// acknowledgment chains (A1/A2) — and odd-index authentication elements from
+// even-index MAC keys — must come from the canonical constants in
+// alpha/internal/hashchain, paired correctly, and never be re-spelled as
+// string literals at call sites (a transposed literal silently re-enables
+// the reformatting attack the tags exist to stop).
+//
+// Rules:
+//  1. Arguments bound to tagOdd/tagEven parameters of any module function
+//     must be either the canonical TagS1/TagA1 (odd) and TagS2/TagA2 (even)
+//     constants — paired within one chain family — or tag plumbing: an
+//     identifier or field itself named tagOdd/tagEven with matching parity
+//     (its own binding site is checked in turn).
+//  2. No tag-shaped "ALPHA-…" string literals inside function bodies outside
+//     the canonical packages (internal/hashchain, internal/merkle).
+//     Package-level `var tagX = []byte("ALPHA-…")` declarations are
+//     definitions, not call-site literals, and remain legal everywhere;
+//     display names like "ALPHA-C" are not tag-shaped and are ignored.
+package purposetag
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"alpha/tools/alphavet/internal/vet"
+)
+
+var Analyzer = &vet.Analyzer{
+	Name: "purposetag",
+	Doc:  "hash-chain purpose tags must be canonical constants with correct odd/even pairing",
+	Run:  run,
+}
+
+const hashchainPkg = "internal/hashchain"
+
+// canonicalPkgs may define (and internally use) tag literals: they are where
+// the canonical tag vocabulary lives.
+var canonicalPkgs = []string{hashchainPkg, "internal/merkle"}
+
+// tagShaped matches strings used as hash-domain-separation input, as opposed
+// to protocol display names ("ALPHA-C") or prose.
+var tagShaped = regexp.MustCompile(`^ALPHA-(S[0-9]|A[0-9]|MT-|AMT-|ack-|handshake)`)
+
+// tagInfo classifies a canonical tag constant.
+type tagInfo struct {
+	parity string // "odd" or "even"
+	family string // "S" (signature) or "A" (ack)
+}
+
+var canonicalTags = map[string]tagInfo{
+	"TagS1": {"odd", "S"},
+	"TagS2": {"even", "S"},
+	"TagA1": {"odd", "A"},
+	"TagA2": {"even", "A"},
+}
+
+func run(pass *vet.Pass) error {
+	inCanonical := false
+	for _, suffix := range canonicalPkgs {
+		if strings.HasSuffix(pass.Path, suffix) {
+			inCanonical = true
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				// Package-level declarations may define tags as named
+				// constants/vars — that is the sanctioned pattern.
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BasicLit:
+					if !inCanonical {
+						checkLiteral(pass, n)
+					}
+				case *ast.CallExpr:
+					checkTagArgs(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkLiteral flags tag-shaped "ALPHA-…" string literals inside function
+// bodies of non-canonical packages.
+func checkLiteral(pass *vet.Pass, lit *ast.BasicLit) {
+	if lit.Kind != token.STRING {
+		return
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil || !tagShaped.MatchString(s) {
+		return
+	}
+	if pass.HasLineDirective(lit.Pos(), "not-secret") {
+		return
+	}
+	pass.Reportf(lit.Pos(),
+		"purpose-tag literal %s at a call site; hoist it to a package-level constant or use the canonical internal/hashchain tags",
+		lit.Value)
+}
+
+// checkTagArgs validates arguments bound to tagOdd/tagEven parameters of
+// module functions (and function-typed locals, e.g. builder closures).
+func checkTagArgs(pass *vet.Pass, call *ast.CallExpr) {
+	sig := calleeSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	var evenArg ast.Expr
+	var oddInfo, evenInfo *tagInfo
+	for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+		pname := sig.Params().At(i).Name()
+		if pname != "tagOdd" && pname != "tagEven" {
+			continue
+		}
+		arg := call.Args[i]
+		wantParity := "odd"
+		if pname == "tagEven" {
+			wantParity = "even"
+		}
+		if plumbed, parity := tagPlumbing(arg); plumbed {
+			if parity != wantParity {
+				pass.Reportf(arg.Pos(),
+					"tag variable %s passed as %s; odd/even tags swapped (§3.2.1 reformatting-attack defense)",
+					exprName(arg), pname)
+			}
+			continue
+		}
+		info := canonicalTag(pass, arg)
+		if info == nil {
+			pass.Reportf(arg.Pos(),
+				"argument to %s must be a canonical hashchain tag constant (TagS1/TagS2/TagA1/TagA2) or tag plumbing named tagOdd/tagEven",
+				pname)
+			continue
+		}
+		if info.parity != wantParity {
+			pass.Reportf(arg.Pos(),
+				"%s got an %s-parity tag; §3.2.1 requires Tag%s1-family tags on odd indices and Tag%s2-family on even",
+				pname, info.parity, info.family, info.family)
+		}
+		if pname == "tagOdd" {
+			oddInfo = info
+		} else {
+			evenArg, evenInfo = arg, info
+		}
+	}
+	if oddInfo != nil && evenInfo != nil && oddInfo.family != evenInfo.family {
+		pass.Reportf(evenArg.Pos(),
+			"mixed tag families: tagOdd is %s-chain but tagEven is %s-chain; both must come from the same chain family",
+			oddInfo.family, evenInfo.family)
+	}
+}
+
+// tagPlumbing reports whether arg is a pass-through of an already-validated
+// tag binding: an identifier or struct field itself named tagOdd/tagEven.
+func tagPlumbing(arg ast.Expr) (ok bool, parity string) {
+	name := exprName(arg)
+	switch name {
+	case "tagOdd":
+		return true, "odd"
+	case "tagEven":
+		return true, "even"
+	}
+	return false, ""
+}
+
+func exprName(arg ast.Expr) string {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// canonicalTag returns the tag classification if arg resolves to one of the
+// canonical hashchain tag constants, else nil.
+func canonicalTag(pass *vet.Pass, arg ast.Expr) *tagInfo {
+	var obj types.Object
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[e.Sel]
+	default:
+		return nil
+	}
+	if obj == nil || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), hashchainPkg) {
+		return nil
+	}
+	if info, ok := canonicalTags[obj.Name()]; ok {
+		return &info
+	}
+	return nil
+}
+
+// calleeSignature resolves the called function's signature for module
+// functions, methods, and function-typed variables (closures). Non-module
+// callees return nil: the tag discipline is ALPHA's own.
+func calleeSignature(pass *vet.Pass, call *ast.CallExpr) *types.Signature {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	if obj == nil {
+		return nil
+	}
+	if pkg := obj.Pkg(); pkg != nil && !strings.HasPrefix(pkg.Path(), "alpha") {
+		return nil
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	return sig
+}

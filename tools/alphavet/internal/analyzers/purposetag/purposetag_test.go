@@ -1,0 +1,12 @@
+package purposetag_test
+
+import (
+	"testing"
+
+	"alpha/tools/alphavet/internal/analyzers/purposetag"
+	"alpha/tools/alphavet/internal/vet/vettest"
+)
+
+func TestPurposetag(t *testing.T) {
+	vettest.Run(t, "testdata/purposetag", purposetag.Analyzer)
+}

@@ -1,0 +1,47 @@
+// Fixture for the purposetag analyzer.
+package a
+
+import "alpha/internal/hashchain"
+
+// Package-level tag definitions are the sanctioned pattern for tags that do
+// not belong to the four chain constants.
+var tagLocal = []byte("ALPHA-handshake-v2")
+
+func positives(secret []byte) {
+	lit := []byte("ALPHA-S1") // want `purpose-tag literal "ALPHA-S1" at a call site`
+	_ = lit
+
+	_, _ = hashchain.New(lit, hashchain.TagS2, secret, 8) // want `argument to tagOdd must be a canonical hashchain tag constant`
+
+	// Swapped parity: the §3.2.1 reformatting defense is void.
+	_, _ = hashchain.New(hashchain.TagS2, hashchain.TagS1, secret, 8) // want `tagOdd got an even-parity tag` `tagEven got an odd-parity tag`
+
+	// Mixed chain families leak ack elements into signature checks.
+	_, _ = hashchain.New(hashchain.TagS1, hashchain.TagA2, secret, 8) // want `mixed tag families`
+
+	plumb(hashchain.TagS2, hashchain.TagS1) // want `tagOdd got an even-parity tag` `tagEven got an odd-parity tag`
+}
+
+func negatives(secret []byte) {
+	_, _ = hashchain.New(hashchain.TagS1, hashchain.TagS2, secret, 8)
+	_, _ = hashchain.New(hashchain.TagA1, hashchain.TagA2, secret, 8)
+	_ = hashchain.VerifyLink(hashchain.TagA1, hashchain.TagA2, secret, secret, 3)
+
+	// Display names are not domain-separation tags.
+	mode := "ALPHA-C"
+	_ = mode
+	// Locally defined package-level tags may be used at call sites.
+	use(tagLocal)
+	plumb(hashchain.TagS1, hashchain.TagS2)
+}
+
+// plumb forwards tags; its own call sites are validated, and passing its
+// parameters onward is accepted as plumbing.
+func plumb(tagOdd, tagEven []byte) {
+	_, _ = hashchain.New(tagOdd, tagEven, nil, 8)
+	crossed(tagEven, tagOdd) // want `tag variable tagEven passed as tagOdd` `tag variable tagOdd passed as tagEven`
+}
+
+func crossed(tagOdd, tagEven []byte) {}
+
+func use(b []byte) {}

@@ -1,0 +1,28 @@
+// Stub of alpha/internal/hashchain: defines the canonical tag vocabulary
+// and functions with tagOdd/tagEven parameters, mirroring the real API
+// surface the analyzer keys on.
+package hashchain
+
+var (
+	TagS1 = []byte("ALPHA-S1")
+	TagS2 = []byte("ALPHA-S2")
+	TagA1 = []byte("ALPHA-A1")
+	TagA2 = []byte("ALPHA-A2")
+)
+
+type Owner struct{}
+
+func New(tagOdd, tagEven, secret []byte, n int) (*Owner, error) {
+	return &Owner{}, nil
+}
+
+func VerifyLink(tagOdd, tagEven, parent, child []byte, j uint32) bool {
+	return tagFor(tagOdd, tagEven, j) != nil
+}
+
+func tagFor(tagOdd, tagEven []byte, j uint32) []byte {
+	if j%2 == 1 {
+		return tagOdd
+	}
+	return tagEven
+}

@@ -1,0 +1,201 @@
+// Package telemisuse polices the telemetry and adaptive-control state types
+// the same way go vet's copylocks polices sync.Mutex: Counter/Gauge/Histogram
+// wrap sync/atomic values, and the adaptive Controller carries EWMA state, so
+// copying one by value silently forks the state — increments land on a copy
+// nobody reads. The analyzer flags:
+//
+//   - assignments, arguments, and returns that copy a guarded type by value
+//     (structs containing guarded fields count: copying EndpointMetrics
+//     copies every Counter inside it);
+//   - escaping closures (anything but an immediately-invoked func literal)
+//     that capture a guarded *value* variable — share a pointer instead.
+package telemisuse
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"alpha/tools/alphavet/internal/vet"
+)
+
+var Analyzer = &vet.Analyzer{
+	Name: "telemisuse",
+	Doc:  "telemetry counters and adaptive controller state must not be copied by value",
+	Run:  run,
+}
+
+// guardedNames maps package-path suffix -> type names whose values must
+// never be copied.
+var guardedNames = map[string][]string{
+	"internal/telemetry": {"Counter", "Gauge", "Histogram"},
+	"internal/adaptive":  {"Controller"},
+}
+
+func run(pass *vet.Pass) error {
+	for _, f := range pass.Files {
+		// Immediately-invoked literals never outlive their statement; only
+		// literals that are stored, passed, returned, or launched as
+		// goroutines can escape.
+		iife := make(map[*ast.FuncLit]bool)
+		goLaunched := make(map[*ast.FuncLit]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					goLaunched[lit] = true
+				}
+			case *ast.CallExpr:
+				if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok && !goLaunched[lit] {
+					iife[lit] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkCopy(pass, rhs, "assignment copies")
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkCopy(pass, v, "assignment copies")
+				}
+			case *ast.CallExpr:
+				checkCallArgs(pass, n)
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkCopy(pass, r, "return copies")
+				}
+			case *ast.FuncLit:
+				if !iife[n] {
+					checkCapture(pass, n)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCopy flags expr when evaluating it produces a by-value copy of a
+// guarded type. Composite literals and calls to constructors are
+// initializations, not copies.
+func checkCopy(pass *vet.Pass, expr ast.Expr, what string) {
+	e := ast.Unparen(expr)
+	switch e.(type) {
+	case *ast.CompositeLit, *ast.CallExpr, *ast.UnaryExpr:
+		return
+	}
+	tv, ok := pass.Info.Types[e]
+	if !ok || !tv.IsValue() {
+		return
+	}
+	if name := guardedTypeName(tv.Type); name != "" {
+		pass.Reportf(expr.Pos(), "%s %s by value; telemetry/controller state must be shared by pointer", what, name)
+	}
+}
+
+// checkCallArgs flags passing a guarded value where the callee takes it by
+// value.
+func checkCallArgs(pass *vet.Pass, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		e := ast.Unparen(arg)
+		switch e.(type) {
+		case *ast.CompositeLit, *ast.CallExpr, *ast.UnaryExpr:
+			continue
+		}
+		tv, ok := pass.Info.Types[e]
+		if !ok || !tv.IsValue() {
+			continue // type args of new()/make() are not copies
+		}
+		if name := guardedTypeName(tv.Type); name != "" {
+			pass.Reportf(arg.Pos(), "call passes %s by value; pass a pointer", name)
+		}
+	}
+}
+
+// checkCapture flags non-IIFE func literals that capture a guarded value
+// variable from an enclosing scope.
+func checkCapture(pass *vet.Pass, lit *ast.FuncLit) {
+	// Variables declared inside the literal are fine; collect their objects.
+	local := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+		return true
+	})
+	for _, fl := range lit.Type.Params.List {
+		for _, id := range fl.Names {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+	}
+	reported := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || local[obj] || reported[obj] || obj.IsField() || obj.Pkg() == nil {
+			return true
+		}
+		if name := guardedTypeName(obj.Type()); name != "" {
+			reported[obj] = true
+			pass.Reportf(id.Pos(),
+				"closure captures %s value %s; capture a pointer to it instead", name, obj.Name())
+		}
+		return true
+	})
+}
+
+// guardedTypeName returns the guarded type's name if t is (or is a struct or
+// array transitively containing) a guarded value type; "" otherwise.
+// Pointers, slices, and maps break the chain: sharing through them is the
+// sanctioned idiom.
+func guardedTypeName(t types.Type) string {
+	return guarded(t, make(map[types.Type]bool))
+}
+
+func guarded(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		pkg := n.Obj().Pkg()
+		if pkg != nil {
+			for suffix, names := range guardedNames {
+				if !strings.HasSuffix(pkg.Path(), suffix) {
+					continue
+				}
+				for _, name := range names {
+					if n.Obj().Name() == name {
+						return name
+					}
+				}
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := guarded(u.Field(i).Type(), seen); name != "" {
+				if n, ok := t.(*types.Named); ok {
+					return n.Obj().Name() + " (contains " + name + ")"
+				}
+				return name
+			}
+		}
+	case *types.Array:
+		return guarded(u.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package telemisuse_test
+
+import (
+	"testing"
+
+	"alpha/tools/alphavet/internal/analyzers/telemisuse"
+	"alpha/tools/alphavet/internal/vet/vettest"
+)
+
+func TestTelemisuse(t *testing.T) {
+	vettest.Run(t, "testdata/telemisuse", telemisuse.Analyzer)
+}

@@ -1,0 +1,52 @@
+// Fixture for the telemisuse analyzer.
+package a
+
+import (
+	"alpha/internal/adaptive"
+	"alpha/internal/telemetry"
+)
+
+func byValue(c telemetry.Counter) uint64 { return c.Load() } // consumes copies; call sites are flagged
+
+func byPointer(c *telemetry.Counter) uint64 { return c.Load() }
+
+func positives(m *telemetry.Metrics, ctrl *adaptive.Controller) telemetry.Counter {
+	snapshot := m.Delivered // want `assignment copies Counter by value`
+	snapshot.Inc()
+
+	_ = byValue(m.Delivered) // want `call passes Counter by value`
+
+	all := *m // want `assignment copies Metrics \(contains Counter\) by value`
+	all.Delivered.Inc()
+
+	c2 := *ctrl // want `assignment copies Controller by value`
+	c2.Observe(0.5)
+
+	var escaped func()
+	escaped = func() { snapshot.Inc() } // want `closure captures Counter value snapshot`
+	escaped()
+
+	return m.Delivered // want `return copies Counter by value`
+}
+
+func negatives(m *telemetry.Metrics) *telemetry.Counter {
+	// Pointer sharing is the sanctioned idiom.
+	ptr := &m.Delivered
+	_ = byPointer(ptr)
+
+	// Initializing a fresh value is not a copy of live state.
+	var fresh telemetry.Counter
+	fresh.Inc()
+	freshM := telemetry.Metrics{}
+	freshM.Delivered.Inc()
+
+	// new() takes a type argument, not a value.
+	heap := new(telemetry.Counter)
+
+	// Closures may capture pointers...
+	go func() { heap.Inc() }()
+	// ...and immediately-invoked literals never escape their statement.
+	func() { fresh.Inc() }()
+
+	return &m.Delivered
+}

@@ -1,0 +1,8 @@
+// Stub of alpha/internal/adaptive for suffix-matched analysis.
+package adaptive
+
+type Controller struct {
+	lossEWMA float64
+}
+
+func (c *Controller) Observe(loss float64) { c.lossEWMA = loss }

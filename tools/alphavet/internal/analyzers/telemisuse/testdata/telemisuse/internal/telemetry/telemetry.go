@@ -1,0 +1,27 @@
+// Stub of the real alpha/internal/telemetry package: the analyzer matches on
+// the package-path suffix and type names, so this fixture exercises exactly
+// the production matching logic.
+package telemetry
+
+import "sync/atomic"
+
+type Counter struct{ v atomic.Uint64 }
+
+func (c *Counter) Inc()         { c.v.Add(1) }
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+type Gauge struct{ v atomic.Int64 }
+
+func (g *Gauge) Set(x int64) { g.v.Store(x) }
+
+type Histogram struct {
+	buckets []uint64
+}
+
+func (h *Histogram) Observe(x float64) {}
+
+// Metrics aggregates guarded types by value, so copying it forks them all.
+type Metrics struct {
+	Delivered Counter
+	Depth     Gauge
+}

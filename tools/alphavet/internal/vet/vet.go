@@ -1,0 +1,197 @@
+// Package vet is a miniature, dependency-free reimplementation of the
+// go/analysis driver model: analyzers receive parsed and type-checked
+// packages and report position-anchored diagnostics.
+//
+// The real golang.org/x/tools/go/analysis framework is the obvious tool for
+// this job, but the repository is deliberately stdlib-only, so this package
+// provides the ~10% of it alphavet needs: an Analyzer struct, a Pass with
+// syntax + types.Info, a loader (see load.go) that shells out to `go list
+// -deps -export -json` and type-checks against compiler export data, and a
+// fixture test harness (vettest) that understands `// want "re"` comments.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Exactly one of Run and RunModule must be set:
+// Run is invoked once per package, RunModule once with every package of the
+// load so cross-package analyses (static call graphs) can see the whole
+// module.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Run analyzes a single package.
+	Run func(*Pass) error
+	// RunModule analyzes all loaded target packages at once. Passes arrive
+	// sorted by import path.
+	RunModule func([]*Pass) error
+}
+
+// Pass carries one package's worth of analysis input and collects
+// diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the type-checked syntax trees of the files selected by
+	// the current build configuration.
+	Files []*ast.File
+	// IgnoredFiles holds parse-only syntax trees of files excluded by
+	// build constraints (e.g. the _other.go fallback of a _linux.go file).
+	// They are not type-checked and may target other platforms.
+	IgnoredFiles []*ast.File
+	// Dir is the package directory, Path the import path.
+	Dir  string
+	Path string
+
+	Types *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+
+	// lineDirectives caches, per file, the set of "//alpha:..." directives
+	// keyed by line number, so waiver lookups are O(1).
+	lineDirectives map[*token.File]map[int][]string
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Directive is the comment prefix of all alphavet annotations.
+const Directive = "//alpha:"
+
+// LineDirectives returns every "alpha:" directive on the source line of pos
+// (e.g. "not-secret", "alloc-ok amortized by the key cache"). Directives may
+// appear as trailing comments or as a full-line comment on the same line.
+func (p *Pass) LineDirectives(pos token.Pos) []string {
+	if p.lineDirectives == nil {
+		p.lineDirectives = make(map[*token.File]map[int][]string)
+	}
+	tf := p.Fset.File(pos)
+	if tf == nil {
+		return nil
+	}
+	byLine, ok := p.lineDirectives[tf]
+	if !ok {
+		byLine = make(map[int][]string)
+		for _, f := range p.Files {
+			if p.Fset.File(f.Pos()) != tf {
+				continue
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, Directive) {
+						continue
+					}
+					line := tf.Line(c.Pos())
+					byLine[line] = append(byLine[line], strings.TrimPrefix(c.Text, Directive))
+				}
+			}
+		}
+		p.lineDirectives[tf] = byLine
+	}
+	return byLine[tf.Line(pos)]
+}
+
+// HasLineDirective reports whether the line of pos carries the named
+// directive (matching the first word, so a rationale may follow).
+func (p *Pass) HasLineDirective(pos token.Pos, name string) bool {
+	for _, d := range p.LineDirectives(pos) {
+		word, _, _ := strings.Cut(d, " ")
+		if word == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncDirective reports whether the declaration's doc comment carries the
+// named directive (e.g. FuncDirective(fd, "hotpath")).
+func FuncDirective(fd *ast.FuncDecl, name string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, Directive)
+		if !ok {
+			continue
+		}
+		word, _, _ := strings.Cut(rest, " ")
+		if word == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies every analyzer to the loaded packages and returns the
+// combined findings sorted by file position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		var passes []*Pass
+		for _, pkg := range pkgs {
+			passes = append(passes, &Pass{
+				Analyzer:     a,
+				Fset:         pkg.Fset,
+				Files:        pkg.Syntax,
+				IgnoredFiles: pkg.IgnoredSyntax,
+				Dir:          pkg.Dir,
+				Path:         pkg.Path,
+				Types:        pkg.Types,
+				Info:         pkg.Info,
+				diags:        &diags,
+			})
+		}
+		switch {
+		case a.RunModule != nil:
+			if err := a.RunModule(passes); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+		case a.Run != nil:
+			for _, pass := range passes {
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("%s: %s: %w", a.Name, pass.Path, err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("%s: analyzer has neither Run nor RunModule", a.Name)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

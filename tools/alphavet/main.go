@@ -1,0 +1,85 @@
+// Command alphavet runs the project-specific static analyzers over the ALPHA
+// tree. Usage:
+//
+//	go run ./tools/alphavet [-only a,b] [packages]
+//
+// With no package arguments it analyzes ./... of the module in the current
+// directory. Exit status is 1 if any analyzer reports a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"alpha/tools/alphavet/internal/analyzers/buildtagpair"
+	"alpha/tools/alphavet/internal/analyzers/ctcompare"
+	"alpha/tools/alphavet/internal/analyzers/hotpathalloc"
+	"alpha/tools/alphavet/internal/analyzers/purposetag"
+	"alpha/tools/alphavet/internal/analyzers/telemisuse"
+	"alpha/tools/alphavet/internal/vet"
+)
+
+var all = []*vet.Analyzer{
+	ctcompare.Analyzer,
+	hotpathalloc.Analyzer,
+	telemisuse.Analyzer,
+	purposetag.Analyzer,
+	buildtagpair.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	selected := all
+	if *only != "" {
+		names := make(map[string]bool)
+		for _, n := range strings.Split(*only, ",") {
+			names[strings.TrimSpace(n)] = true
+		}
+		selected = nil
+		for _, a := range all {
+			if names[a.Name] {
+				selected = append(selected, a)
+				delete(names, a.Name)
+			}
+		}
+		for n := range names {
+			fmt.Fprintf(os.Stderr, "alphavet: unknown analyzer %q\n", n)
+			os.Exit(2)
+		}
+	}
+
+	pkgs, err := vet.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alphavet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := vet.RunAnalyzers(pkgs, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alphavet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "alphavet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	line, _, _ := strings.Cut(s, "\n")
+	return line
+}
