@@ -27,6 +27,7 @@ import (
 	"alpha/internal/relay"
 	"alpha/internal/suite"
 	"alpha/internal/telemetry"
+	"alpha/internal/udpio"
 	"alpha/internal/udptransport"
 )
 
@@ -90,6 +91,8 @@ func main() {
 		metrics   = flag.String("metrics-addr", "", "serve /metrics (Prometheus; ?format=json) and /trace on this HTTP address")
 		traceLen  = flag.Int("trace-size", 4096, "packet-trace ring size (most recent events kept)")
 		ioBatch   = flag.Int("io-batch", 0, "datagrams per recvmmsg/sendmmsg syscall (0 = default; 1 effectively disables batching)")
+		gso       = flag.Bool("gso", false, "UDP segmentation offload: pack same-size send runs with UDP_SEGMENT and split UDP_GRO coalesced receives (Linux >= 4.18/5.0; downgrades to the batched engine elsewhere)")
+		zerocopy  = flag.Bool("zerocopy", false, "opt sends into MSG_ZEROCOPY with errqueue completion reaping (downgrades itself on unsupported kernels and loopback)")
 		reuse     = flag.Int("reuseport", 0, "serve role: SO_REUSEPORT read loops sharing the port (0 = single socket; capped at GOMAXPROCS; Linux only)")
 		adaptOn   = flag.Bool("adaptive", false, "run the closed-loop mode/batch controller on each association (overrides -mode/-batch at runtime)")
 		chainLow  = flag.Float64("chain-low", 0, "chain fraction below which ChainLow/auto-rekey fires, in (0, 1) (0 = default)")
@@ -148,7 +151,16 @@ func main() {
 		_ = exp.WriteText(os.Stdout)
 	}
 
-	ioOpts := udptransport.IOOptions{Batch: *ioBatch}
+	ioOpts := udptransport.IOOptions{Batch: *ioBatch, GSO: *gso, ZeroCopy: *zerocopy}
+
+	// One warning, then keep going on the best engine the kernel grants —
+	// an unsupported kernel must never be fatal (fail-fast is for flag
+	// typos, not hardware variance).
+	warnOffload := func(st udpio.OffloadStatus) {
+		if w := ioOpts.DowngradeWarning(st); w != "" {
+			fmt.Fprintln(os.Stderr, "warning: "+w)
+		}
+	}
 
 	// The reuseport server binds its own socket group, so only bind the
 	// shared socket here when a role will actually use it.
@@ -171,7 +183,9 @@ func main() {
 		ep, err := core.NewPreconfiguredEndpoint(prov)
 		fatalIf(err)
 		fmt.Printf("preconfigured association %016x ready (no handshake)\n", ep.Assoc())
-		return udptransport.WrapOpts(pc, ep, peer, ioOpts)
+		c := udptransport.WrapOpts(pc, ep, peer, ioOpts)
+		warnOffload(c.OffloadStatus())
+		return c
 	}
 
 	switch *role {
@@ -193,6 +207,7 @@ func main() {
 			srv = udptransport.NewServerOpts(cfg, ioOpts, pc)
 		}
 		defer srv.Close()
+		warnOffload(srv.OffloadStatus())
 		exp.Register("alpha_transport", srv.Telemetry())
 		// Endpoint metrics aggregate across sessions at scrape time.
 		exp.Register("alpha_endpoint", telemetry.WalkerFunc(func(v telemetry.Visitor) {
@@ -241,6 +256,7 @@ func main() {
 			var err error
 			conn, err = udptransport.ListenOpts(pc, cfg, *wait, ioOpts)
 			fatalIf(err)
+			warnOffload(conn.OffloadStatus())
 		}
 		defer conn.Close()
 		exp.Register("alpha_endpoint", conn.Endpoint().Telemetry())
@@ -278,6 +294,7 @@ func main() {
 		} else {
 			conn, err = udptransport.DialOpts(pc, peerAddr, cfg, 10*time.Second, ioOpts)
 			fatalIf(err)
+			warnOffload(conn.OffloadStatus())
 		}
 		defer conn.Close()
 		exp.Register("alpha_endpoint", conn.Endpoint().Telemetry())
@@ -325,6 +342,7 @@ func main() {
 		b, err := net.ResolveUDPAddr("udp", *bAddr)
 		fatalIf(err)
 		r := udptransport.NewRelayOpts(pc, a, b, relay.Config{Tracer: tracer}, ioOpts)
+		warnOffload(r.OffloadStatus())
 		exp.Register("alpha_relay", r.Telemetry())
 		exp.Register("alpha_relay_transport", r.TransportTelemetry())
 		if *anchorsF != "" {

@@ -281,12 +281,40 @@ type IOMetrics struct {
 	// live evidence behind tuning -io-batch.
 	ReadBatchSize  Histogram
 	WriteBatchSize Histogram
+
+	// Offload-tier accounting (the GSO/GRO/zero-copy engine). A GSO send is
+	// one sendmmsg header whose UDP_SEGMENT cmsg packs a run of equal-size
+	// datagrams into a single kernel UDP traversal; a GRO split is one
+	// coalesced inbound datagram recovered into its segments. Segments minus
+	// sends/splits is therefore the kernel-traversal budget the offload tier
+	// saved on top of PR 3's syscall batching (exported as
+	// io_send_traversals_saved / io_recv_traversals_saved).
+	GSOSends    Counter // send headers carrying a UDP_SEGMENT cmsg
+	GSOSegments Counter // datagrams packed inside those GSO sends
+	GROSplits   Counter // coalesced inbound datagrams that were split
+	GROSegments Counter // datagrams recovered from coalesced reads
+
+	// Zero-copy send accounting: sends flagged MSG_ZEROCOPY, errqueue
+	// completions reaped (Copied counts completions where the kernel fell
+	// back to copying, e.g. loopback), and downgrades to the plain send
+	// path (ENOBUFS, slot exhaustion, persistent copy fallback).
+	ZeroCopySends       Counter
+	ZeroCopyCompletions Counter
+	ZeroCopyCopied      Counter
+	ZeroCopyDowngrades  Counter
+
+	// GSOSegsPerSend / GROSegsPerRead bucket segments-per-offload-operation,
+	// the live evidence that runs actually coalesce.
+	GSOSegsPerSend Histogram
+	GROSegsPerRead Histogram
 }
 
 // Init fixes the histogram bucket layouts.
 func (m *IOMetrics) Init() *IOMetrics {
 	m.ReadBatchSize.Init(BatchBuckets)
 	m.WriteBatchSize.Init(BatchBuckets)
+	m.GSOSegsPerSend.Init(BatchBuckets)
+	m.GROSegsPerRead.Init(BatchBuckets)
 	return m
 }
 
@@ -304,8 +332,40 @@ func (m *IOMetrics) NoteWrite(n int) {
 	m.WriteBatchSize.Observe(int64(n))
 }
 
-// Walk reports every metric to v, including the derived syscalls-saved
-// pair.
+// NoteGSOWrite records one UDP_SEGMENT-tagged send header that packed segs
+// datagrams into a single kernel traversal.
+func (m *IOMetrics) NoteGSOWrite(segs int) {
+	m.GSOSends.Inc()
+	m.GSOSegments.Add(uint64(segs))
+	m.GSOSegsPerSend.Observe(int64(segs))
+}
+
+// NoteGRORead records one coalesced inbound datagram split into segs
+// segments.
+func (m *IOMetrics) NoteGRORead(segs int) {
+	m.GROSplits.Inc()
+	m.GROSegments.Add(uint64(segs))
+	m.GROSegsPerRead.Observe(int64(segs))
+}
+
+// NoteZeroCopySend records one sendmmsg header flagged MSG_ZEROCOPY.
+func (m *IOMetrics) NoteZeroCopySend() { m.ZeroCopySends.Inc() }
+
+// NoteZeroCopyCompletion records one errqueue completion notification;
+// copied marks completions where the kernel fell back to copying the pages.
+func (m *IOMetrics) NoteZeroCopyCompletion(copied bool) {
+	m.ZeroCopyCompletions.Inc()
+	if copied {
+		m.ZeroCopyCopied.Inc()
+	}
+}
+
+// NoteZeroCopyDowngrade records one fall-back from the zero-copy send path
+// to the plain (copying) path.
+func (m *IOMetrics) NoteZeroCopyDowngrade() { m.ZeroCopyDowngrades.Inc() }
+
+// Walk reports every metric to v, including the derived syscalls-saved and
+// traversals-saved pairs.
 func (m *IOMetrics) Walk(v Visitor) {
 	rb, wb := m.ReadBatches.Load(), m.WriteBatches.Load()
 	dr, dw := m.DatagramsRead.Load(), m.DatagramsWritten.Load()
@@ -324,6 +384,28 @@ func (m *IOMetrics) Walk(v Visitor) {
 	v.Counter("io_write_syscalls_saved", savedW)
 	v.Histogram("io_read_batch_size", m.ReadBatchSize.Snapshot())
 	v.Histogram("io_write_batch_size", m.WriteBatchSize.Snapshot())
+
+	gsends, gsegs := m.GSOSends.Load(), m.GSOSegments.Load()
+	gsplits, grsegs := m.GROSplits.Load(), m.GROSegments.Load()
+	v.Counter("io_gso_sends", gsends)
+	v.Counter("io_gso_segments", gsegs)
+	v.Counter("io_gro_splits", gsplits)
+	v.Counter("io_gro_segments", grsegs)
+	var savedTx, savedRx uint64
+	if gsegs > gsends {
+		savedTx = gsegs - gsends
+	}
+	if grsegs > gsplits {
+		savedRx = grsegs - gsplits
+	}
+	v.Counter("io_send_traversals_saved", savedTx)
+	v.Counter("io_recv_traversals_saved", savedRx)
+	v.Counter("io_zerocopy_sends", m.ZeroCopySends.Load())
+	v.Counter("io_zerocopy_completions", m.ZeroCopyCompletions.Load())
+	v.Counter("io_zerocopy_copied", m.ZeroCopyCopied.Load())
+	v.Counter("io_zerocopy_downgrades", m.ZeroCopyDowngrades.Load())
+	v.Histogram("io_gso_segs_per_send", m.GSOSegsPerSend.Snapshot())
+	v.Histogram("io_gro_segs_per_read", m.GROSegsPerRead.Snapshot())
 }
 
 // RelayTransportMetrics counts the UDP relay's socket-level activity — the

@@ -71,7 +71,7 @@ type batchConn struct {
 	writeFn func(fd uintptr) bool
 }
 
-func newBatchConn(uc *net.UDPConn, batch int, m *telemetry.IOMetrics) (Conn, error) {
+func newBatchConn(uc *net.UDPConn, batch int, m *telemetry.IOMetrics) (*batchConn, error) {
 	rc, err := uc.SyscallConn()
 	if err != nil {
 		return nil, err

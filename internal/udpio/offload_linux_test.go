@@ -1,0 +1,239 @@
+//go:build linux && (amd64 || arm64)
+
+package udpio
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"alpha/internal/telemetry"
+)
+
+// offloadPair builds a sender/receiver pair over loopback with the given
+// feature requests, skipping the test when the kernel grants nothing.
+func offloadPair(t *testing.T, sOpts, rOpts OffloadOptions, sm, rm *telemetry.IOMetrics) (Conn, Conn, *net.UDPConn, *net.UDPConn) {
+	t.Helper()
+	apc, bpc := listenUDP(t), listenUDP(t)
+	a, ast := WrapOffload(apc, 32, sOpts, sm)
+	b, bst := WrapOffload(bpc, 32, rOpts, rm)
+	if sOpts.GSO && !ast.GSO {
+		t.Skip("kernel lacks UDP_SEGMENT")
+	}
+	if rOpts.GRO && !bst.GRO {
+		t.Skip("kernel lacks UDP_GRO")
+	}
+	if sOpts.ZeroCopy && !ast.ZeroCopy {
+		t.Skip("kernel lacks SO_ZEROCOPY")
+	}
+	t.Cleanup(func() {
+		CloseEngine(a)
+		CloseEngine(b)
+	})
+	return a, b, apc, bpc
+}
+
+// readAll drains exactly want datagrams from c into fresh buffers.
+func readAll(t *testing.T, c Conn, want int) []Message {
+	t.Helper()
+	in := make([]Message, want)
+	for i := range in {
+		in[i].Buf = make([]byte, 4096)
+	}
+	got := 0
+	for got < want {
+		n, err := c.ReadBatch(in[got:])
+		if err != nil {
+			t.Fatalf("ReadBatch after %d: %v", got, err)
+		}
+		got += n
+	}
+	return in
+}
+
+// TestOffloadGSORoundTrip sends an ALPHA-M-shaped burst — one odd-size S1
+// plus 16 equal-size S2s — through the GSO writer to a GRO reader and
+// checks every datagram survives, in order, with the send packed into one
+// syscall and at most two kernel traversals.
+func TestOffloadGSORoundTrip(t *testing.T) {
+	var sm, rm telemetry.IOMetrics
+	a, b, _, bpc := offloadPair(t,
+		OffloadOptions{GSO: true}, OffloadOptions{GRO: true},
+		sm.Init(), rm.Init())
+
+	const s2s = 16
+	const s2len = 64
+	out := make([]Message, 0, s2s+1)
+	s1 := []byte("S1-signature-packet-shorter")
+	out = append(out, Message{Buf: s1, N: len(s1), Addr: bpc.LocalAddr()})
+	for i := 0; i < s2s; i++ {
+		p := make([]byte, s2len)
+		copy(p, fmt.Sprintf("S2-%02d", i))
+		out = append(out, Message{Buf: p, N: s2len, Addr: bpc.LocalAddr()})
+	}
+	bpc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	sent, err := a.WriteBatch(out)
+	if err != nil || sent != len(out) {
+		t.Fatalf("WriteBatch = %d, %v; want %d, nil", sent, err, len(out))
+	}
+
+	in := readAll(t, b, s2s+1)
+	for i := range out {
+		if !bytes.Equal(in[i].Buf[:in[i].N], out[i].Buf[:out[i].N]) {
+			t.Fatalf("datagram %d corrupted: got %d bytes %q, want %d bytes",
+				i, in[i].N, in[i].Buf[:in[i].N], out[i].N)
+		}
+	}
+
+	if got := sm.WriteBatches.Load(); got != 1 {
+		t.Errorf("send syscalls = %d; want 1 (S1 + packed S2 run in one sendmmsg)", got)
+	}
+	if got := sm.GSOSegments.Load(); got != s2s {
+		t.Errorf("GSO segments = %d; want %d", got, s2s)
+	}
+	if got := sm.GSOSends.Load(); got != 1 {
+		t.Errorf("GSO sends = %d; want 1 (the equal-size run)", got)
+	}
+	if got := sm.DatagramsWritten.Load(); got != s2s+1 {
+		t.Errorf("datagrams written = %d; want %d", got, s2s+1)
+	}
+	if rm.DatagramsRead.Load() != s2s+1 {
+		t.Errorf("datagrams read = %d; want %d", rm.DatagramsRead.Load(), s2s+1)
+	}
+}
+
+// TestOffloadRaggedRun: a smaller trailing datagram may close a GSO run
+// (kernel rule), but a larger one must start a new header.
+func TestOffloadRaggedRun(t *testing.T) {
+	var sm, rm telemetry.IOMetrics
+	a, b, _, bpc := offloadPair(t,
+		OffloadOptions{GSO: true}, OffloadOptions{GRO: true},
+		sm.Init(), rm.Init())
+
+	sizes := []int{100, 100, 60, 200}
+	out := make([]Message, len(sizes))
+	for i, sz := range sizes {
+		p := make([]byte, sz)
+		for j := range p {
+			p[j] = byte('a' + i)
+		}
+		out[i] = Message{Buf: p, N: sz, Addr: bpc.LocalAddr()}
+	}
+	bpc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if sent, err := a.WriteBatch(out); err != nil || sent != len(out) {
+		t.Fatalf("WriteBatch = %d, %v", sent, err)
+	}
+	in := readAll(t, b, len(sizes))
+	for i := range out {
+		if !bytes.Equal(in[i].Buf[:in[i].N], out[i].Buf[:out[i].N]) {
+			t.Fatalf("datagram %d corrupted (%d bytes, want %d)", i, in[i].N, out[i].N)
+		}
+	}
+	// [100 100 60] packs into one header (60 is the legal smaller tail);
+	// 200 rides alone as a plain header in the same sendmmsg.
+	if got := sm.GSOSends.Load(); got != 1 {
+		t.Errorf("GSO sends = %d; want 1", got)
+	}
+	if got := sm.GSOSegments.Load(); got != 3 {
+		t.Errorf("GSO segments = %d; want 3", got)
+	}
+	if got := sm.WriteBatches.Load(); got != 1 {
+		t.Errorf("send syscalls = %d; want 1", got)
+	}
+}
+
+// TestOffloadZeroCopy pushes a large burst through the MSG_ZEROCOPY path
+// and checks delivery plus completion accounting. On loopback the kernel
+// copies anyway (COPIED completions), which must eventually downgrade the
+// path rather than break it.
+func TestOffloadZeroCopy(t *testing.T) {
+	var sm, rm telemetry.IOMetrics
+	a, b, _, bpc := offloadPair(t,
+		OffloadOptions{ZeroCopy: true}, OffloadOptions{},
+		sm.Init(), rm.Init())
+
+	const n = 8
+	const sz = 1200
+	out := make([]Message, n)
+	for i := range out {
+		p := make([]byte, sz)
+		for j := range p {
+			p[j] = byte(i)
+		}
+		out[i] = Message{Buf: p, N: sz, Addr: bpc.LocalAddr()}
+	}
+	bpc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if sent, err := a.WriteBatch(out); err != nil || sent != n {
+		t.Fatalf("WriteBatch = %d, %v", sent, err)
+	}
+	in := readAll(t, b, n)
+	for i := range out {
+		if in[i].N != sz || in[i].Buf[0] != byte(i) {
+			t.Fatalf("datagram %d corrupted", i)
+		}
+	}
+	if sm.ZeroCopySends.Load() == 0 {
+		t.Fatal("no sends took the zero-copy path")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sm.ZeroCopyCompletions.Load() < sm.ZeroCopySends.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("reaper stuck: %d completions for %d zero-copy sends",
+				sm.ZeroCopyCompletions.Load(), sm.ZeroCopySends.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOffloadZeroAlloc is the hot-path acceptance check for the offload
+// tier: a warm GSO write / GRO read cycle must not allocate.
+func TestOffloadZeroAlloc(t *testing.T) {
+	var sm, rm telemetry.IOMetrics
+	a, b, _, bpc := offloadPair(t,
+		OffloadOptions{GSO: true}, OffloadOptions{GRO: true},
+		sm.Init(), rm.Init())
+	bpc.SetReadDeadline(time.Now().Add(10 * time.Second))
+
+	const n = 8
+	out := make([]Message, n)
+	for i := range out {
+		out[i] = Message{Buf: make([]byte, 256), N: 256, Addr: bpc.LocalAddr()}
+	}
+	in := make([]Message, n)
+	for i := range in {
+		in[i].Buf = make([]byte, 2048)
+	}
+	cycle := func() {
+		if _, err := a.WriteBatch(out); err != nil {
+			t.Fatalf("WriteBatch: %v", err)
+		}
+		got := 0
+		for got < n {
+			r, err := b.ReadBatch(in[:])
+			if err != nil {
+				t.Fatalf("ReadBatch: %v", err)
+			}
+			got += r
+		}
+	}
+	cycle() // warm the intern cache and slab state
+	if allocs := testing.AllocsPerRun(50, cycle); allocs > 0 {
+		t.Fatalf("offload read/write cycle allocates %.1f times per run; want 0", allocs)
+	}
+}
+
+// TestWrapOffloadDisabledByKernelFallsBack: the probe hook path — when the
+// engine grants nothing, WrapOffload must hand back the batched engine and
+// a zero status (the signal transports turn into one downgrade warning).
+func TestWrapOffloadStatus(t *testing.T) {
+	pc := listenUDP(t)
+	c, st := WrapOffload(pc, 8, OffloadOptions{}, nil)
+	if st.Any() {
+		t.Fatalf("no features requested but status = %+v", st)
+	}
+	if !c.Batched() {
+		t.Fatal("WrapOffload with no requests must still return the batched engine")
+	}
+}

@@ -17,6 +17,7 @@
 package udpio
 
 import (
+	"io"
 	"net"
 
 	"alpha/internal/telemetry"
@@ -68,6 +69,66 @@ func Wrap(pc net.PacketConn, batch int, m *telemetry.IOMetrics) Conn {
 		}
 	}
 	return &portableConn{pc: pc, m: m}
+}
+
+// OffloadOptions requests segmentation-offload features on top of the
+// batched engine. Each one is a request, not a demand: setup probes the
+// kernel per feature and keeps whatever sticks.
+type OffloadOptions struct {
+	// GSO packs same-destination, equal-size runs into one UDP_SEGMENT-
+	// tagged send — one kernel UDP traversal per run (Linux ≥ 4.18).
+	GSO bool
+	// GRO enables UDP_GRO so the kernel may deliver coalesced datagrams,
+	// which the engine splits back out by the segment-size cmsg (≥ 5.0).
+	GRO bool
+	// ZeroCopy opts sends into MSG_ZEROCOPY with an errqueue completion
+	// reaper; the engine downgrades itself on ENOBUFS or copied
+	// completions (≥ 4.14 for UDP).
+	ZeroCopy bool
+}
+
+// enabled reports whether any offload feature is requested.
+func (o OffloadOptions) enabled() bool { return o.GSO || o.GRO || o.ZeroCopy }
+
+// OffloadStatus reports which requested offload features the kernel
+// actually granted. The zero value means the offload tier is not live.
+type OffloadStatus struct {
+	GSO      bool
+	GRO      bool
+	ZeroCopy bool
+}
+
+// Any reports whether at least one offload feature is live.
+func (s OffloadStatus) Any() bool { return s.GSO || s.GRO || s.ZeroCopy }
+
+// WrapOffload returns the best Conn for pc with the requested offload
+// features, degrading feature-by-feature: offload engine with whatever the
+// kernel grants, then the batched engine, then the portable shim. The
+// returned status says what is live so callers can log one downgrade
+// warning and move on.
+func WrapOffload(pc net.PacketConn, batch int, opts OffloadOptions, m *telemetry.IOMetrics) (Conn, OffloadStatus) {
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	if m == nil {
+		m = new(telemetry.IOMetrics)
+	}
+	if uc, ok := pc.(*net.UDPConn); ok && opts.enabled() {
+		if c, st, err := newOffloadConn(uc, batch, opts, m); err == nil {
+			return c, st
+		}
+	}
+	return Wrap(pc, batch, m), OffloadStatus{}
+}
+
+// CloseEngine releases engine-owned resources (the zero-copy completion
+// reaper, offload slabs) without closing the underlying socket. Engines
+// with nothing to release are a no-op.
+func CloseEngine(c Conn) error {
+	if cl, ok := c.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
 }
 
 // Portable wraps pc with the one-datagram-at-a-time fallback regardless of

@@ -1,7 +1,8 @@
-// BenchmarkUDPBurst measures the tentpole of the batched I/O engine: how
-// many syscalls and how much wall time it takes to push a real ALPHA-C/M
-// burst (the S1 plus its S2 packets) through a UDP socket pair, batched
-// recvmmsg/sendmmsg versus the portable one-datagram-at-a-time path.
+// BenchmarkUDPBurst measures the I/O engine ladder: how many syscalls, how
+// many kernel UDP-stack traversals, and how much wall time it takes to push
+// a real ALPHA-C/M burst (the S1 plus its S2 packets) through a UDP socket
+// pair — portable one-datagram-at-a-time, batched recvmmsg/sendmmsg, and
+// the GSO/GRO segmentation-offload engine.
 
 package udptransport
 
@@ -77,24 +78,18 @@ func captureBurst(b *testing.B, mode packet.Mode, n int) [][]byte {
 func BenchmarkUDPBurst(b *testing.B) {
 	for _, mode := range []packet.Mode{packet.ModeC, packet.ModeM} {
 		burst := captureBurst(b, mode, 16)
-		for _, eng := range []struct {
-			name     string
-			portable bool
-		}{
-			{"batched", false},
-			{"portable", true},
-		} {
-			b.Run(fmt.Sprintf("%s/n=16/%s", mode, eng.name), func(b *testing.B) {
-				benchBurst(b, burst, eng.portable)
+		for _, eng := range []string{"gso", "batched", "portable"} {
+			b.Run(fmt.Sprintf("%s/n=16/%s", mode, eng), func(b *testing.B) {
+				benchBurst(b, burst, eng)
 			})
 		}
 	}
 }
 
 // benchBurst replays one captured burst per iteration through a loopback
-// socket pair and reads every datagram back, reporting syscalls and
-// datagram throughput from the engines' own accounting.
-func benchBurst(b *testing.B, burst [][]byte, portable bool) {
+// socket pair and reads every datagram back, reporting syscalls, kernel
+// UDP traversals, and datagram throughput from the engines' own accounting.
+func benchBurst(b *testing.B, burst [][]byte, engine string) {
 	spc, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -108,13 +103,25 @@ func benchBurst(b *testing.B, burst [][]byte, portable bool) {
 
 	var wm, rm telemetry.IOMetrics
 	var w, r udpio.Conn
-	if portable {
+	switch engine {
+	case "portable":
 		w, r = udpio.Portable(spc, &wm), udpio.Portable(rpc, &rm)
-	} else {
+	case "batched":
 		w, r = udpio.Wrap(spc, udpio.DefaultBatch, &wm), udpio.Wrap(rpc, udpio.DefaultBatch, &rm)
-	}
-	if !portable && (!w.Batched() || !r.Batched()) {
-		b.Skip("batched engine unavailable on this platform")
+		if !w.Batched() || !r.Batched() {
+			b.Skip("batched engine unavailable on this platform")
+		}
+	case "gso":
+		var wst, rst udpio.OffloadStatus
+		w, wst = udpio.WrapOffload(spc, udpio.DefaultBatch, udpio.OffloadOptions{GSO: true}, &wm)
+		r, rst = udpio.WrapOffload(rpc, udpio.DefaultBatch, udpio.OffloadOptions{GRO: true}, &rm)
+		defer udpio.CloseEngine(w)
+		defer udpio.CloseEngine(r)
+		if !wst.GSO || !rst.GRO {
+			b.Skip("kernel lacks UDP_SEGMENT/UDP_GRO")
+		}
+	default:
+		b.Fatalf("unknown engine %q", engine)
 	}
 
 	out := make([]udpio.Message, len(burst))
@@ -147,7 +154,16 @@ func benchBurst(b *testing.B, burst [][]byte, portable bool) {
 		}
 	}
 	b.StopTimer()
+	// Syscalls straight from the engines' accounting; kernel UDP-stack
+	// traversals from the offload counters — a GSO send of k segments is
+	// one traversal (saving k-1), a GRO datagram split into k segments
+	// likewise on receive. Without offload both equal the datagram count.
 	syscalls := wm.WriteBatches.Load() + rm.ReadBatches.Load()
+	sendTrav := wm.DatagramsWritten.Load() - wm.GSOSegments.Load() + wm.GSOSends.Load()
+	recvTrav := rm.DatagramsRead.Load() - rm.GROSegments.Load() + rm.GROSplits.Load()
 	b.ReportMetric(float64(syscalls)/float64(b.N), "syscalls/op")
+	b.ReportMetric(float64(wm.WriteBatches.Load())/float64(b.N), "sendsyscalls/op")
+	b.ReportMetric(float64(sendTrav)/float64(b.N), "sendtraversals/op")
+	b.ReportMetric(float64(recvTrav)/float64(b.N), "recvtraversals/op")
 	b.ReportMetric(float64(len(burst)), "datagrams/op")
 }

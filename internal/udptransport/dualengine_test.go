@@ -1,13 +1,14 @@
-// Dual-engine harness: every data-path test in this package runs twice,
-// once over the batched recvmmsg/sendmmsg engine (where the platform has
-// it) and once over the portable fallback, so the two implementations
-// cannot drift apart behaviourally.
+// Multi-engine harness: every data-path test in this package runs once per
+// I/O engine tier — the segmentation-offload engine (GSO/GRO, where the
+// kernel has it), the batched recvmmsg/sendmmsg engine, and the portable
+// fallback — so the implementations cannot drift apart behaviourally.
 
 package udptransport
 
 import (
 	"fmt"
 	"net"
+	"os"
 	"testing"
 	"time"
 
@@ -17,19 +18,31 @@ import (
 )
 
 // engineCases enumerates the I/O engines under test. On platforms without
-// the batched engine, "batched" silently runs the portable one (Wrap falls
-// back), which keeps the suite green everywhere.
+// an engine, its case silently runs the next tier down (WrapOffload and
+// Wrap both fall back), which keeps the suite green everywhere. The
+// ALPHA_TEST_IO environment variable ("offload", "no-offload", "portable")
+// narrows the matrix to one leg — the switch the CI offload matrix flips.
 func engineCases() []struct {
 	name string
 	opts IOOptions
 } {
-	return []struct {
+	all := []struct {
 		name string
 		opts IOOptions
 	}{
-		{"batched", IOOptions{}},
+		{"offload", IOOptions{GSO: true}},
+		{"batched", IOOptions{ForceNoOffload: true}},
 		{"portable", IOOptions{ForcePortable: true}},
 	}
+	switch os.Getenv("ALPHA_TEST_IO") {
+	case "offload":
+		return all[:1]
+	case "no-offload":
+		return all[1:2]
+	case "portable":
+		return all[2:]
+	}
+	return all
 }
 
 func forEachEngine(t *testing.T, fn func(t *testing.T, opts IOOptions)) {

@@ -1,0 +1,84 @@
+package udptransport
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"alpha/internal/udpio"
+)
+
+// TestOffloadDowngradeWarning covers the fail-fast probing contract: a node
+// started with -gso/-zerocopy on a kernel that grants neither gets exactly
+// one human-readable warning and keeps running on the batched engine, while
+// explicitly requested downgrades (ForcePortable/ForceNoOffload) stay silent.
+func TestOffloadDowngradeWarning(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    IOOptions
+		granted udpio.OffloadStatus
+		want    []string // substrings of the warning; empty means no warning
+	}{
+		{"nothing requested", IOOptions{}, udpio.OffloadStatus{}, nil},
+		{"all granted", IOOptions{GSO: true, ZeroCopy: true},
+			udpio.OffloadStatus{GSO: true, GRO: true, ZeroCopy: true}, nil},
+		{"all denied", IOOptions{GSO: true, ZeroCopy: true},
+			udpio.OffloadStatus{}, []string{"gso", "gro", "zerocopy", "batched engine"}},
+		{"gso denied only", IOOptions{GSO: true, ZeroCopy: true},
+			udpio.OffloadStatus{ZeroCopy: true}, []string{"gso", "gro", "partial offload"}},
+		{"force-no-offload is silent", IOOptions{GSO: true, ZeroCopy: true, ForceNoOffload: true},
+			udpio.OffloadStatus{}, nil},
+		{"force-portable is silent", IOOptions{GSO: true, ForcePortable: true},
+			udpio.OffloadStatus{}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := tc.opts.DowngradeWarning(tc.granted)
+			if len(tc.want) == 0 {
+				if w != "" {
+					t.Fatalf("unexpected warning %q", w)
+				}
+				return
+			}
+			if w == "" {
+				t.Fatal("expected a downgrade warning, got none")
+			}
+			for _, sub := range tc.want {
+				if !strings.Contains(w, sub) {
+					t.Errorf("warning %q missing %q", w, sub)
+				}
+			}
+		})
+	}
+}
+
+// TestForceNoOffloadPinsBatched: the test hook must bypass the offload
+// probe entirely — the engine comes back batched with a zero status even
+// when the flags ask for everything, mirroring ForcePortable's pin.
+func TestForceNoOffloadPinsBatched(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+
+	opts := IOOptions{GSO: true, ZeroCopy: true, ForceNoOffload: true}
+	if off := opts.offload(); off.GSO || off.GRO || off.ZeroCopy {
+		t.Fatalf("ForceNoOffload leaked an offload request: %+v", off)
+	}
+	c, st := opts.wrapStatus(pc, nil)
+	defer udpio.CloseEngine(c)
+	if st.Any() {
+		t.Fatalf("ForceNoOffload returned offload status %+v", st)
+	}
+	if w := opts.DowngradeWarning(st); w != "" {
+		t.Fatalf("explicit downgrade must be silent, got %q", w)
+	}
+
+	popts := IOOptions{GSO: true, ForcePortable: true}
+	p, pst := popts.wrapStatus(pc, nil)
+	defer udpio.CloseEngine(p)
+	if pst.Any() || p.Batched() {
+		t.Fatalf("ForcePortable must pin the portable engine (status %+v, batched %v)", pst, p.Batched())
+	}
+}

@@ -22,11 +22,12 @@ import (
 // pooled buffers, every verified datagram of the burst is forwarded with
 // one sendmmsg, and the slab is reused for the next burst.
 type Relay struct {
-	pc   net.PacketConn
-	io   udpio.Conn
-	a, b *net.UDPAddr
-	r    *relay.Relay
-	mu   sync.Mutex
+	pc      net.PacketConn
+	io      udpio.Conn
+	offload udpio.OffloadStatus
+	a, b    *net.UDPAddr
+	r       *relay.Relay
+	mu      sync.Mutex
 
 	// OnDecision, if set, observes every verdict.
 	OnDecision func(d relay.Decision)
@@ -53,7 +54,7 @@ func NewRelayOpts(pc net.PacketConn, a, b net.Addr, cfg relay.Config, opts IOOpt
 		closed: make(chan struct{}),
 	}
 	r.tel.Init()
-	r.io = opts.wrap(pc, &r.tel.IO)
+	r.io, r.offload = opts.wrapStatus(pc, &r.tel.IO)
 	r.wg.Add(1)
 	go r.loop(opts.batch())
 	return r
@@ -106,11 +107,16 @@ func (r *Relay) Telemetry() *telemetry.RelayMetrics { return r.r.Telemetry() }
 // accounting.
 func (r *Relay) TransportTelemetry() *telemetry.RelayTransportMetrics { return &r.tel }
 
+// OffloadStatus reports which requested offload features the kernel
+// granted on the relay's socket (zero when none were requested).
+func (r *Relay) OffloadStatus() udpio.OffloadStatus { return r.offload }
+
 // Close stops the relay and closes its socket.
 func (r *Relay) Close() error {
 	r.closeOnce.Do(func() {
 		close(r.closed)
 		r.pc.Close()
+		udpio.CloseEngine(r.io)
 	})
 	r.wg.Wait()
 	return nil

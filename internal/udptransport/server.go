@@ -73,10 +73,11 @@ type sessionShard struct {
 // Server accepts ALPHA associations on a shared datagram socket, or on a
 // group of SO_REUSEPORT sockets each with its own read loop.
 type Server struct {
-	pcs []net.PacketConn
-	ios []udpio.Conn
-	cfg core.Config
-	io  IOOptions
+	pcs     []net.PacketConn
+	ios     []udpio.Conn
+	cfg     core.Config
+	io      IOOptions
+	offload udpio.OffloadStatus // granted on the first socket; sockets are siblings
 
 	shards [sessionShards]sessionShard
 
@@ -126,7 +127,11 @@ func NewServerOpts(cfg core.Config, opts IOOptions, pcs ...net.PacketConn) *Serv
 	}
 	s.ios = make([]udpio.Conn, len(pcs))
 	for i, pc := range pcs {
-		s.ios[i] = opts.wrap(pc, &s.tel.IO)
+		io, st := opts.wrapStatus(pc, &s.tel.IO)
+		s.ios[i] = io
+		if i == 0 {
+			s.offload = st
+		}
 	}
 	for _, io := range s.ios {
 		s.wg.Add(1)
@@ -197,14 +202,25 @@ func (s *Server) Sessions() int {
 // LocalAddr returns the address of the server's (first) socket.
 func (s *Server) LocalAddr() net.Addr { return s.pcs[0].LocalAddr() }
 
+// OffloadStatus reports which requested offload features the kernel
+// granted on this server's sockets (zero when none were requested).
+func (s *Server) OffloadStatus() udpio.OffloadStatus { return s.offload }
+
+// shutdownSockets closes every socket and releases engine-owned resources;
+// run under closeOnce from Close or a failing read loop.
+func (s *Server) shutdownSockets() {
+	close(s.closed)
+	for _, pc := range s.pcs {
+		pc.Close()
+	}
+	for _, io := range s.ios {
+		udpio.CloseEngine(io)
+	}
+}
+
 // Close stops the server, its sockets, and every session.
 func (s *Server) Close() error {
-	s.closeOnce.Do(func() {
-		close(s.closed)
-		for _, pc := range s.pcs {
-			pc.Close()
-		}
-	})
+	s.closeOnce.Do(s.shutdownSockets)
 	s.wg.Wait()
 	return nil
 }
@@ -234,12 +250,7 @@ func (s *Server) readLoop(io udpio.Conn) {
 	for {
 		n, err := io.ReadBatch(ms)
 		if err != nil {
-			s.closeOnce.Do(func() {
-				close(s.closed)
-				for _, pc := range s.pcs {
-					pc.Close()
-				}
-			})
+			s.closeOnce.Do(s.shutdownSockets)
 			// Stop all session timers and workers (idempotent; every
 			// failing read loop may run this).
 			for i := range s.shards {

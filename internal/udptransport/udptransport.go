@@ -25,11 +25,12 @@ import (
 // Conn is a blocking, goroutine-safe wrapper around one ALPHA association
 // on a datagram socket.
 type Conn struct {
-	pc   net.PacketConn
-	io   udpio.Conn
-	mu   sync.Mutex
-	ep   *core.Endpoint
-	peer net.Addr
+	pc      net.PacketConn
+	io      udpio.Conn
+	offload udpio.OffloadStatus
+	mu      sync.Mutex
+	ep      *core.Endpoint
+	peer    net.Addr
 
 	wbatch []udpio.Message // coalescing scratch for pumpLocked
 
@@ -127,9 +128,11 @@ func newConn(pc net.PacketConn, ep *core.Endpoint, peer net.Addr, opts IOOptions
 	if opts.Batch <= 0 || opts.Batch > connBatch {
 		opts.Batch = connBatch // one association never needs the server's burst depth
 	}
+	io, st := opts.wrapStatus(pc, nil)
 	return &Conn{
 		pc:          pc,
-		io:          opts.wrap(pc, nil),
+		io:          io,
+		offload:     st,
 		ep:          ep,
 		peer:        peer,
 		events:      make(chan core.Event, 256),
@@ -152,6 +155,10 @@ func (c *Conn) Events() <-chan core.Event { return c.events }
 // Endpoint exposes the underlying engine for stats inspection. Callers
 // must not invoke engine methods directly.
 func (c *Conn) Endpoint() *core.Endpoint { return c.ep }
+
+// OffloadStatus reports which requested offload features the kernel
+// granted on this connection's socket (zero when none were requested).
+func (c *Conn) OffloadStatus() udpio.OffloadStatus { return c.offload }
 
 // Peer returns the remote address (nil until a responder learns it).
 func (c *Conn) Peer() net.Addr {
@@ -190,6 +197,7 @@ func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {
 		close(c.closed)
 		c.pc.Close()
+		udpio.CloseEngine(c.io)
 	})
 	c.wg.Wait()
 	return nil
@@ -210,7 +218,11 @@ func (c *Conn) readLoop() {
 			select {
 			case <-c.closed:
 			default:
-				c.closeOnce.Do(func() { close(c.closed); c.pc.Close() })
+				c.closeOnce.Do(func() {
+					close(c.closed)
+					c.pc.Close()
+					udpio.CloseEngine(c.io)
+				})
 			}
 			return
 		}

@@ -24,6 +24,7 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -49,14 +50,66 @@ var tagShaped = regexp.MustCompile(`^ALPHA-(S[0-9]|A[0-9]|MT-|AMT-|ack-|handshak
 // tagInfo classifies a canonical tag constant.
 type tagInfo struct {
 	parity string // "odd" or "even"
-	family string // "S" (signature) or "A" (ack)
+	family string // chain family: "S" (signature), "A" (ack), …
 }
 
-var canonicalTags = map[string]tagInfo{
-	"TagS1": {"odd", "S"},
-	"TagS2": {"even", "S"},
-	"TagA1": {"odd", "A"},
-	"TagA2": {"even", "A"},
+// tagName is the shape of a canonical tag constant as exported by
+// internal/hashchain: Tag + family + chain index. The vocabulary itself is
+// read from the type-checked hashchain package scope (see classifyTag), not
+// re-spelled here, so renaming or adding a tag constant is picked up
+// without touching the analyzer.
+var tagName = regexp.MustCompile(`^Tag([A-Za-z]+?)([0-9]+)$`)
+
+// classifyTag classifies a package-level hashchain object whose name has
+// the canonical tag shape; parity follows the chain index (odd indices are
+// authentication elements, even indices MAC keys — paper §3.2.1).
+func classifyTag(obj types.Object) *tagInfo {
+	if obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return nil // not package-level: locals can shadow tag names freely
+	}
+	switch obj.(type) {
+	case *types.Var, *types.Const:
+	default:
+		return nil // a TagX1-shaped func or type is not a tag value
+	}
+	m := tagName.FindStringSubmatch(obj.Name())
+	if m == nil {
+		return nil
+	}
+	idx := m[2]
+	parity := "even"
+	if (idx[len(idx)-1]-'0')%2 == 1 {
+		parity = "odd"
+	}
+	return &tagInfo{parity: parity, family: m[1]}
+}
+
+// canonicalNames lists the canonical tag constants visible in the hashchain
+// package as imported by this pass, for diagnostics. Empty when the package
+// is not in the import graph of the file under analysis.
+func canonicalNames(pass *vet.Pass) []string {
+	var hc *types.Package
+	if strings.HasSuffix(pass.Path, hashchainPkg) {
+		hc = pass.Types
+	} else if pass.Types != nil {
+		for _, imp := range pass.Types.Imports() {
+			if strings.HasSuffix(imp.Path(), hashchainPkg) {
+				hc = imp
+				break
+			}
+		}
+	}
+	if hc == nil {
+		return nil
+	}
+	var names []string
+	for _, name := range hc.Scope().Names() {
+		if obj := hc.Scope().Lookup(name); obj != nil && classifyTag(obj) != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 func run(pass *vet.Pass) error {
@@ -66,6 +119,7 @@ func run(pass *vet.Pass) error {
 			inCanonical = true
 		}
 	}
+	canon := canonicalNames(pass)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -81,7 +135,7 @@ func run(pass *vet.Pass) error {
 						checkLiteral(pass, n)
 					}
 				case *ast.CallExpr:
-					checkTagArgs(pass, n)
+					checkTagArgs(pass, n, canon)
 				}
 				return true
 			})
@@ -110,7 +164,9 @@ func checkLiteral(pass *vet.Pass, lit *ast.BasicLit) {
 
 // checkTagArgs validates arguments bound to tagOdd/tagEven parameters of
 // module functions (and function-typed locals, e.g. builder closures).
-func checkTagArgs(pass *vet.Pass, call *ast.CallExpr) {
+// canon is the canonical tag vocabulary read from the imported hashchain
+// package, used only to word the diagnostic.
+func checkTagArgs(pass *vet.Pass, call *ast.CallExpr, canon []string) {
 	sig := calleeSignature(pass, call)
 	if sig == nil {
 		return
@@ -137,9 +193,13 @@ func checkTagArgs(pass *vet.Pass, call *ast.CallExpr) {
 		}
 		info := canonicalTag(pass, arg)
 		if info == nil {
+			vocab := "a canonical hashchain tag constant"
+			if len(canon) > 0 {
+				vocab += " (" + strings.Join(canon, "/") + ")"
+			}
 			pass.Reportf(arg.Pos(),
-				"argument to %s must be a canonical hashchain tag constant (TagS1/TagS2/TagA1/TagA2) or tag plumbing named tagOdd/tagEven",
-				pname)
+				"argument to %s must be %s or tag plumbing named tagOdd/tagEven",
+				pname, vocab)
 			continue
 		}
 		if info.parity != wantParity {
@@ -184,7 +244,9 @@ func exprName(arg ast.Expr) string {
 }
 
 // canonicalTag returns the tag classification if arg resolves to one of the
-// canonical hashchain tag constants, else nil.
+// canonical hashchain tag constants, else nil. The vocabulary is whatever
+// package-level Tag<Family><Index> objects the type-checked hashchain
+// package actually exports — there is no list to keep in sync.
 func canonicalTag(pass *vet.Pass, arg ast.Expr) *tagInfo {
 	var obj types.Object
 	switch e := ast.Unparen(arg).(type) {
@@ -198,10 +260,7 @@ func canonicalTag(pass *vet.Pass, arg ast.Expr) *tagInfo {
 	if obj == nil || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), hashchainPkg) {
 		return nil
 	}
-	if info, ok := canonicalTags[obj.Name()]; ok {
-		return &info
-	}
-	return nil
+	return classifyTag(obj)
 }
 
 // calleeSignature resolves the called function's signature for module

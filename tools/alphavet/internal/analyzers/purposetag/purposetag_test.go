@@ -10,3 +10,11 @@ import (
 func TestPurposetag(t *testing.T) {
 	vettest.Run(t, "testdata/purposetag", purposetag.Analyzer)
 }
+
+// TestPurposetagRenamed runs the analyzer against a fixture whose hashchain
+// stub renames every tag constant (TagSig1/TagAck1 …): the canonical
+// vocabulary must be read from the package scope, not a re-spelled list, so
+// the renamed constants are accepted and the diagnostics name them.
+func TestPurposetagRenamed(t *testing.T) {
+	vettest.Run(t, "testdata/purposetag-renamed", purposetag.Analyzer)
+}

@@ -1,0 +1,28 @@
+// Fixture proving the purposetag analyzer reads the canonical tag
+// vocabulary from the hashchain package scope: every constant here is
+// renamed relative to the real module, and the analyzer must (a) accept
+// the renamed constants, (b) classify their parity and family from the
+// name shape, and (c) word its vocabulary diagnostic with the renamed set.
+package a
+
+import "alpha/internal/hashchain"
+
+func renamedNegatives(secret []byte) {
+	// The renamed constants are recognized without any analyzer change.
+	_, _ = hashchain.New(hashchain.TagSig1, hashchain.TagSig2, secret, 8)
+	_, _ = hashchain.New(hashchain.TagAck1, hashchain.TagAck2, secret, 8)
+	_ = hashchain.VerifyLink(hashchain.TagAck1, hashchain.TagAck2, secret, secret, 3)
+}
+
+func renamedPositives(secret []byte) {
+	bogus := secret
+	// The suggested vocabulary is the renamed set, read from the package.
+	_, _ = hashchain.New(bogus, hashchain.TagSig2, secret, 8) // want `argument to tagOdd must be a canonical hashchain tag constant \(TagAck1/TagAck2/TagSig1/TagSig2\)`
+
+	// Parity classification follows the trailing chain index of the
+	// renamed constants.
+	_, _ = hashchain.New(hashchain.TagSig2, hashchain.TagSig1, secret, 8) // want `tagOdd got an even-parity tag` `tagEven got an odd-parity tag`
+
+	// Family classification follows the renamed family word.
+	_, _ = hashchain.New(hashchain.TagSig1, hashchain.TagAck2, secret, 8) // want `mixed tag families: tagOdd is Sig-chain but tagEven is Ack-chain`
+}

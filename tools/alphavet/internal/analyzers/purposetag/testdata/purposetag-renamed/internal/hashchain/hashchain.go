@@ -1,0 +1,33 @@
+// Stub of alpha/internal/hashchain with a RENAMED tag vocabulary
+// (TagSig1/TagAck1 instead of TagS1/TagA1): the analyzer must classify
+// these from the package scope alone, with no hard-coded name list.
+package hashchain
+
+var (
+	TagSig1 = []byte("ALPHA-S1")
+	TagSig2 = []byte("ALPHA-S2")
+	TagAck1 = []byte("ALPHA-A1")
+	TagAck2 = []byte("ALPHA-A2")
+)
+
+// notATag is package-level but not tag-shaped; it must not enter the
+// canonical vocabulary.
+var notATag = []byte("ALPHA-handshake-v3")
+
+type Owner struct{}
+
+func New(tagOdd, tagEven, secret []byte, n int) (*Owner, error) {
+	return &Owner{}, nil
+}
+
+func VerifyLink(tagOdd, tagEven, parent, child []byte, j uint32) bool {
+	return tagFor(tagOdd, tagEven, j) != nil
+}
+
+func tagFor(tagOdd, tagEven []byte, j uint32) []byte {
+	_ = notATag
+	if j%2 == 1 {
+		return tagOdd
+	}
+	return tagEven
+}
