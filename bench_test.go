@@ -15,6 +15,7 @@ import (
 	"alpha/internal/core"
 	"alpha/internal/hashchain"
 	"alpha/internal/merkle"
+	"alpha/internal/obs"
 	"alpha/internal/packet"
 	"alpha/internal/relay"
 	"alpha/internal/suite"
@@ -414,6 +415,90 @@ func BenchmarkWMNRelayThroughput(b *testing.B) {
 				s2s, _ := a.Poll(now)
 				b.StartTimer()
 				// Timed region: relay verification of the S2 stream.
+				for _, raw := range s2s {
+					if d := r.Process(now, raw); d.Verdict != relay.Forward {
+						b.Fatalf("relay dropped S2: %v", d.Reason)
+					}
+					verified++
+				}
+				b.StopTimer()
+				for _, raw := range s2s {
+					bb.Handle(now, raw)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkRelaySpans measures the relay verification path with hop-by-hop
+// exchange tracing off and on — the pair BENCH_obs.json records to hold the
+// span emit path to its <=3% throughput budget. Same replay harness as
+// BenchmarkWMNRelayThroughput, ALPHA-C only (the mode with the hottest
+// per-packet relay work).
+func BenchmarkRelaySpans(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		ring *obs.SpanRing
+	}{
+		{"tracing=off", nil},
+		{"tracing=on", obs.NewSpanRing(8192)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			const batch = 20
+			const payloadSize = 1024
+			cfg := core.Config{Mode: packet.ModeC, ChainLen: 2 * (b.N/batch + 8), BatchSize: batch, FlushDelay: -1}
+			r := relay.New(relay.Config{Spans: tc.ring})
+			payload := bytes.Repeat([]byte{0x77}, payloadSize)
+			a, err := core.NewEndpoint(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bb, err := core.NewEndpoint(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			now := time.Now()
+			through := func(dst *core.Endpoint, raw []byte) {
+				if d := r.Process(now, raw); d.Verdict != relay.Forward {
+					b.Fatalf("relay dropped: %v", d.Reason)
+				}
+				dst.Handle(now, raw)
+			}
+			hs1, err := a.StartHandshake(now)
+			if err != nil {
+				b.Fatal(err)
+			}
+			through(bb, hs1)
+			out, _ := bb.Poll(now)
+			for _, raw := range out {
+				through(a, raw)
+			}
+			if !a.Established() {
+				b.Fatal("bench handshake failed")
+			}
+			b.SetBytes(payloadSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			verified := 0
+			for verified < b.N {
+				b.StopTimer()
+				for i := 0; i < batch; i++ {
+					if _, err := a.Send(now, payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+				a.Flush(now)
+				s1, _ := a.Poll(now)
+				for _, raw := range s1 {
+					through(bb, raw)
+				}
+				a1, _ := bb.Poll(now)
+				for _, raw := range a1 {
+					through(a, raw)
+				}
+				s2s, _ := a.Poll(now)
+				b.StartTimer()
 				for _, raw := range s2s {
 					if d := r.Process(now, raw); d.Verdict != relay.Forward {
 						b.Fatalf("relay dropped S2: %v", d.Reason)

@@ -23,6 +23,7 @@ import (
 
 	"alpha/internal/adaptive"
 	"alpha/internal/core"
+	"alpha/internal/obs"
 	"alpha/internal/packet"
 	"alpha/internal/relay"
 	"alpha/internal/suite"
@@ -40,13 +41,16 @@ const maxTraceSize = 1 << 20
 
 // validateFlags fail-fasts on out-of-range numeric flags before any socket
 // is opened, reporting every problem at once with the offending flag name.
-func validateFlags(batch, traceLen, ioBatch, reuse, count int, chainLow float64, wait time.Duration) error {
+func validateFlags(batch, traceLen, ioBatch, reuse, count, flightLen int, chainLow float64, wait time.Duration) error {
 	var errs []string
 	if batch < 1 || batch > packet.MaxMACs {
 		errs = append(errs, fmt.Sprintf("-batch %d out of range [1, %d]", batch, packet.MaxMACs))
 	}
 	if traceLen < 1 || traceLen > maxTraceSize {
 		errs = append(errs, fmt.Sprintf("-trace-size %d out of range [1, %d]", traceLen, maxTraceSize))
+	}
+	if flightLen < 1 || flightLen > maxTraceSize {
+		errs = append(errs, fmt.Sprintf("-flight-size %d out of range [1, %d]", flightLen, maxTraceSize))
 	}
 	if ioBatch < 0 || ioBatch > maxIOBatch {
 		errs = append(errs, fmt.Sprintf("-io-batch %d out of range [0, %d] (0 = default)", ioBatch, maxIOBatch))
@@ -97,9 +101,11 @@ func main() {
 		adaptOn   = flag.Bool("adaptive", false, "run the closed-loop mode/batch controller on each association (overrides -mode/-batch at runtime)")
 		chainLow  = flag.Float64("chain-low", 0, "chain fraction below which ChainLow/auto-rekey fires, in (0, 1) (0 = default)")
 		perAssoc  = flag.Bool("metrics-per-assoc", false, "serve role: export one labeled metric family per live association on /metrics")
+		flightLen = flag.Int("flight-size", obs.DefaultSpanRingSize, "per-association flight-recorder ring size in spans (served on /flight)")
+		otlpEP    = flag.String("otlp-endpoint", "", "push metrics and anomaly spans to this OTLP/HTTP collector base URL (requires a build with -tags alpha_otlp)")
 	)
 	flag.Parse()
-	if err := validateFlags(*batch, *traceLen, *ioBatch, *reuse, *count, *chainLow, *wait); err != nil {
+	if err := validateFlags(*batch, *traceLen, *ioBatch, *reuse, *count, *flightLen, *chainLow, *wait); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -118,6 +124,14 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *modeStr))
 	}
 	tracer := telemetry.NewTracer(*traceLen)
+
+	// The flight recorder hands each association a span ring and freezes
+	// recent history on anomalies (verify failures, offload downgrades,
+	// adaptive flaps, chain exhaustion warnings). Single-association roles
+	// emit into the shared ring; the serve role resolves one ring per
+	// accepted association.
+	rec := obs.NewRecorder(*flightLen)
+
 	cfg := core.Config{
 		Suite:            suite.SHA1(),
 		Mode:             mode,
@@ -126,25 +140,54 @@ func main() {
 		ChainLen:         4096,
 		ChainLowFraction: *chainLow,
 		Tracer:           tracer,
+		Spans:            rec.Shared(),
 	}
 
 	// One process-wide controller metric group: counters aggregate across
 	// associations; the target gauges reflect the most recent decision.
 	ctrlMet := &telemetry.ControllerMetrics{}
-	adaptCfg := adaptive.Config{Metrics: ctrlMet, Tracer: tracer}
+	adaptCfg := adaptive.Config{Metrics: ctrlMet, Tracer: tracer,
+		OnFlap: func(assoc uint64) { rec.Trigger(assoc, obs.CauseAdaptiveFlap) }}
 
 	// Every role registers its metric groups on one exporter; -metrics-addr
 	// serves them live, and the exit path prints a final snapshot.
 	exp := telemetry.NewExporter()
 	exp.SetTracer(tracer)
+	obs.RegisterRuntime(exp)
 	if *adaptOn {
 		exp.Register("alpha_adaptive", ctrlMet)
 	}
 	if *metrics != "" {
 		ln, err := net.Listen("tcp", *metrics)
 		fatalIf(err)
-		fmt.Printf("metrics on http://%s/metrics, traces on http://%s/trace\n", ln.Addr(), ln.Addr())
-		go func() { _ = http.Serve(ln, exp.Handler()) }()
+		fmt.Printf("metrics on http://%s/metrics, traces on http://%s/trace, flight dumps on http://%s/flight\n", ln.Addr(), ln.Addr(), ln.Addr())
+		go func() { _ = http.Serve(ln, obs.Handler(exp, rec)) }()
+	}
+	if *otlpEP != "" {
+		if !obs.OTLPEnabled {
+			fmt.Fprintln(os.Stderr, "warning: -otlp-endpoint ignored: this binary was built without -tags alpha_otlp")
+		} else {
+			otlp := obs.NewOTLPExporter(*otlpEP)
+			fmt.Printf("pushing OTLP metrics and anomaly spans to %s\n", *otlpEP)
+			go func() {
+				tick := time.NewTicker(5 * time.Second)
+				defer tick.Stop()
+				pushed := 0
+				for range tick.C {
+					if err := otlp.PushMetrics(exp, time.Now().UnixNano()); err != nil {
+						fmt.Fprintf(os.Stderr, "otlp: %v\n", err)
+					}
+					// Anomaly dumps export once each, as trace batches.
+					dumps := rec.Dumps()
+					for ; pushed < len(dumps); pushed++ {
+						if err := otlp.PushSpans(dumps[pushed].Spans); err != nil {
+							fmt.Fprintf(os.Stderr, "otlp: %v\n", err)
+							break
+						}
+					}
+				}
+			}()
+		}
 	}
 	dumpTelemetry := func() {
 		fmt.Println("\ntelemetry snapshot:")
@@ -159,6 +202,7 @@ func main() {
 	warnOffload := func(st udpio.OffloadStatus) {
 		if w := ioOpts.DowngradeWarning(st); w != "" {
 			fmt.Fprintln(os.Stderr, "warning: "+w)
+			rec.Trigger(0, obs.CauseOffloadDowngrade)
 		}
 	}
 
@@ -207,6 +251,7 @@ func main() {
 			srv = udptransport.NewServerOpts(cfg, ioOpts, pc)
 		}
 		defer srv.Close()
+		srv.SetFlightRecorder(rec)
 		warnOffload(srv.OffloadStatus())
 		exp.Register("alpha_transport", srv.Telemetry())
 		// Endpoint metrics aggregate across sessions at scrape time.
@@ -341,7 +386,7 @@ func main() {
 		fatalIf(err)
 		b, err := net.ResolveUDPAddr("udp", *bAddr)
 		fatalIf(err)
-		r := udptransport.NewRelayOpts(pc, a, b, relay.Config{Tracer: tracer}, ioOpts)
+		r := udptransport.NewRelayOpts(pc, a, b, relay.Config{Tracer: tracer, Spans: rec.Shared()}, ioOpts)
 		warnOffload(r.OffloadStatus())
 		exp.Register("alpha_relay", r.Telemetry())
 		exp.Register("alpha_relay_transport", r.TransportTelemetry())

@@ -23,6 +23,7 @@ import (
 	"alpha/internal/attack"
 	"alpha/internal/core"
 	"alpha/internal/netsim"
+	"alpha/internal/obs"
 	"alpha/internal/packet"
 	"alpha/internal/relay"
 	"alpha/internal/stats"
@@ -54,6 +55,8 @@ func main() {
 		lossShift = flag.Duration("loss-shift", 0, "shifting-loss scenario (line topology): hops run clean for this long, take -loss for an equal phase, then recover")
 		gso       = flag.Bool("gso", false, "project the simulated traffic onto the UDP GSO/GRO I/O engine (syscalls and kernel traversals per burst; the simulator itself has no sockets)")
 		zerocopy  = flag.Bool("zerocopy", false, "include the MSG_ZEROCOPY send path in the I/O engine projection")
+		flightLen = flag.Int("flight-size", 8192, "per-hop span ring size for the exchange-timeline report (0 disables span capture)")
+		otlpEP    = flag.String("otlp-endpoint", "", "push the final metrics snapshot and captured spans to this OTLP/HTTP collector (requires a build with -tags alpha_otlp)")
 	)
 	flag.Parse()
 	if *lossShift > 0 && *topo != "line" {
@@ -106,10 +109,20 @@ func main() {
 		cfg.ChainLen = 8 * max(64, *msgs)
 	}
 
+	// One span ring per hop: exchange timelines reconstruct from these at
+	// exit, correlated by the shared hash-chain element (no wire change).
+	var ringS, ringV *obs.SpanRing
+	if *flightLen > 0 {
+		ringS = obs.NewSpanRing(*flightLen)
+		ringV = obs.NewSpanRing(*flightLen)
+	}
+
 	net := netsim.New(*seed)
-	epS, err := core.NewEndpoint(cfg)
+	cfgS, cfgV := cfg, cfg
+	cfgS.Spans, cfgV.Spans = ringS, ringV
+	epS, err := core.NewEndpoint(cfgS)
 	check(err)
-	epV, err := core.NewEndpoint(cfg)
+	epV, err := core.NewEndpoint(cfgV)
 	check(err)
 	s := netsim.NewEndpointNode(net, "signer", "verifier", epS)
 	v := netsim.NewEndpointNode(net, "verifier", "signer", epV)
@@ -121,12 +134,18 @@ func main() {
 	link := netsim.LinkConfig{Latency: *latency, Jitter: *jitter, Loss: linkLoss, Bandwidth: *bw}
 	var lineNames []string
 	var relays []*netsim.RelayNode
+	var relayRings []*obs.SpanRing
 	addRelay := func(name string, tamper bool) {
 		if tamper {
 			attack.NewTamperNode(net, name, []byte("tampered payload"))
 			return
 		}
-		relays = append(relays, netsim.NewRelayNode(net, name, relay.Config{}))
+		var ring *obs.SpanRing
+		if *flightLen > 0 {
+			ring = obs.NewSpanRing(*flightLen)
+		}
+		relayRings = append(relayRings, ring)
+		relays = append(relays, netsim.NewRelayNode(net, name, relay.Config{Spans: ring}))
 	}
 	switch *topo {
 	case "line":
@@ -326,6 +345,69 @@ func main() {
 	}
 	fmt.Println("\nTelemetry snapshot")
 	check(exp.WriteText(os.Stdout))
+
+	// Observability report: correlate the per-hop span rings into exchange
+	// timelines, then hold the final metric state to the invariant catalog
+	// (benign runs only — attacks are supposed to violate I2).
+	var allSpans []obs.Span
+	if *flightLen > 0 {
+		spanHops := []obs.HopSpans{{Hop: "signer", Spans: ringS.Snapshot()}}
+		for i, rn := range relays {
+			spanHops = append(spanHops, obs.HopSpans{Hop: rn.Name, Spans: relayRings[i].Snapshot()})
+		}
+		vSpans := ringV.Snapshot()
+		spanHops = append(spanHops, obs.HopSpans{Hop: "verifier", Spans: vSpans})
+		for _, h := range spanHops {
+			allSpans = append(allSpans, h.Spans...)
+		}
+		timelines := obs.Reconstruct(spanHops)
+		complete := 0
+		for _, entries := range timelines {
+			sent, deliver := false, false
+			for _, e := range entries {
+				if e.Hop == "signer" && e.Span.Verdict == obs.VerdictSent {
+					sent = true
+				}
+				if e.Hop == "verifier" && e.Span.Verdict == obs.VerdictDeliver {
+					deliver = true
+				}
+			}
+			if sent && deliver {
+				complete++
+			}
+		}
+		ot := &stats.Table{Title: "Observability", Headers: []string{"Metric", "Value"}}
+		ot.Add("spans captured", len(allSpans))
+		ot.Add("exchange timelines", len(timelines))
+		ot.Add("timelines spanning signer to verifier", complete)
+		fmt.Println()
+		fmt.Print(ot)
+	}
+	if *attackK == "none" {
+		snap, _, err := obs.Collect(exp)
+		check(err)
+		stS, stV := epS.Stats(), epV.Stats()
+		offered := stS.SentS1 + stS.SentS2 + stS.Retransmits + stV.SentS1 + stV.SentS2 + 400
+		inv := obs.Invariants{Benign: true, Offered: offered, Loss: *loss, Hops: *hops}
+		if viol := inv.Check(snap); len(viol) > 0 {
+			fmt.Fprintln(os.Stderr, "\ntelemetry invariant violations:")
+			for _, v := range viol {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("\ntelemetry invariants: I1-I4 hold")
+	}
+	if *otlpEP != "" {
+		if !obs.OTLPEnabled {
+			fmt.Fprintln(os.Stderr, "warning: -otlp-endpoint ignored: this binary was built without -tags alpha_otlp")
+		} else {
+			otlp := obs.NewOTLPExporter(*otlpEP)
+			check(otlp.PushMetrics(exp, time.Now().UnixNano()))
+			check(otlp.PushSpans(allSpans))
+			fmt.Printf("pushed final snapshot and %d spans to %s\n", len(allSpans), *otlpEP)
+		}
+	}
 }
 
 func check(err error) {

@@ -87,6 +87,10 @@ type Config struct {
 	Assoc   uint64
 	Metrics *telemetry.ControllerMetrics
 	Tracer  *telemetry.Tracer
+	// OnFlap, if set, fires when a transition reverses the previous one
+	// within FlapWindow — the hook flight recorders use to freeze the
+	// association's span history around the oscillation.
+	OnFlap func(assoc uint64)
 }
 
 // withDefaults fills zero fields.
@@ -405,6 +409,9 @@ func (c *Controller) apply(now time.Time, mode packet.Mode, batch int, reason Re
 		if flap {
 			m.Flaps.Inc()
 		}
+	}
+	if flap && c.cfg.OnFlap != nil {
+		c.cfg.OnFlap(c.cfg.Assoc)
 	}
 	c.cfg.Tracer.Trace(now.UnixNano(), telemetry.TraceAdaptiveDecision,
 		c.cfg.Assoc, c.decisions, uint32(mode)<<16|uint32(batch))

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"alpha/internal/obs"
 	"alpha/internal/packet"
 	"alpha/internal/suite"
 	"alpha/internal/telemetry"
@@ -119,6 +120,11 @@ type Config struct {
 	// reasons). Tracing is lock-free and allocation-free; a nil Tracer
 	// costs one predictable branch per event.
 	Tracer *telemetry.Tracer
+	// Spans, if set, receives hop-by-hop exchange spans (internal/obs):
+	// one fixed-size record per protocol step this endpoint takes, keyed
+	// for cross-hop correlation by the exchange's hash-chain element. Like
+	// the tracer it is lock-free and allocation-free, and nil is free.
+	Spans *obs.SpanRing
 }
 
 // withDefaults returns a copy of c with zero fields defaulted.

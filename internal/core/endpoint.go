@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"alpha/internal/hashchain"
+	"alpha/internal/obs"
 	"alpha/internal/packet"
 	"alpha/internal/suite"
 	"alpha/internal/telemetry"
@@ -83,6 +84,16 @@ type Endpoint struct {
 	tel    telemetry.EndpointMetrics
 	tracer *telemetry.Tracer
 	tnow   int64
+
+	// Hop-by-hop span state: spans is the optional ring from Config;
+	// spanKey/spanStep/spanRole are per-packet scratch set at dispatch so
+	// the central drop path can attribute a discard to the exchange and
+	// step it belonged to (spanKey stays 0 until a chain element of the
+	// current packet's exchange has been seen).
+	spans    *obs.SpanRing
+	spanKey  uint32
+	spanStep uint8
+	spanRole uint8
 }
 
 // Stats counts endpoint activity, exported for experiments and examples.
@@ -140,6 +151,12 @@ func (e *Endpoint) Stats() Stats {
 // keeps counting as the endpoint runs.
 func (e *Endpoint) Telemetry() *telemetry.EndpointMetrics { return &e.tel }
 
+// SetSpans installs (or replaces) the hop-by-hop span ring. Transports use
+// this to rebind an endpoint to its association's flight-recorder ring once
+// the association ID is known. Must be called from the endpoint's owning
+// goroutine.
+func (e *Endpoint) SetSpans(r *obs.SpanRing) { e.spans = r }
+
 // NewEndpoint creates an endpoint with fresh hash chains. The endpoint
 // becomes usable after a handshake: initiators call StartHandshake and feed
 // the HS2 response to Handle; responders simply Handle the incoming HS1.
@@ -155,6 +172,7 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 		tx:      make(map[uint32]*txExchange),
 		rx:      make(map[uint32]*rxExchange),
 		tracer:  cfg.Tracer,
+		spans:   cfg.Spans,
 	}
 	e.tel.Init()
 	e.tel.Mode.Set(int64(cfg.Mode))
@@ -290,6 +308,7 @@ func (e *Endpoint) Handle(now time.Time, datagram []byte) ([]Event, error) {
 // handleRaw decodes and dispatches one packet; allowBundle guards against
 // nested bundles (the codec rejects them too, belt and braces).
 func (e *Endpoint) handleRaw(now time.Time, datagram []byte, allowBundle bool) []Event {
+	e.spanStep, e.spanRole, e.spanKey = 0, 0, 0
 	hdr, msg, err := packet.Decode(datagram)
 	if err != nil {
 		return e.drop(0, fmt.Errorf("undecodable packet: %w", err))
@@ -308,18 +327,32 @@ func (e *Endpoint) handleRaw(now time.Time, datagram []byte, allowBundle bool) [
 		}
 		return evs
 	case *packet.Handshake:
+		e.noteSpanStep(obs.StepHS, 0)
 		return e.handleHandshake(now, hdr, m)
 	case *packet.S1:
+		e.noteSpanStep(obs.StepS1, obs.RoleReceiver)
 		return e.handleDataPacket(now, hdr, func() []Event { return e.handleS1(now, hdr, m) })
 	case *packet.A1:
+		e.noteSpanStep(obs.StepA1, obs.RoleSender)
 		return e.handleDataPacket(now, hdr, func() []Event { return e.handleA1(now, hdr, m) })
 	case *packet.S2:
+		e.noteSpanStep(obs.StepS2, obs.RoleReceiver)
 		return e.handleDataPacket(now, hdr, func() []Event { return e.handleS2(now, hdr, m) })
 	case *packet.A2:
+		e.noteSpanStep(obs.StepA2, obs.RoleSender)
 		return e.handleDataPacket(now, hdr, func() []Event { return e.handleA2(now, hdr, m) })
 	default:
 		return e.drop(hdr.Seq, packet.ErrBadType)
 	}
+}
+
+// noteSpanStep records which protocol step (and which of the endpoint's two
+// halves) the packet being dispatched belongs to, so a drop span names the
+// step it interrupted. The correlation key resets until the exchange is
+// identified. A role of 0 means "whichever half"; the drop path substitutes
+// the receiver role, which is where unattributable packets die.
+func (e *Endpoint) noteSpanStep(step, role uint8) {
+	e.spanStep, e.spanRole, e.spanKey = step, role, 0
 }
 
 // handleDataPacket performs the checks common to S1/A1/S2/A2 before
@@ -376,8 +409,15 @@ func reasonCode(err error) uint32 {
 
 // drop records a dropped packet and returns the corresponding event slice.
 func (e *Endpoint) drop(seq uint32, reason error) []Event {
-	e.tel.Dropped.Inc()
-	e.tracer.Trace(e.tnow, telemetry.TraceDrop, e.assoc, seq, reasonCode(reason))
+	code := reasonCode(reason)
+	e.tel.NoteDrop(code)
+	e.tracer.Trace(e.tnow, telemetry.TraceDrop, e.assoc, seq, code)
+	role := e.spanRole
+	if role == 0 {
+		role = obs.RoleReceiver
+	}
+	e.spans.Emit(e.tnow, e.assoc, e.spanKey, seq, role, e.spanStep, uint8(e.cfg.Mode), obs.VerdictDrop, code)
+	e.spanStep, e.spanRole, e.spanKey = 0, 0, 0
 	ev := Event{Kind: EventDropped, Seq: seq, Err: reason}
 	e.events = append(e.events, ev)
 	evs := e.events

@@ -9,6 +9,7 @@ import (
 
 	"alpha/internal/hashchain"
 	"alpha/internal/merkle"
+	"alpha/internal/obs"
 	"alpha/internal/packet"
 	"alpha/internal/suite"
 	"alpha/internal/telemetry"
@@ -95,6 +96,7 @@ func (e *Endpoint) handleS1(now time.Time, hdr packet.Header, s1 *packet.S1) []E
 	if err := e.verifyPeerSig(s1.Auth, s1.AuthIdx); err != nil {
 		return e.drop(hdr.Seq, fmt.Errorf("%w: %v", ErrBadAuthElement, err))
 	}
+	e.spanKey = obs.Key(s1.Auth)
 	e.tracer.Trace(e.tnow, telemetry.TraceS1Recv, e.assoc, hdr.Seq, 0)
 	reliable := hdr.Flags&packet.FlagReliable != 0
 	rx := &rxExchange{
@@ -177,6 +179,8 @@ func (e *Endpoint) handleS1(now time.Time, hdr packet.Header, s1 *packet.S1) []E
 	e.outbox = append(e.outbox, raw)
 	e.tel.BytesSent.Add(uint64(len(raw)))
 	e.tel.SentA1.Inc()
+	e.spans.Emit(e.tnow, e.assoc, obs.Key(rx.auth), hdr.Seq, obs.RoleReceiver, obs.StepS1, uint8(rx.mode), obs.VerdictRecv, uint32(batch))
+	e.spans.Emit(e.tnow, e.assoc, obs.Key(rx.auth), hdr.Seq, obs.RoleReceiver, obs.StepA1, uint8(rx.mode), obs.VerdictSent, 0)
 	return e.takeEvents()
 }
 
@@ -200,6 +204,7 @@ func (e *Endpoint) handleS2(now time.Time, hdr packet.Header, s2 *packet.S2) []E
 	if !ok {
 		return e.drop(hdr.Seq, ErrUnsolicited)
 	}
+	e.spanKey = obs.Key(rx.auth)
 	if s2.Mode != rx.mode || s2.KeyIdx != rx.keyIdx {
 		return e.drop(hdr.Seq, ErrUnsolicited)
 	}
@@ -262,6 +267,7 @@ func (e *Endpoint) handleS2(now time.Time, hdr packet.Header, s2 *packet.S2) []E
 	e.tel.PayloadBytes.Add(uint64(len(s2.Payload)))
 	e.tel.PayloadSize.Observe(int64(len(s2.Payload)))
 	e.tracer.Trace(e.tnow, telemetry.TraceS2Verified, e.assoc, hdr.Seq, s2.MsgIndex)
+	e.spans.Emit(e.tnow, e.assoc, obs.Key(rx.auth), hdr.Seq, obs.RoleReceiver, obs.StepS2, uint8(rx.mode), obs.VerdictDeliver, s2.MsgIndex)
 	e.emit(Event{Kind: EventDelivered, Seq: hdr.Seq, MsgIndex: s2.MsgIndex, Payload: s2.Payload})
 	if rx.reliable {
 		e.sendA2(rx, idx, true)
@@ -283,16 +289,16 @@ func (e *Endpoint) verifyS2Payload(rx *rxExchange, hdr packet.Header, s2 *packet
 		return suite.Equal(want, e.macOut)
 	case packet.ModeM:
 		if int(s2.LeafCount) != rx.leafCount {
-			return false
+			return false //alpha:drop-ok verdict helper: handleS2 counts the drop on false
 		}
 		return merkle.Verify(e.suite, s2.Key, rx.root, MerkleLeafInput(s2.Payload), int(s2.MsgIndex), rx.leafCount, s2.Proof)
 	case packet.ModeCM:
 		if int(s2.LeafCount) != rx.leafCount {
-			return false
+			return false //alpha:drop-ok verdict helper: handleS2 counts the drop on false
 		}
 		root, leaf, leaves, ok := CMLocate(int(s2.MsgIndex), rx.leafCount, len(rx.roots))
 		if !ok || root >= len(rx.roots) {
-			return false
+			return false //alpha:drop-ok verdict helper: handleS2 counts the drop on false
 		}
 		return merkle.Verify(e.suite, s2.Key, rx.roots[root], MerkleLeafInput(s2.Payload), leaf, leaves, s2.Proof)
 	default:
@@ -312,6 +318,10 @@ func (e *Endpoint) sendA2(rx *rxExchange, idx int, ack bool) {
 	if rx.amt != nil {
 		o, err := rx.amt.Open(idx, ack)
 		if err != nil {
+			// An unopenable acknowledgment is an internal-state error, not
+			// hostile input, but it must not vanish silently: the peer will
+			// retransmit the S2 and land on the duplicate-delivery path.
+			e.noteAckFailure(rx, telemetry.ReasonBadAck)
 			return
 		}
 		a2.Mode = rx.mode
@@ -333,7 +343,20 @@ func (e *Endpoint) sendA2(rx *rxExchange, idx int, ack bool) {
 		a2.Mode = packet.ModeBase
 	}
 	if err := e.send(e.header(packet.TypeA2, rx.seq), a2); err != nil {
+		// Encoding failure: the ack this exchange owes never left. Counted
+		// for the same reason as above.
+		e.noteAckFailure(rx, telemetry.ReasonMalformed)
 		return
 	}
 	e.tel.SentA2.Inc()
+	e.spans.Emit(e.tnow, e.assoc, obs.Key(rx.auth), rx.seq, obs.RoleReceiver, obs.StepA2, uint8(rx.mode), obs.VerdictSent, uint32(idx))
+}
+
+// noteAckFailure accounts a failed A2 emission: previously a silent return,
+// now a reason-coded drop plus a trace line and a drop-verdict span, so the
+// I3/I4 conservation invariants see every discarded acknowledgment.
+func (e *Endpoint) noteAckFailure(rx *rxExchange, code uint32) {
+	e.tel.NoteDrop(code)
+	e.tracer.Trace(e.tnow, telemetry.TraceDrop, e.assoc, rx.seq, code)
+	e.spans.Emit(e.tnow, e.assoc, obs.Key(rx.auth), rx.seq, obs.RoleReceiver, obs.StepA2, uint8(rx.mode), obs.VerdictDrop, code)
 }

@@ -8,6 +8,7 @@ import (
 
 	"alpha/internal/hashchain"
 	"alpha/internal/merkle"
+	"alpha/internal/obs"
 	"alpha/internal/packet"
 	"alpha/internal/suite"
 	"alpha/internal/telemetry"
@@ -225,6 +226,7 @@ func (e *Endpoint) startExchange(now time.Time, batch []*outMsg) error {
 	e.tel.BytesSent.Add(uint64(len(raw)))
 	e.tel.SentS1.Inc()
 	e.tracer.Trace(e.tnow, telemetry.TraceS1Sent, e.assoc, seq, uint32(len(batch)))
+	e.spans.Emit(e.tnow, e.assoc, obs.Key(pair.Auth), seq, obs.RoleSender, obs.StepS1, uint8(x.mode), obs.VerdictSent, uint32(len(batch)))
 	return nil
 }
 
@@ -237,6 +239,7 @@ func (e *Endpoint) handleA1(now time.Time, hdr packet.Header, a1 *packet.A1) []E
 	if !ok {
 		return e.drop(hdr.Seq, ErrUnsolicited)
 	}
+	e.spanKey = obs.Key(x.pair.Auth)
 	if x.state != txAwaitA1 {
 		// §3.2.2: after sending S2 the signer must discard pre-(n)acks
 		// arriving in further A1 packets to preserve the temporal
@@ -250,6 +253,7 @@ func (e *Endpoint) handleA1(now time.Time, hdr packet.Header, a1 *packet.A1) []E
 		return e.drop(hdr.Seq, fmt.Errorf("%w: %v", ErrBadAuthElement, err))
 	}
 	e.tracer.Trace(e.tnow, telemetry.TraceA1Recv, e.assoc, hdr.Seq, 0)
+	e.spans.Emit(e.tnow, e.assoc, obs.Key(x.pair.Auth), hdr.Seq, obs.RoleSender, obs.StepA1, uint8(x.mode), obs.VerdictRecv, 0)
 	if e.cfg.Reliable {
 		x.ackAuth = append([]byte(nil), a1.Auth...)
 		x.ackKeyIdx = a1.KeyIdx
@@ -311,6 +315,7 @@ func (e *Endpoint) sendS2s(now time.Time, x *txExchange) error {
 		e.tel.SentS2.Inc()
 	}
 	e.tracer.Trace(e.tnow, telemetry.TraceS2Sent, e.assoc, x.seq, uint32(len(x.msgs)))
+	e.spans.Emit(e.tnow, e.assoc, obs.Key(x.pair.Auth), x.seq, obs.RoleSender, obs.StepS2, uint8(x.mode), obs.VerdictSent, uint32(len(x.msgs)))
 	if e.cfg.Reliable {
 		x.state = txAwaitA2
 		x.retries = 0
@@ -341,6 +346,7 @@ func (e *Endpoint) handleA2(now time.Time, hdr packet.Header, a2 *packet.A2) []E
 	if !ok || x.state != txAwaitA2 {
 		return e.drop(hdr.Seq, ErrUnsolicited)
 	}
+	e.spanKey = obs.Key(x.pair.Auth)
 	if int(a2.MsgIndex) >= len(x.msgs) {
 		return e.drop(hdr.Seq, fmt.Errorf("%w: message index out of range", ErrBadAck))
 	}
@@ -358,6 +364,7 @@ func (e *Endpoint) handleA2(now time.Time, hdr packet.Header, a2 *packet.A2) []E
 	if x.acked[a2.MsgIndex] {
 		return e.takeEvents() // duplicate A2
 	}
+	e.spans.Emit(e.tnow, e.assoc, obs.Key(x.pair.Auth), hdr.Seq, obs.RoleSender, obs.StepA2, uint8(x.mode), obs.VerdictRecv, a2.MsgIndex)
 	x.acked[a2.MsgIndex] = true
 	x.ackCount++
 	m := x.msgs[a2.MsgIndex]

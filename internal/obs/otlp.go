@@ -1,0 +1,288 @@
+//go:build alpha_otlp
+
+// OTLP/HTTP export bridge. Built only under the alpha_otlp tag so the
+// default build stays stdlib-only; the protobuf wire format is small
+// enough to hand-roll (varint-keyed length-delimited messages), which
+// keeps the tagged build dependency-free too.
+//
+// Wire shapes follow opentelemetry-proto v1:
+//
+//	ExportMetricsServiceRequest{ resource_metrics = 1 }
+//	ResourceMetrics{ resource = 1, scope_metrics = 2 }
+//	ScopeMetrics{ scope = 1, metrics = 2 }
+//	Metric{ name = 1, sum = 7, gauge = 5 }
+//	Sum{ data_points = 1, aggregation_temporality = 2, is_monotonic = 3 }
+//	Gauge{ data_points = 1 }
+//	NumberDataPoint{ time_unix_nano = 3, as_int = 6 (sfixed64), attributes = 7 }
+//
+//	ExportTraceServiceRequest{ resource_spans = 1 }
+//	ResourceSpans{ resource = 1, scope_spans = 2 }
+//	ScopeSpans{ scope = 1, spans = 2 }
+//	Span{ trace_id = 1, span_id = 2, name = 5, kind = 6,
+//	      start_time_unix_nano = 7, end_time_unix_nano = 8, attributes = 9 }
+//	KeyValue{ key = 1, value = 2 }  AnyValue{ string_value = 1, int_value = 3 }
+//	Resource{ attributes = 1 }  InstrumentationScope{ name = 1 }
+package obs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"alpha/internal/telemetry"
+)
+
+// OTLPEnabled reports whether this binary carries the OTLP bridge.
+const OTLPEnabled = true
+
+// OTLPExporter pushes telemetry walks as OTLP metrics and finished spans
+// as OTLP traces to an OTLP/HTTP collector endpoint.
+type OTLPExporter struct {
+	// Endpoint is the collector base URL, e.g. "http://localhost:4318".
+	// The standard /v1/metrics and /v1/traces paths are appended.
+	Endpoint string
+	// Service names the OTLP resource (service.name); defaults to "alpha".
+	Service string
+	// Client defaults to a 5-second-timeout http.Client.
+	Client *http.Client
+}
+
+// NewOTLPExporter creates an exporter for the given collector base URL.
+func NewOTLPExporter(endpoint string) *OTLPExporter {
+	return &OTLPExporter{Endpoint: endpoint}
+}
+
+func (o *OTLPExporter) client() *http.Client {
+	if o.Client != nil {
+		return o.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+func (o *OTLPExporter) service() string {
+	if o.Service != "" {
+		return o.Service
+	}
+	return "alpha"
+}
+
+// protobuf primitives ------------------------------------------------------
+
+func pbKey(b []byte, field int, wire int) []byte {
+	return binary.AppendUvarint(b, uint64(field)<<3|uint64(wire))
+}
+
+func pbBytes(b []byte, field int, v []byte) []byte {
+	b = pbKey(b, field, 2)
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	return append(b, v...)
+}
+
+func pbString(b []byte, field int, v string) []byte {
+	b = pbKey(b, field, 2)
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	return append(b, v...)
+}
+
+func pbVarint(b []byte, field int, v uint64) []byte {
+	b = pbKey(b, field, 0)
+	return binary.AppendUvarint(b, v)
+}
+
+func pbFixed64(b []byte, field int, v uint64) []byte {
+	b = pbKey(b, field, 1)
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// pbKV encodes a KeyValue with a string AnyValue.
+func pbKV(b []byte, field int, key, val string) []byte {
+	var any []byte
+	any = pbString(any, 1, val) // AnyValue.string_value
+	var kv []byte
+	kv = pbString(kv, 1, key)
+	kv = pbBytes(kv, 2, any)
+	return pbBytes(b, field, kv)
+}
+
+// pbKVInt encodes a KeyValue with an int AnyValue.
+func pbKVInt(b []byte, field int, key string, val int64) []byte {
+	var any []byte
+	any = pbKey(any, 3, 0) // AnyValue.int_value
+	any = binary.AppendUvarint(any, uint64(val))
+	var kv []byte
+	kv = pbString(kv, 1, key)
+	kv = pbBytes(kv, 2, any)
+	return pbBytes(b, field, kv)
+}
+
+func (o *OTLPExporter) resource() []byte {
+	var res []byte
+	res = pbKV(res, 1, "service.name", o.service())
+	return res
+}
+
+var otlpScope = func() []byte {
+	var s []byte
+	s = pbString(s, 1, "alpha/internal/obs")
+	return s
+}()
+
+// metrics ------------------------------------------------------------------
+
+// numberPoint encodes a NumberDataPoint carrying an integer value, with an
+// optional "labels" attribute for labeled telemetry groups.
+func numberPoint(now, val uint64, labels string) []byte {
+	var dp []byte
+	dp = pbFixed64(dp, 3, now) // time_unix_nano
+	dp = pbKey(dp, 6, 1)       // as_int (sfixed64)
+	dp = binary.LittleEndian.AppendUint64(dp, val)
+	if labels != "" {
+		dp = pbKV(dp, 7, "labels", labels)
+	}
+	return dp
+}
+
+// sumMetric encodes a monotonic cumulative Sum metric.
+func sumMetric(name string, now, val uint64, labels string) []byte {
+	var sum []byte
+	sum = pbBytes(sum, 1, numberPoint(now, val, labels))
+	sum = pbVarint(sum, 2, 2) // AGGREGATION_TEMPORALITY_CUMULATIVE
+	sum = pbVarint(sum, 3, 1) // is_monotonic
+	var m []byte
+	m = pbString(m, 1, name)
+	m = pbBytes(m, 7, sum)
+	return m
+}
+
+// gaugeMetric encodes a Gauge metric.
+func gaugeMetric(name string, now uint64, val int64, labels string) []byte {
+	var g []byte
+	g = pbBytes(g, 1, numberPoint(now, uint64(val), labels))
+	var m []byte
+	m = pbString(m, 1, name)
+	m = pbBytes(m, 5, g)
+	return m
+}
+
+// PushMetrics snapshots the telemetry exporter and POSTs one
+// ExportMetricsServiceRequest to <endpoint>/v1/metrics. Label blocks from
+// per-association groups become a "labels" data-point attribute.
+// nowUnixNano is caller-supplied (the bridge is poll-based and sans-IO
+// about time, like everything else).
+func (o *OTLPExporter) PushMetrics(exp *telemetry.Exporter, nowUnixNano int64) error {
+	snap := exp.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	now := uint64(nowUnixNano)
+	var metrics [][]byte
+	for _, full := range names {
+		name, labels := full, ""
+		if i := strings.IndexByte(full, '{'); i >= 0 {
+			name = full[:i]
+			labels = strings.Trim(full[i:], "{}")
+		}
+		switch v := snap[full].(type) {
+		case uint64:
+			metrics = append(metrics, sumMetric(name, now, v, labels))
+		case int64:
+			metrics = append(metrics, gaugeMetric(name, now, v, labels))
+		case telemetry.HistogramSnapshot:
+			// Exported as the count/sum pair; OTLP histogram buckets are
+			// not worth the encoding surface for a poll-based bridge.
+			metrics = append(metrics, sumMetric(name+"_count", now, v.Count, labels))
+			metrics = append(metrics, sumMetric(name+"_sum", now, uint64(v.Sum), labels))
+		}
+	}
+	var scoped []byte
+	scoped = pbBytes(scoped, 1, otlpScope)
+	for _, m := range metrics {
+		scoped = pbBytes(scoped, 2, m)
+	}
+	var rm []byte
+	rm = pbBytes(rm, 1, o.resource())
+	rm = pbBytes(rm, 2, scoped)
+	var req []byte
+	req = pbBytes(req, 1, rm)
+	return o.post("/v1/metrics", req)
+}
+
+// traces -------------------------------------------------------------------
+
+// traceID derives a 16-byte OTLP trace id from the exchange identity, so
+// every hop's span of one exchange lands in the same trace: association
+// (8 bytes) | correlation key (4) | exchange seq (4).
+func traceID(sp Span) []byte {
+	id := make([]byte, 16)
+	binary.BigEndian.PutUint64(id[0:8], sp.Assoc)
+	binary.BigEndian.PutUint32(id[8:12], sp.Key)
+	binary.BigEndian.PutUint32(id[12:16], sp.Seq)
+	return id
+}
+
+// spanID derives a unique-enough 8-byte span id from the span's identity
+// plus its position in the pushed batch.
+func spanID(sp Span, i int) []byte {
+	id := make([]byte, 8)
+	h := uint64(sp.Time)*0x9e3779b97f4a7c15 + uint64(i)<<32 +
+		uint64(sp.Role)<<24 + uint64(sp.Step)<<16 + uint64(sp.Verdict)<<8 + uint64(sp.Seq)
+	if h == 0 {
+		h = 1
+	}
+	binary.BigEndian.PutUint64(id, h)
+	return id
+}
+
+// PushSpans POSTs finished spans (e.g. a SpanRing or Recorder snapshot) as
+// one ExportTraceServiceRequest to <endpoint>/v1/traces.
+func (o *OTLPExporter) PushSpans(spans []Span) error {
+	if len(spans) == 0 {
+		return nil
+	}
+	var scoped []byte
+	scoped = pbBytes(scoped, 1, otlpScope)
+	for i, sp := range spans {
+		var s []byte
+		s = pbBytes(s, 1, traceID(sp))
+		s = pbBytes(s, 2, spanID(sp, i))
+		s = pbString(s, 5, fmt.Sprintf("%s %s %s", RoleString(sp.Role), StepString(sp.Step), VerdictString(sp.Verdict)))
+		s = pbVarint(s, 6, 1) // SPAN_KIND_INTERNAL
+		s = pbFixed64(s, 7, uint64(sp.Time))
+		s = pbFixed64(s, 8, uint64(sp.Time))
+		s = pbKV(s, 9, "alpha.role", RoleString(sp.Role))
+		s = pbKV(s, 9, "alpha.step", StepString(sp.Step))
+		s = pbKV(s, 9, "alpha.verdict", VerdictString(sp.Verdict))
+		s = pbKVInt(s, 9, "alpha.seq", int64(sp.Seq))
+		s = pbKVInt(s, 9, "alpha.mode", int64(sp.Mode))
+		if sp.Verdict == VerdictDrop {
+			s = pbKV(s, 9, "alpha.reason", telemetry.ReasonString(sp.Detail))
+		} else if sp.Detail != 0 {
+			s = pbKVInt(s, 9, "alpha.detail", int64(sp.Detail))
+		}
+		scoped = pbBytes(scoped, 2, s)
+	}
+	var rs []byte
+	rs = pbBytes(rs, 1, o.resource())
+	rs = pbBytes(rs, 2, scoped)
+	var req []byte
+	req = pbBytes(req, 1, rs)
+	return o.post("/v1/traces", req)
+}
+
+func (o *OTLPExporter) post(path string, body []byte) error {
+	resp, err := o.client().Post(o.Endpoint+path, "application/x-protobuf", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("obs: otlp push %s: %s", path, resp.Status)
+	}
+	return nil
+}

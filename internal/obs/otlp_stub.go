@@ -1,0 +1,27 @@
+//go:build !alpha_otlp
+
+// Stub for the default (stdlib-only) build: the OTLP bridge compiles away
+// to nil, so CLI wiring needs no build-tag awareness of its own. Build
+// with -tags alpha_otlp for the real exporter.
+package obs
+
+import "alpha/internal/telemetry"
+
+// OTLPEnabled reports whether this binary carries the OTLP bridge.
+const OTLPEnabled = false
+
+// OTLPExporter is inert in untagged builds.
+type OTLPExporter struct {
+	Endpoint string
+	Service  string
+}
+
+// NewOTLPExporter returns nil in untagged builds: callers keep a nil
+// exporter and every method is a nil-safe no-op.
+func NewOTLPExporter(endpoint string) *OTLPExporter { return nil }
+
+// PushMetrics is a no-op without the alpha_otlp tag.
+func (o *OTLPExporter) PushMetrics(exp *telemetry.Exporter, nowUnixNano int64) error { return nil }
+
+// PushSpans is a no-op without the alpha_otlp tag.
+func (o *OTLPExporter) PushSpans(spans []Span) error { return nil }

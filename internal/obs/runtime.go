@@ -1,0 +1,101 @@
+// Go runtime health in the alpha namespace: GC pauses, scheduler latency,
+// heap size and goroutine count read from runtime/metrics at scrape time.
+
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+
+	"alpha/internal/telemetry"
+)
+
+// runtimeSamples is the fixed sample set walkRuntime reads. Declared once
+// so a scrape allocates only the runtime's own snapshot storage.
+var runtimeSamples = []string{
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+	"/gc/cycles/total:gc-cycles",
+	"/memory/classes/heap/objects:bytes",
+	"/sched/goroutines:goroutines",
+}
+
+// RegisterRuntime adds an "alpha_go" metric group to the exporter: GC
+// pause p50/p99 and totals, scheduler latency p50/p99, heap bytes, and
+// goroutine count. Reading happens at scrape time only — the hot path is
+// untouched.
+func RegisterRuntime(exp *telemetry.Exporter) {
+	exp.Register("alpha_go", telemetry.WalkerFunc(walkRuntime))
+}
+
+func walkRuntime(v telemetry.Visitor) {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		switch s.Name {
+		case "/gc/pauses:seconds":
+			emitLatency(v, "gc_pause", s.Value)
+		case "/sched/latencies:seconds":
+			emitLatency(v, "sched_latency", s.Value)
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == metrics.KindUint64 {
+				v.Counter("gc_cycles", s.Value.Uint64())
+			}
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				v.Gauge("heap_objects_bytes", int64(s.Value.Uint64()))
+			}
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == metrics.KindUint64 {
+				v.Gauge("goroutines", int64(s.Value.Uint64()))
+			}
+		}
+	}
+}
+
+// emitLatency renders a runtime float-seconds histogram as count plus
+// p50/p99 nanosecond gauges.
+func emitLatency(v telemetry.Visitor, name string, val metrics.Value) {
+	if val.Kind() != metrics.KindFloat64Histogram {
+		return
+	}
+	h := val.Float64Histogram()
+	var count uint64
+	for _, c := range h.Counts {
+		count += c
+	}
+	v.Counter(name+"_count", count)
+	v.Gauge(name+"_p50_ns", int64(histQuantile(h, 0.50)*1e9))
+	v.Gauge(name+"_p99_ns", int64(histQuantile(h, 0.99)*1e9))
+}
+
+// histQuantile approximates a quantile of a runtime float histogram by the
+// upper bound of the bucket the quantile falls in (0 for an empty
+// histogram; the largest finite bound when the quantile lands in the +Inf
+// overflow bucket).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Bucket i spans Buckets[i]..Buckets[i+1].
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

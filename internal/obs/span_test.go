@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"testing"
+
+	"alpha/internal/telemetry"
+)
+
+func TestSpanRingBasics(t *testing.T) {
+	r := NewSpanRing(16)
+	if r.Len() != 0 {
+		t.Fatalf("empty ring Len = %d", r.Len())
+	}
+	r.Emit(100, 0xabc, 0xdeadbeef, 7, RoleSender, StepS1, 1, VerdictSent, 3)
+	r.Emit(200, 0xabc, 0xdeadbeef, 7, RoleSender, StepS2, 1, VerdictSent, 3)
+	spans := r.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("Snapshot len = %d, want 2", len(spans))
+	}
+	first := spans[0]
+	if first.Time != 100 || first.Assoc != 0xabc || first.Key != 0xdeadbeef ||
+		first.Seq != 7 || first.Role != RoleSender || first.Step != StepS1 ||
+		first.Mode != 1 || first.Verdict != VerdictSent || first.Detail != 3 {
+		t.Fatalf("first span corrupted: %+v", first)
+	}
+	if spans[1].Step != StepS2 {
+		t.Fatalf("order wrong: %+v", spans)
+	}
+}
+
+func TestSpanRingWraps(t *testing.T) {
+	r := NewSpanRing(16)
+	for i := 0; i < 40; i++ {
+		r.Emit(int64(i), 1, 2, uint32(i), RoleRelay, StepS2, 0, VerdictForward, 0)
+	}
+	if r.Len() != 16 {
+		t.Fatalf("Len after wrap = %d, want 16", r.Len())
+	}
+	spans := r.Snapshot()
+	if len(spans) != 16 {
+		t.Fatalf("Snapshot len = %d, want 16", len(spans))
+	}
+	if spans[0].Seq != 24 || spans[15].Seq != 39 {
+		t.Fatalf("oldest-first order broken: first seq %d last seq %d", spans[0].Seq, spans[15].Seq)
+	}
+}
+
+func TestSpanRingNilSafe(t *testing.T) {
+	var r *SpanRing
+	r.Emit(1, 2, 3, 4, RoleSender, StepS1, 0, VerdictSent, 0) // must not panic
+	if r.Len() != 0 || r.Snapshot() != nil {
+		t.Fatal("nil ring must be empty")
+	}
+}
+
+func TestSpanRingSizing(t *testing.T) {
+	if n := len(NewSpanRing(0).slots); n != DefaultSpanRingSize {
+		t.Fatalf("default size = %d", n)
+	}
+	if n := len(NewSpanRing(3).slots); n != 16 {
+		t.Fatalf("minimum size = %d, want 16", n)
+	}
+	if n := len(NewSpanRing(100).slots); n != 128 {
+		t.Fatalf("rounding = %d, want 128", n)
+	}
+}
+
+func TestKey(t *testing.T) {
+	if k := Key([]byte{0x12, 0x34, 0x56, 0x78, 0x9a}); k != 0x12345678 {
+		t.Fatalf("Key = %#x", k)
+	}
+	if k := Key([]byte{1, 2}); k != 0 {
+		t.Fatalf("short Key = %#x, want 0", k)
+	}
+	if k := Key(nil); k != 0 {
+		t.Fatalf("nil Key = %#x, want 0", k)
+	}
+}
+
+// TestSpanZeroAlloc pins the emission path at zero allocations per span:
+// the same discipline the telemetry counters and tracer live under.
+func TestSpanZeroAlloc(t *testing.T) {
+	r := NewSpanRing(64)
+	auth := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Emit(42, 7, Key(auth), 9, RoleRelay, StepS2, 1, VerdictForward, 0)
+	}); n != 0 {
+		t.Errorf("SpanRing.Emit allocates %.1f/op", n)
+	}
+
+	// The flight-recorder append path: ring resolved once, then pure Emit.
+	rc := NewRecorder(64)
+	ring := rc.Ring(7)
+	if n := testing.AllocsPerRun(1000, func() {
+		ring.Emit(42, 7, Key(auth), 9, RoleReceiver, StepS2, 1, VerdictDeliver, 0)
+	}); n != 0 {
+		t.Errorf("flight-recorder Emit allocates %.1f/op", n)
+	}
+}
+
+func TestReconstruct(t *testing.T) {
+	sender := NewSpanRing(16)
+	relay := NewSpanRing(16)
+	recv := NewSpanRing(16)
+	// Exchange (key=5, seq=1) crosses all three hops; a keyless span is
+	// skipped.
+	sender.Emit(10, 1, 5, 1, RoleSender, StepS1, 0, VerdictSent, 1)
+	relay.Emit(20, 1, 5, 1, RoleRelay, StepS1, 0, VerdictForward, 0)
+	recv.Emit(30, 1, 5, 1, RoleReceiver, StepS1, 0, VerdictRecv, 1)
+	relay.Emit(25, 1, 0, 9, RoleRelay, StepNone, 0, VerdictDrop, telemetry.ReasonMalformed)
+	sender.Emit(40, 1, 5, 1, RoleSender, StepS2, 0, VerdictSent, 1)
+	recv.Emit(50, 1, 5, 1, RoleReceiver, StepS2, 0, VerdictDeliver, 0)
+
+	tl := Reconstruct([]HopSpans{
+		{Hop: "sender", Spans: sender.Snapshot()},
+		{Hop: "relay", Spans: relay.Snapshot()},
+		{Hop: "receiver", Spans: recv.Snapshot()},
+	})
+	if len(tl) != 1 {
+		t.Fatalf("timelines = %d, want 1 (keyless spans skipped)", len(tl))
+	}
+	entries := tl[ExchangeID{Key: 5, Seq: 1}]
+	if len(entries) != 5 {
+		t.Fatalf("entries = %d, want 5", len(entries))
+	}
+	wantHops := []string{"sender", "relay", "receiver", "sender", "receiver"}
+	for i, e := range entries {
+		if e.Hop != wantHops[i] {
+			t.Fatalf("entry %d hop = %s, want %s (timeline %+v)", i, e.Hop, wantHops[i], entries)
+		}
+	}
+	// Timestamps must be nondecreasing.
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Span.Time < entries[i-1].Span.Time {
+			t.Fatalf("timeline out of order at %d", i)
+		}
+	}
+}
+
+func TestDetailString(t *testing.T) {
+	s := Span{Verdict: VerdictDrop, Detail: telemetry.ReasonBadPayload}
+	if s.DetailString() != "bad_payload" {
+		t.Fatalf("DetailString = %q", s.DetailString())
+	}
+	if (Span{Verdict: VerdictSent, Detail: 3}).DetailString() != "" {
+		t.Fatal("non-drop DetailString must be empty")
+	}
+}

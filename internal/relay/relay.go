@@ -24,6 +24,7 @@ import (
 	"alpha/internal/core"
 	"alpha/internal/hashchain"
 	"alpha/internal/merkle"
+	"alpha/internal/obs"
 	"alpha/internal/packet"
 	"alpha/internal/suite"
 	"alpha/internal/telemetry"
@@ -120,6 +121,11 @@ type Config struct {
 	// Tracer, if set, records forward/drop events per association so a
 	// hop's filtering decisions can be replayed from the /trace endpoint.
 	Tracer *telemetry.Tracer
+	// Spans, if set, receives one hop-by-hop exchange span per verdict,
+	// keyed by the exchange's hash-chain element so this hop's decisions
+	// correlate with the sender's and receiver's (internal/obs). Lock-free,
+	// allocation-free; nil is free.
+	Spans *obs.SpanRing
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +150,7 @@ type Stats struct {
 	Malformed, Unknown, RateLimited   uint64
 	BadElement, BadPayload, BadAck    uint64
 	Unsolicited, Oversized, Handshake uint64
+	StrictPolicy, BadHandshake        uint64
 	ExtractedBytes                    uint64
 }
 
@@ -158,11 +165,19 @@ type Relay struct {
 	tel    telemetry.RelayMetrics
 	tracer *telemetry.Tracer
 	tnow   int64 // caller-supplied clock of the current Process call
+
+	// Hop-by-hop span state: spans is the optional ring from Config;
+	// spanKey/spanMode are per-packet scratch set once the packet's
+	// exchange (and its chain element) is identified, so the central
+	// drop/forward verdicts attribute spans without re-deriving them.
+	spans    *obs.SpanRing
+	spanKey  uint32
+	spanMode uint8
 }
 
 // New creates a relay.
 func New(cfg Config) *Relay {
-	r := &Relay{cfg: cfg.withDefaults(), flows: make(map[uint64]*flow), tracer: cfg.Tracer}
+	r := &Relay{cfg: cfg.withDefaults(), flows: make(map[uint64]*flow), tracer: cfg.Tracer, spans: cfg.Spans}
 	r.tel.Init()
 	return r
 }
@@ -182,6 +197,8 @@ func (r *Relay) Stats() Stats {
 		Unsolicited:    m.Unsolicited.Load(),
 		Oversized:      m.Oversized.Load(),
 		Handshake:      m.Handshake.Load(),
+		StrictPolicy:   m.StrictPolicy.Load(),
+		BadHandshake:   m.BadHandshake.Load(),
 		ExtractedBytes: m.ExtractedBytes.Load(),
 	}
 }
@@ -376,9 +393,28 @@ func (b *tokenBucket) take(now time.Time) bool {
 	return true
 }
 
+// stepOf maps a wire packet type to its span step.
+func stepOf(t packet.Type) uint8 {
+	switch t {
+	case packet.TypeS1:
+		return obs.StepS1
+	case packet.TypeA1:
+		return obs.StepA1
+	case packet.TypeS2:
+		return obs.StepS2
+	case packet.TypeA2:
+		return obs.StepA2
+	case packet.TypeHS1, packet.TypeHS2:
+		return obs.StepHS
+	default:
+		return obs.StepNone
+	}
+}
+
 // Process inspects one datagram and decides its fate.
 func (r *Relay) Process(now time.Time, data []byte) Decision {
 	r.tnow = now.UnixNano()
+	r.spanKey, r.spanMode = 0, 0
 	hdr, msg, err := packet.Decode(data)
 	if err != nil {
 		// Double-wrap so callers can match the relay-level ErrMalformed
@@ -412,12 +448,14 @@ func (r *Relay) drop(hdr packet.Header, code uint32, reason error) Decision {
 		c.Inc()
 	}
 	r.tracer.Trace(r.tnow, telemetry.TraceRelayDrop, hdr.Assoc, hdr.Seq, code)
+	r.spans.Emit(r.tnow, hdr.Assoc, r.spanKey, hdr.Seq, obs.RoleRelay, stepOf(hdr.Type), r.spanMode, obs.VerdictDrop, code)
 	return Decision{Verdict: Drop, Reason: reason, Type: hdr.Type}
 }
 
 func (r *Relay) forward(hdr packet.Header) Decision {
 	r.tel.Forwarded.Inc()
 	r.tracer.Trace(r.tnow, telemetry.TraceRelayForward, hdr.Assoc, hdr.Seq, uint32(hdr.Type))
+	r.spans.Emit(r.tnow, hdr.Assoc, r.spanKey, hdr.Seq, obs.RoleRelay, stepOf(hdr.Type), r.spanMode, obs.VerdictForward, uint32(hdr.Type))
 	return Decision{Verdict: Forward, Type: hdr.Type}
 }
 
@@ -444,9 +482,12 @@ func (r *Relay) processBundle(now time.Time, hdr packet.Header, b *packet.Bundle
 		}
 	}
 	if len(keep) == 0 {
-		dec.Verdict = Drop
-		dec.Reason = core.ErrUnsolicited
-		return dec
+		// Every sub-packet died on its own (and was counted there); the
+		// emptied bundle frame dies here and is counted too, so the bundle
+		// datagram itself never vanishes from the drop accounting.
+		d := r.drop(hdr, telemetry.ReasonUnsolicited, core.ErrUnsolicited)
+		d.Sub = dec.Sub
+		return d
 	}
 	dec.Verdict = Forward
 	if stripped {
@@ -456,9 +497,10 @@ func (r *Relay) processBundle(now time.Time, hdr packet.Header, b *packet.Bundle
 			dec.Rewritten = re
 		} else {
 			// Re-framing failed; forwarding the original would leak
-			// the dropped packets, so fail closed.
-			dec.Verdict = Drop
-			dec.Reason = err
+			// the dropped packets, so fail closed — and counted.
+			d := r.drop(hdr, telemetry.ReasonMalformed, err)
+			d.Sub = dec.Sub
+			return d
 		}
 	}
 	return dec
@@ -551,7 +593,7 @@ func (r *Relay) lookup(hdr packet.Header) (*flow, *Decision) {
 func (r *Relay) processS1(now time.Time, hdr packet.Header, s1 *packet.S1, size int) Decision {
 	f, early := r.lookup(hdr)
 	if early != nil {
-		return *early
+		return *early //alpha:drop-ok lookup counted the drop when it built the early verdict
 	}
 	if !f.bucket.take(now) {
 		return r.drop(hdr, telemetry.ReasonRateLimited, ErrRateLimited)
@@ -561,8 +603,9 @@ func (r *Relay) processS1(now time.Time, hdr packet.Header, s1 *packet.S1, size 
 	}
 	d := dirIndex(hdr)
 	ds := &f.dirs[d]
-	if _, dup := ds.rx[hdr.Seq]; dup {
+	if dup, ok := ds.rx[hdr.Seq]; ok {
 		// Retransmitted S1: already buffered, just forward.
+		r.spanKey, r.spanMode = obs.Key(dup.auth), uint8(dup.mode)
 		return r.forward(hdr)
 	}
 	if s1.AuthIdx%2 != 1 || s1.KeyIdx != s1.AuthIdx+1 {
@@ -571,6 +614,7 @@ func (r *Relay) processS1(now time.Time, hdr packet.Header, s1 *packet.S1, size 
 	if err := f.verifySig(d, s1.Auth, s1.AuthIdx); err != nil {
 		return r.drop(hdr, telemetry.ReasonBadElement, fmt.Errorf("%w: %v", core.ErrBadAuthElement, err))
 	}
+	r.spanKey, r.spanMode = obs.Key(s1.Auth), uint8(s1.Mode)
 	x := &exchange{mode: s1.Mode, keyIdx: s1.KeyIdx, auth: append([]byte(nil), s1.Auth...)}
 	var batch int
 	switch s1.Mode {
@@ -608,7 +652,7 @@ func (r *Relay) processS1(now time.Time, hdr packet.Header, s1 *packet.S1, size 
 func (r *Relay) processA1(hdr packet.Header, a1 *packet.A1) Decision {
 	f, early := r.lookup(hdr)
 	if early != nil {
-		return *early
+		return *early //alpha:drop-ok lookup counted the drop when it built the early verdict
 	}
 	d := dirIndex(hdr) // direction of the A1 sender = the exchange's verifier
 	if a1.AuthIdx%2 != 1 || a1.KeyIdx != a1.AuthIdx+1 {
@@ -625,6 +669,7 @@ func (r *Relay) processA1(hdr packet.Header, a1 *packet.A1) Decision {
 	if !ok {
 		return r.forward(hdr)
 	}
+	r.spanKey, r.spanMode = obs.Key(x.auth), uint8(x.mode)
 	if x.preAck == nil && x.amtRoot == nil {
 		x.ackAuth = append([]byte(nil), a1.Auth...)
 		x.ackKeyIdx = a1.KeyIdx
@@ -645,13 +690,14 @@ func (r *Relay) processA1(hdr packet.Header, a1 *packet.A1) Decision {
 func (r *Relay) processS2(hdr packet.Header, s2 *packet.S2) Decision {
 	f, early := r.lookup(hdr)
 	if early != nil {
-		return *early
+		return *early //alpha:drop-ok lookup counted the drop when it built the early verdict
 	}
 	d := dirIndex(hdr)
 	x, ok := f.dirs[d].rx[hdr.Seq]
 	if !ok {
 		return r.drop(hdr, telemetry.ReasonUnsolicited, core.ErrUnsolicited)
 	}
+	r.spanKey, r.spanMode = obs.Key(x.auth), uint8(x.mode)
 	if s2.Mode != x.mode || s2.KeyIdx != x.keyIdx || int(s2.MsgIndex) >= len(x.verified) {
 		return r.drop(hdr, telemetry.ReasonUnsolicited, core.ErrUnsolicited)
 	}
@@ -717,7 +763,7 @@ func (r *Relay) processS2(hdr packet.Header, s2 *packet.S2) Decision {
 func (r *Relay) processA2(hdr packet.Header, a2 *packet.A2) Decision {
 	f, early := r.lookup(hdr)
 	if early != nil {
-		return *early
+		return *early //alpha:drop-ok lookup counted the drop when it built the early verdict
 	}
 	d := dirIndex(hdr)
 	x, ok := f.dirs[1-d].rx[hdr.Seq]
@@ -725,8 +771,12 @@ func (r *Relay) processA2(hdr packet.Header, a2 *packet.A2) Decision {
 		// Never saw this exchange's S1 or A1 (asymmetric routes):
 		// the A2 cannot influence on-path state here, but it remains
 		// end-to-end verifiable, so forward it.
+		if ok {
+			r.spanKey, r.spanMode = obs.Key(x.auth), uint8(x.mode)
+		}
 		return r.forward(hdr)
 	}
+	r.spanKey, r.spanMode = obs.Key(x.auth), uint8(x.mode)
 	if a2.KeyIdx != x.ackKeyIdx {
 		return r.drop(hdr, telemetry.ReasonBadAck, core.ErrBadAck)
 	}

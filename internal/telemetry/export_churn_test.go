@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestLabeledGroupChurn registers and retires 10k per-association labeled
+// groups through a dynamic producer while a second goroutine scrapes
+// continuously: every scrape must be well-formed, with exactly one
+// Prometheus TYPE line per metric name no matter how membership moves
+// between snapshot and render. Run with -race to make the locking claims
+// real.
+func TestLabeledGroupChurn(t *testing.T) {
+	exp := NewExporter()
+	var mu sync.Mutex
+	groups := make(map[uint64]*EndpointMetrics)
+	exp.RegisterDynamic(func(emit func(prefix, labels string, w Walker)) {
+		mu.Lock()
+		defer mu.Unlock()
+		for a, m := range groups {
+			emit("alpha_endpoint", fmt.Sprintf("assoc=%q", fmt.Sprintf("%016x", a)), m)
+		}
+	})
+
+	const total = 10000
+	const live = 64 // groups resident at any moment; the rest have retired
+
+	scrape := func() string {
+		var b bytes.Buffer
+		if err := exp.WritePrometheus(&b); err != nil {
+			t.Errorf("WritePrometheus: %v", err)
+		}
+		return b.String()
+	}
+	checkTypes := func(out string) {
+		seen := make(map[string]bool)
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.HasPrefix(line, "# TYPE ") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Errorf("malformed TYPE line %q", line)
+				continue
+			}
+			if seen[fields[2]] {
+				t.Errorf("duplicate TYPE line for %s", fields[2])
+			}
+			seen[fields[2]] = true
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(0); i < total; i++ {
+			m := NewEndpointMetrics()
+			m.SentS1.Inc()
+			m.NoteDrop(ReasonMalformed)
+			mu.Lock()
+			groups[i] = m
+			if i >= live {
+				delete(groups, i-live)
+			}
+			mu.Unlock()
+		}
+	}()
+
+	scrapes := 0
+	for {
+		checkTypes(scrape())
+		scrapes++
+		select {
+		case <-done:
+			// One more after churn settles: the steady-state scrape must
+			// show exactly the resident groups.
+			out := scrape()
+			checkTypes(out)
+			if got := strings.Count(out, "alpha_endpoint_sent_s1{"); got != live {
+				t.Fatalf("final scrape holds %d labeled sent_s1 samples, want %d", got, live)
+			}
+			if scrapes < 2 {
+				t.Fatalf("churn finished before the scraper exercised it (%d scrapes)", scrapes)
+			}
+			return
+		default:
+		}
+	}
+}

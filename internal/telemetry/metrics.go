@@ -22,6 +22,11 @@ type EndpointMetrics struct {
 	BytesSent, BytesReceived       Counter
 	PayloadBytes                   Counter
 
+	// DropReasons splits Dropped by Reason code (indexed by the code), so
+	// the endpoint honours the I3 drop-budget invariant exactly:
+	// dropped == Σ drop_<reason>. Increment through NoteDrop.
+	DropReasons [16]Counter
+
 	// AckLatencyNS accumulates Send-to-verified-ack time in nanoseconds;
 	// AckLatencyMaxNS is the high watermark. AckLatency buckets the same
 	// observations.
@@ -57,6 +62,16 @@ func (m *EndpointMetrics) Init() *EndpointMetrics {
 // NewEndpointMetrics allocates an initialized set.
 func NewEndpointMetrics() *EndpointMetrics {
 	return new(EndpointMetrics).Init()
+}
+
+// NoteDrop records one dropped packet under its Reason code: the aggregate
+// and the per-reason counter move together, which is what keeps the I3
+// invariant an equality rather than a bound.
+//
+//alpha:hotpath
+func (m *EndpointMetrics) NoteDrop(code uint32) {
+	m.Dropped.Inc()
+	m.DropReasons[code&15].Inc()
 }
 
 // endpointCounter pairs a counter with its export name; max marks
@@ -119,6 +134,10 @@ func (m *EndpointMetrics) Walk(v Visitor) {
 	for i := range cs {
 		v.Counter(cs[i].name, cs[i].c.Load())
 	}
+	for code := uint32(1); code <= ReasonInboxFull; code++ {
+		dr := &m.DropReasons[code]
+		v.Counter("drop_"+ReasonString(code), dr.Load())
+	}
 	gs := m.gauges()
 	for i := range gs {
 		v.Gauge(gs[i].name, gs[i].g.Load())
@@ -141,6 +160,11 @@ func (m *EndpointMetrics) AddTo(dst *EndpointMetrics) {
 			d[i].c.SetMax(n)
 		} else {
 			d[i].c.Add(n)
+		}
+	}
+	for i := range m.DropReasons {
+		if n := m.DropReasons[i].Load(); n != 0 {
+			dst.DropReasons[i].Add(n)
 		}
 	}
 	gs, dg := m.gauges(), dst.gauges()
@@ -205,12 +229,16 @@ type RelayMetrics struct {
 	Dropped   Counter
 	Handshake Counter
 
-	// Drop reasons (Malformed through Oversized mirror relay.Stats).
-	// Unknown counts unknown-association lookups, which drop only under
-	// the strict policy; the others always accompany a Dropped increment.
+	// Drop reasons (Malformed through Oversized mirror relay.Stats). Every
+	// reason counter accompanies a Dropped increment, so
+	// dropped == Σ drop_<reason> holds exactly (invariant I3). Unknown is
+	// different: it counts unknown-association *lookups*, which drop only
+	// under the strict policy (where StrictPolicy counts the drop), so it
+	// exports outside the drop_ family.
 	Malformed, Unknown, RateLimited Counter
 	BadElement, BadPayload, BadAck  Counter
 	Unsolicited, Oversized          Counter
+	StrictPolicy, BadHandshake      Counter
 
 	ExtractedBytes Counter
 	// ExtractedSize buckets verified-and-extracted payload sizes.
@@ -224,8 +252,8 @@ func (m *RelayMetrics) Init() *RelayMetrics {
 }
 
 // DropCounter returns the per-reason counter for a Reason code, or nil for
-// codes without a dedicated counter (e.g. ReasonStrictPolicy, which the
-// Unknown counter already covers at lookup time).
+// codes the relay never emits. Every drop path must resolve to a counter —
+// the alphavet dropcount analyzer and the I3 invariant both assume it.
 func (m *RelayMetrics) DropCounter(code uint32) *Counter {
 	switch code {
 	case ReasonMalformed:
@@ -242,6 +270,10 @@ func (m *RelayMetrics) DropCounter(code uint32) *Counter {
 		return &m.Unsolicited
 	case ReasonOversized:
 		return &m.Oversized
+	case ReasonStrictPolicy:
+		return &m.StrictPolicy
+	case ReasonBadHandshake:
+		return &m.BadHandshake
 	default:
 		return nil
 	}
@@ -254,13 +286,17 @@ func (m *RelayMetrics) Walk(v Visitor) {
 	v.Counter("dropped", m.Dropped.Load())
 	v.Counter("handshakes", m.Handshake.Load())
 	v.Counter("drop_malformed", m.Malformed.Load())
-	v.Counter("drop_unknown_assoc", m.Unknown.Load())
 	v.Counter("drop_rate_limited", m.RateLimited.Load())
 	v.Counter("drop_bad_element", m.BadElement.Load())
 	v.Counter("drop_bad_payload", m.BadPayload.Load())
 	v.Counter("drop_bad_ack", m.BadAck.Load())
 	v.Counter("drop_unsolicited", m.Unsolicited.Load())
 	v.Counter("drop_oversized", m.Oversized.Load())
+	v.Counter("drop_strict_policy", m.StrictPolicy.Load())
+	v.Counter("drop_bad_handshake", m.BadHandshake.Load())
+	// Unknown counts lookups, not drops: it stays outside the drop_ family
+	// so I3's dropped == Σ drop_<reason> equality holds.
+	v.Counter("unknown_assoc", m.Unknown.Load())
 	v.Counter("extracted_bytes", m.ExtractedBytes.Load())
 	v.Histogram("extracted_size_bytes", m.ExtractedSize.Snapshot())
 }
@@ -419,6 +455,9 @@ type RelayTransportMetrics struct {
 	// configured peers, discarded before verification (previously a silent
 	// continue).
 	UnknownPeerDrops Counter
+	// WriteErrors counts forwarding batches the socket refused — the
+	// relay's only way to lose a verified packet after the verdict.
+	WriteErrors Counter
 }
 
 // Init fixes the embedded histogram layouts.
@@ -432,6 +471,7 @@ func (m *RelayTransportMetrics) Walk(v Visitor) {
 	v.Counter("datagrams", m.Datagrams.Load())
 	v.Counter("bytes", m.Bytes.Load())
 	v.Counter("unknown_peer_drops", m.UnknownPeerDrops.Load())
+	v.Counter("write_errors", m.WriteErrors.Load())
 	m.IO.Walk(v)
 }
 
@@ -458,6 +498,9 @@ type TransportMetrics struct {
 	ShortDatagrams Counter
 	// EndpointFailures counts handshakes that could not spawn an endpoint.
 	EndpointFailures Counter
+	// EventDrops counts engine events discarded because a session's event
+	// channel was full (slow or absent consumer; delivery is best-effort).
+	EventDrops Counter
 }
 
 // Init fixes the embedded histogram layouts; counters need no setup.
@@ -479,4 +522,5 @@ func (m *TransportMetrics) Walk(v Visitor) {
 	v.Counter("unknown_assoc_drops", m.UnknownAssocDrops.Load())
 	v.Counter("short_datagrams", m.ShortDatagrams.Load())
 	v.Counter("endpoint_failures", m.EndpointFailures.Load())
+	v.Counter("event_drops", m.EventDrops.Load())
 }

@@ -255,21 +255,20 @@ func TestEndpointMetricsAddTo(t *testing.T) {
 func TestRelayDropCounterMapping(t *testing.T) {
 	m := new(RelayMetrics).Init()
 	cases := map[uint32]*Counter{
-		ReasonMalformed:   &m.Malformed,
-		ReasonRateLimited: &m.RateLimited,
-		ReasonBadElement:  &m.BadElement,
-		ReasonBadPayload:  &m.BadPayload,
-		ReasonBadAck:      &m.BadAck,
-		ReasonUnsolicited: &m.Unsolicited,
-		ReasonOversized:   &m.Oversized,
+		ReasonMalformed:    &m.Malformed,
+		ReasonRateLimited:  &m.RateLimited,
+		ReasonBadElement:   &m.BadElement,
+		ReasonBadPayload:   &m.BadPayload,
+		ReasonBadAck:       &m.BadAck,
+		ReasonUnsolicited:  &m.Unsolicited,
+		ReasonOversized:    &m.Oversized,
+		ReasonStrictPolicy: &m.StrictPolicy,
+		ReasonBadHandshake: &m.BadHandshake,
 	}
 	for code, want := range cases {
 		if got := m.DropCounter(code); got != want {
 			t.Fatalf("DropCounter(%s) returned wrong counter", ReasonString(code))
 		}
-	}
-	if m.DropCounter(ReasonStrictPolicy) != nil {
-		t.Fatal("ReasonStrictPolicy must have no dedicated counter")
 	}
 	if m.DropCounter(ReasonNone) != nil {
 		t.Fatal("ReasonNone must have no counter")

@@ -179,6 +179,9 @@ func (r *Relay) loop(batch int) {
 			continue
 		}
 		if _, err := r.io.WriteBatch(fwd); err != nil {
+			// A refused batch loses every verified datagram in it —
+			// counted, so forwarded-vs-sent discrepancies stay visible.
+			r.tel.WriteErrors.Inc()
 			return
 		}
 	}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"alpha/internal/core"
+	"alpha/internal/obs"
 	"alpha/internal/packet"
 	"alpha/internal/telemetry"
 	"alpha/internal/udpio"
@@ -100,6 +101,11 @@ type Server struct {
 	tel     telemetry.TransportMetrics
 	tracer  *telemetry.Tracer
 	retired telemetry.EndpointMetrics
+
+	// flight, when set, hands each session a pooled per-association span
+	// ring and receives anomaly triggers (chain-low, verify failures via
+	// the ring's own drop hook). Nil disables recording at zero cost.
+	flight *obs.Recorder
 }
 
 // NewServer starts serving on one socket with default I/O options. Each
@@ -154,6 +160,12 @@ func NewReusePortServer(network, addr string, loops int, cfg core.Config, opts I
 	}
 	return NewServerOpts(cfg, opts, pcs...), nil
 }
+
+// SetFlightRecorder installs a flight recorder: every session created
+// afterwards records its spans into rc's per-association ring, retired
+// back to the pool when the session is removed. Call before serving
+// traffic; existing sessions are unaffected.
+func (s *Server) SetFlightRecorder(rc *obs.Recorder) { s.flight = rc }
 
 // Accept blocks until the next association establishes (or the server
 // closes).
@@ -304,8 +316,12 @@ func (s *Server) dispatch(now time.Time, via udpio.Conn, from net.Addr, bp *[]by
 		if err != nil {
 			sh.mu.Unlock()
 			s.tel.EndpointFailures.Inc()
+			s.tracer.Trace(now.UnixNano(), telemetry.TraceDrop, assoc, 0, telemetry.ReasonBadHandshake)
 			bufPool.Put(bp)
 			return
+		}
+		if s.flight != nil {
+			ep.SetSpans(s.flight.Ring(assoc))
 		}
 		sess = newSession(s, ep, from, via)
 		sh.sessions[assoc] = sess
@@ -349,6 +365,7 @@ func (s *Server) remove(assoc uint64) {
 	et.AckChainRemaining.Set(0)
 	et.AckChainLen.Set(0)
 	et.AddTo(&s.retired)
+	s.flight.Retire(assoc)
 	s.tel.SessionsRemoved.Inc()
 	s.tel.ActiveSessions.Dec()
 	s.tracer.Trace(time.Now().UnixNano(), telemetry.TraceSessionEnd, assoc, 0, 0)
@@ -498,12 +515,23 @@ func (s *Session) handle(now time.Time, from net.Addr, via udpio.Conn, data []by
 			s.established = true
 			srv.announce(s)
 		}
-		select {
-		case s.events <- ev:
-		default:
-		}
+		s.forwardEvent(ev)
 	}
 	s.pumpLocked(now)
+}
+
+// forwardEvent hands one engine event to the consumer (best-effort, counted
+// when the channel is full) and fires the flight recorder on chain-pressure
+// anomalies. Callers hold s.mu.
+func (s *Session) forwardEvent(ev core.Event) {
+	if ev.Kind == core.EventChainLow && s.server.flight != nil {
+		s.server.flight.Trigger(s.ep.Assoc(), obs.CauseChainLow)
+	}
+	select {
+	case s.events <- ev:
+	default:
+		s.server.tel.EventDrops.Inc()
+	}
 }
 
 // pumpLocked drains the engine outbox through the coalescing writer: the
@@ -512,10 +540,7 @@ func (s *Session) handle(now time.Time, from net.Addr, via udpio.Conn, data []by
 func (s *Session) pumpLocked(now time.Time) {
 	out, evs := s.ep.Poll(now)
 	for _, ev := range evs {
-		select {
-		case s.events <- ev:
-		default:
-		}
+		s.forwardEvent(ev)
 	}
 	if s.peer == nil || len(out) == 0 {
 		return

@@ -1,0 +1,287 @@
+// Package dropcount guards the drop-accounting contract behind telemetry
+// invariant I3 (DESIGN.md §5i): a packet that dies on the hot path must die
+// counted. In every `//alpha:hotpath` function that handles packets (one
+// whose signature mentions the packet wire types), a conditional early exit
+// — a `return` or `continue` inside an `if` — is treated as a discard site
+// and must be covered by a telemetry counter increment:
+//
+//   - the exit expression itself counts (`return r.drop(hdr, ...)`, where
+//     drop transitively increments a telemetry.Counter), or
+//   - an earlier statement in the same guard block counts
+//     (`m.Dropped.Inc(); return`).
+//
+// Coverage is resolved transitively through module-local calls, so verdict
+// helpers (drop, forward, NoteDrop) satisfy the contract as long as they
+// reach a telemetry.Counter Inc/Add somewhere. Straight-line returns — the
+// final statement of the function or of a switch/select case — are normal
+// result paths, not discards, and are exempt.
+//
+// A finding is waived line-by-line with `//alpha:drop-ok <why>`, for exits
+// whose accounting lives in the caller (e.g. a bool verdict helper whose
+// false return the caller converts into a counted drop).
+package dropcount
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"alpha/tools/alphavet/internal/vet"
+)
+
+var Analyzer = &vet.Analyzer{
+	Name:      "dropcount",
+	Doc:       "conditional exits in //alpha:hotpath packet functions must increment a telemetry counter",
+	RunModule: runModule,
+}
+
+// funcKey identifies a function declaration across packages by stable
+// strings, as in hotpathalloc.
+type funcKey struct {
+	pkg  string
+	recv string
+	name string
+}
+
+type declInfo struct {
+	pass *vet.Pass
+	decl *ast.FuncDecl
+}
+
+type checker struct {
+	decls  map[funcKey]declInfo
+	counts map[funcKey]int8 // memo: 0 unknown, 1 counts, -1 does not
+}
+
+func runModule(passes []*vet.Pass) error {
+	c := &checker{
+		decls:  make(map[funcKey]declInfo),
+		counts: make(map[funcKey]int8),
+	}
+	var roots []funcKey
+	for _, pass := range passes {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := keyOf(fn)
+				c.decls[key] = declInfo{pass, fd}
+				if vet.FuncDirective(fd, "hotpath") && handlesPackets(fn) {
+					roots = append(roots, key)
+				}
+			}
+		}
+	}
+	for _, root := range roots {
+		di := c.decls[root]
+		if di.decl.Body != nil {
+			c.block(di.pass, rootName(root), di.decl.Body.List, false)
+		}
+	}
+	return nil
+}
+
+// handlesPackets reports whether the function's parameters mention the
+// packet wire types — the signal that its early exits discard traffic
+// rather than unwind ordinary errors.
+func handlesPackets(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if mentionsPacket(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func mentionsPacket(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Pointer:
+		return mentionsPacket(t.Elem())
+	case *types.Slice:
+		return mentionsPacket(t.Elem())
+	case *types.Named:
+		pkg := t.Obj().Pkg()
+		return pkg != nil && (pkg.Path() == "packet" || strings.HasSuffix(pkg.Path(), "/packet"))
+	}
+	return false
+}
+
+// block scans one statement list. counted tracks whether a counting call
+// already ran earlier in this same block; inIf marks that the list executes
+// conditionally, which is what turns an uncounted exit into a finding.
+// Nested blocks start their own counted state: an increment at the top of a
+// function must not whitewash silent exits in later guards.
+func (c *checker) block(pass *vet.Pass, fname string, stmts []ast.Stmt, inIf bool) {
+	counted := false
+	for _, st := range stmts {
+		c.stmt(pass, fname, st, inIf, counted)
+		if c.subtreeCounts(pass, st) {
+			counted = true
+		}
+	}
+}
+
+func (c *checker) stmt(pass *vet.Pass, fname string, st ast.Stmt, inIf, counted bool) {
+	switch st := st.(type) {
+	case *ast.ReturnStmt:
+		if inIf && !counted && !c.subtreeCounts(pass, st) && !pass.HasLineDirective(st.Pos(), "drop-ok") {
+			pass.Reportf(st.Pos(), "uncounted conditional return in hot packet path %s; increment a drop counter or waive with //alpha:drop-ok", fname)
+		}
+	case *ast.BranchStmt:
+		if st.Tok == token.CONTINUE && inIf && !counted && !pass.HasLineDirective(st.Pos(), "drop-ok") {
+			pass.Reportf(st.Pos(), "uncounted conditional continue in hot packet path %s; increment a drop counter or waive with //alpha:drop-ok", fname)
+		}
+	case *ast.IfStmt:
+		c.ifStmt(pass, fname, st)
+	case *ast.ForStmt:
+		c.block(pass, fname, st.Body.List, false)
+	case *ast.RangeStmt:
+		c.block(pass, fname, st.Body.List, false)
+	case *ast.SwitchStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.block(pass, fname, cc.Body, inIf)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.block(pass, fname, cc.Body, inIf)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				c.block(pass, fname, cc.Body, inIf)
+			}
+		}
+	case *ast.BlockStmt:
+		c.block(pass, fname, st.List, inIf)
+	case *ast.LabeledStmt:
+		c.stmt(pass, fname, st.Stmt, inIf, counted)
+	}
+}
+
+// ifStmt scans both arms as conditional code.
+func (c *checker) ifStmt(pass *vet.Pass, fname string, st *ast.IfStmt) {
+	c.block(pass, fname, st.Body.List, true)
+	switch el := st.Else.(type) {
+	case *ast.BlockStmt:
+		c.block(pass, fname, el.List, true)
+	case *ast.IfStmt:
+		c.ifStmt(pass, fname, el)
+	}
+}
+
+// subtreeCounts reports whether any call in the statement's subtree
+// increments a telemetry counter, directly or transitively.
+func (c *checker) subtreeCounts(pass *vet.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass, call); fn != nil && c.funcCounts(fn) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// funcCounts reports whether calling fn (transitively) increments a
+// telemetry counter. Cycles resolve to "does not count".
+func (c *checker) funcCounts(fn *types.Func) bool {
+	if isCounterIncr(fn) {
+		return true
+	}
+	if fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), "alpha") {
+		return false
+	}
+	key := keyOf(fn)
+	if v := c.counts[key]; v != 0 {
+		return v > 0
+	}
+	c.counts[key] = -1 // in progress; a cycle does not count
+	di, ok := c.decls[key]
+	if ok && di.decl.Body != nil && c.subtreeCounts(di.pass, di.decl.Body) {
+		c.counts[key] = 1
+		return true
+	}
+	return false
+}
+
+// isCounterIncr matches telemetry.Counter.Inc and telemetry.Counter.Add —
+// the primitive every counted drop bottoms out in.
+func isCounterIncr(fn *types.Func) bool {
+	if fn.Name() != "Inc" && fn.Name() != "Add" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Counter" && strings.HasSuffix(named.Obj().Pkg().Path(), "telemetry")
+}
+
+func calleeFunc(pass *vet.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func keyOf(fn *types.Func) funcKey {
+	key := funcKey{pkg: fn.Pkg().Path(), name: fn.Name()}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			key.recv = n.Obj().Name()
+		}
+	}
+	return key
+}
+
+func rootName(key funcKey) string {
+	short := key.pkg
+	if i := strings.LastIndex(short, "/"); i >= 0 {
+		short = short[i+1:]
+	}
+	if key.recv != "" {
+		return short + "." + key.recv + "." + key.name
+	}
+	return short + "." + key.name
+}

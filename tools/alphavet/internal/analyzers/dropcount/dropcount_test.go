@@ -1,0 +1,12 @@
+package dropcount_test
+
+import (
+	"testing"
+
+	"alpha/tools/alphavet/internal/analyzers/dropcount"
+	"alpha/tools/alphavet/internal/vet/vettest"
+)
+
+func TestDropcount(t *testing.T) {
+	vettest.Run(t, "testdata/dropcount", dropcount.Analyzer)
+}

@@ -1,0 +1,120 @@
+package hot
+
+import (
+	"alpha/internal/packet"
+	"alpha/internal/telemetry"
+)
+
+type engine struct {
+	tel telemetry.Metrics
+}
+
+type decision struct{ verdict int }
+
+// drop counts before reporting a verdict; exits returning it are covered.
+func (e *engine) drop(hdr packet.Header) decision {
+	e.tel.Dropped.Inc()
+	return decision{}
+}
+
+// forward counts too (the non-discard verdict still increments a counter).
+func (e *engine) forward(hdr packet.Header) decision {
+	e.tel.Forwarded.Inc()
+	return decision{}
+}
+
+// silent is uncounted and must not satisfy the analyzer.
+func (e *engine) silent(hdr packet.Header) decision { return decision{} }
+
+// countedExits exercises every covered form: counting return expression,
+// transitive helper, and same-block increment before the exit.
+//
+//alpha:hotpath
+func (e *engine) countedExits(hdr packet.Header, s2 *packet.S2) decision {
+	if len(s2.Payload) == 0 {
+		return e.drop(hdr)
+	}
+	if hdr.Type == 9 {
+		e.tel.NoteDrop()
+		return decision{}
+	}
+	if hdr.Seq == 0 {
+		e.tel.Dropped.Inc()
+		return decision{}
+	}
+	return e.forward(hdr)
+}
+
+// uncountedReturn dies silently inside a guard.
+//
+//alpha:hotpath
+func (e *engine) uncountedReturn(hdr packet.Header) decision {
+	if hdr.Seq == 0 {
+		return decision{} // want `uncounted conditional return`
+	}
+	if hdr.Type == 1 {
+		return e.silent(hdr) // want `uncounted conditional return`
+	}
+	return e.forward(hdr)
+}
+
+// uncountedContinue drops datagrams of a burst without counting.
+//
+//alpha:hotpath
+func (e *engine) uncountedContinue(hdrs []packet.Header) {
+	for _, hdr := range hdrs {
+		if hdr.Type == 0 {
+			continue // want `uncounted conditional continue`
+		}
+		if hdr.Seq == 0 {
+			e.tel.Dropped.Inc()
+			continue
+		}
+		e.forward(hdr)
+	}
+}
+
+// waived documents why its silent exit is fine.
+//
+//alpha:hotpath
+func (e *engine) waived(hdr packet.Header) decision {
+	if hdr.Seq == 0 {
+		return decision{} //alpha:drop-ok caller counts the nil verdict
+	}
+	return e.forward(hdr)
+}
+
+// switchResults returns verdicts from case-final positions: normal result
+// paths, exempt. The guarded exit inside a case is still checked.
+//
+//alpha:hotpath
+func (e *engine) switchResults(hdr packet.Header) bool {
+	switch hdr.Type {
+	case 1:
+		if hdr.Seq == 0 {
+			return false // want `uncounted conditional return`
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// notHot is unchecked: no //alpha:hotpath directive.
+func (e *engine) notHot(hdr packet.Header) decision {
+	if hdr.Seq == 0 {
+		return decision{}
+	}
+	return e.forward(hdr)
+}
+
+// noPackets is hotpath but does not handle packets; its error unwinding is
+// not drop accounting.
+//
+//alpha:hotpath
+func (e *engine) noPackets(n int) int {
+	if n < 0 {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,12 @@
+// Stub of the wire-format package: parameter types of this package mark a
+// hotpath function as packet-handling.
+package packet
+
+type Header struct {
+	Seq  uint32
+	Type byte
+}
+
+type S2 struct {
+	Payload []byte
+}

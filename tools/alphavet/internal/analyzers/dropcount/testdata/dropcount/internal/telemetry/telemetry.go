@@ -1,0 +1,17 @@
+// Stub of the real telemetry package: just enough surface for dropcount's
+// typed Counter.Inc/Add detection.
+package telemetry
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Inc()         { c.v++ }
+func (c *Counter) Add(n uint64) { c.v += n }
+func (c *Counter) Load() uint64 { return c.v }
+
+type Metrics struct {
+	Dropped   Counter
+	Forwarded Counter
+}
+
+// NoteDrop is a counting helper: dropcount must resolve it transitively.
+func (m *Metrics) NoteDrop() { m.Dropped.Inc() }

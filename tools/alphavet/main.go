@@ -15,6 +15,7 @@ import (
 
 	"alpha/tools/alphavet/internal/analyzers/buildtagpair"
 	"alpha/tools/alphavet/internal/analyzers/ctcompare"
+	"alpha/tools/alphavet/internal/analyzers/dropcount"
 	"alpha/tools/alphavet/internal/analyzers/hotpathalloc"
 	"alpha/tools/alphavet/internal/analyzers/purposetag"
 	"alpha/tools/alphavet/internal/analyzers/telemisuse"
@@ -27,6 +28,7 @@ var all = []*vet.Analyzer{
 	telemisuse.Analyzer,
 	purposetag.Analyzer,
 	buildtagpair.Analyzer,
+	dropcount.Analyzer,
 }
 
 func main() {
