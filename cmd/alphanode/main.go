@@ -39,12 +39,22 @@ const maxIOBatch = 1024
 // maxTraceSize bounds -trace-size (the ring rounds up to a power of two).
 const maxTraceSize = 1 << 20
 
+// maxWorkers bounds -workers; the dispatch pool is meant to track cores,
+// not sessions, so four digits is already generous.
+const maxWorkers = 4096
+
 // validateFlags fail-fasts on out-of-range numeric flags before any socket
 // is opened, reporting every problem at once with the offending flag name.
-func validateFlags(batch, traceLen, ioBatch, reuse, count, flightLen int, chainLow float64, wait time.Duration) error {
+func validateFlags(batch, traceLen, ioBatch, reuse, count, flightLen, workers int, chainLow float64, wait, rotate time.Duration) error {
 	var errs []string
 	if batch < 1 || batch > packet.MaxMACs {
 		errs = append(errs, fmt.Sprintf("-batch %d out of range [1, %d]", batch, packet.MaxMACs))
+	}
+	if workers < 0 || workers > maxWorkers {
+		errs = append(errs, fmt.Sprintf("-workers %d out of range [0, %d] (0 = GOMAXPROCS)", workers, maxWorkers))
+	}
+	if rotate < 0 {
+		errs = append(errs, fmt.Sprintf("-rotate-interval %v must be >= 0 (0 = no expiry)", rotate))
 	}
 	if traceLen < 1 || traceLen > maxTraceSize {
 		errs = append(errs, fmt.Sprintf("-trace-size %d out of range [1, %d]", traceLen, maxTraceSize))
@@ -103,9 +113,12 @@ func main() {
 		perAssoc  = flag.Bool("metrics-per-assoc", false, "serve role: export one labeled metric family per live association on /metrics")
 		flightLen = flag.Int("flight-size", obs.DefaultSpanRingSize, "per-association flight-recorder ring size in spans (served on /flight)")
 		otlpEP    = flag.String("otlp-endpoint", "", "push metrics and anomaly spans to this OTLP/HTTP collector base URL (requires a build with -tags alpha_otlp)")
+		workers   = flag.Int("workers", 0, "serve role: session dispatch pool size (0 = GOMAXPROCS)")
+		rotate    = flag.Duration("rotate-interval", 0, "serve role: generation-rotation period; associations idle for two periods are expired (0 = never expire)")
+		prefilter = flag.Bool("prefilter", false, "stateless packet prefilter: stamp outgoing headers with a source-bound cookie and reject unstamped junk before session lookup (enable on every hop or none; requires UDP addressing without NAT)")
 	)
 	flag.Parse()
-	if err := validateFlags(*batch, *traceLen, *ioBatch, *reuse, *count, *flightLen, *chainLow, *wait); err != nil {
+	if err := validateFlags(*batch, *traceLen, *ioBatch, *reuse, *count, *flightLen, *workers, *chainLow, *wait, *rotate); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -194,7 +207,7 @@ func main() {
 		_ = exp.WriteText(os.Stdout)
 	}
 
-	ioOpts := udptransport.IOOptions{Batch: *ioBatch, GSO: *gso, ZeroCopy: *zerocopy}
+	ioOpts := udptransport.IOOptions{Batch: *ioBatch, GSO: *gso, ZeroCopy: *zerocopy, Prefilter: *prefilter}
 
 	// One warning, then keep going on the best engine the kernel grants —
 	// an unsupported kernel must never be fatal (fail-fast is for flag
@@ -237,6 +250,7 @@ func main() {
 		// Multi-association responder: accepts any number of dialers. With
 		// -reuseport N the kernel shards inbound flows across N sockets,
 		// each drained by its own batched read loop.
+		srvOpts := udptransport.ServerOptions{IO: ioOpts, Workers: *workers, RotateInterval: *rotate}
 		var srv *udptransport.Server
 		if *reuse > 0 {
 			n := *reuse
@@ -244,11 +258,11 @@ func main() {
 				n = max
 			}
 			var err error
-			srv, err = udptransport.NewReusePortServer("udp", *addr, n, cfg, ioOpts)
+			srv, err = udptransport.NewReusePortServerWith("udp", *addr, n, cfg, srvOpts)
 			fatalIf(err)
 			fmt.Printf("SO_REUSEPORT: %d read loops\n", n)
 		} else {
-			srv = udptransport.NewServerOpts(cfg, ioOpts, pc)
+			srv = udptransport.NewServerWith(cfg, srvOpts, pc)
 		}
 		defer srv.Close()
 		srv.SetFlightRecorder(rec)

@@ -233,6 +233,10 @@ const (
 	// the Mode and Batch the event carries. Exchanges already in flight
 	// finish under the profile they were created with.
 	EventModeChanged
+	// EventExpired fires when the transport retires an idle association
+	// (generation rotation in the UDP server); the engine itself never
+	// emits it. It is the last event a session's consumer sees.
+	EventExpired
 )
 
 // String returns the event kind's name.
@@ -258,6 +262,8 @@ func (k EventKind) String() string {
 		return "PeerRekeyed"
 	case EventModeChanged:
 		return "ModeChanged"
+	case EventExpired:
+		return "Expired"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

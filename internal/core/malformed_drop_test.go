@@ -22,7 +22,7 @@ func TestMalformedPacketCountedAsDrop(t *testing.T) {
 	}
 	now := time.Unix(0, 0)
 	inputs := [][]byte{
-		{},                        // empty datagram
+		{},                       // empty datagram
 		{0xDE, 0xAD, 0xBE, 0xEF}, // bad magic
 		{0xA1, 0xFA, 0x01, 0x7F}, // good magic, truncated header
 	}

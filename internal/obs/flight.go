@@ -20,6 +20,7 @@ const (
 	CauseOffloadDowngrade = "offload_downgrade"
 	CauseAdaptiveFlap     = "adaptive_flap"
 	CauseChainLow         = "chain_low"
+	CausePoolSaturation   = "pool_saturation"
 )
 
 // Dump is one captured anomaly: the victim association's recent span

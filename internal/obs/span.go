@@ -94,6 +94,9 @@ const (
 	VerdictForward
 	VerdictDrop
 	VerdictDeliver
+	// VerdictExpire: the hop retired the association as idle (generation
+	// rotation in the UDP server).
+	VerdictExpire
 )
 
 // VerdictString names a verdict.
@@ -111,6 +114,8 @@ func VerdictString(v uint8) string {
 		return "drop"
 	case VerdictDeliver:
 		return "deliver"
+	case VerdictExpire:
+		return "expire"
 	default:
 		return "unknown"
 	}

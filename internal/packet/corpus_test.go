@@ -18,6 +18,11 @@ import (
 // handshakes, S1/A1/S2/A2 in every mode — rather than hand-built packets.
 const fuzzCorpusDir = "testdata/fuzz/FuzzParsePacket"
 
+// prefilterCorpusDir is FuzzPrefilter's seed corpus: the same netsim
+// traffic, so the zero-false-negative fuzz starts from every packet type
+// and mode the protocol actually emits.
+const prefilterCorpusDir = "testdata/fuzz/FuzzPrefilter"
+
 // captureNetsimTraffic runs one exchange over an s — tap — v line in the
 // simulator and returns every datagram crossing the tap, in arrival order.
 func captureNetsimTraffic(t *testing.T, mode packet.Mode, reliable bool) [][]byte {
@@ -106,16 +111,21 @@ func TestNetsimCorpusSeeds(t *testing.T) {
 				}
 				perType[hdr.Type] = i + 1
 				name := fmt.Sprintf("netsim-%v-%v-%d", sc.mode, hdr.Type, i)
-				path := filepath.Join(fuzzCorpusDir, name)
-				if write {
-					entry := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", raw)
-					if err := os.WriteFile(path, []byte(entry), 0o644); err != nil {
-						t.Fatal(err)
+				for _, dir := range []string{fuzzCorpusDir, prefilterCorpusDir} {
+					path := filepath.Join(dir, name)
+					if write {
+						entry := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", raw)
+						if err := os.MkdirAll(dir, 0o755); err != nil {
+							t.Fatal(err)
+						}
+						if err := os.WriteFile(path, []byte(entry), 0o644); err != nil {
+							t.Fatal(err)
+						}
+						continue
 					}
-					continue
-				}
-				if _, err := os.Stat(path); err != nil {
-					t.Errorf("seed %s missing from the committed corpus; regenerate with ALPHA_WRITE_CORPUS=1: %v", name, err)
+					if _, err := os.Stat(path); err != nil {
+						t.Errorf("seed %s missing from the committed corpus; regenerate with ALPHA_WRITE_CORPUS=1: %v", filepath.Join(dir, name), err)
+					}
 				}
 			}
 			// A protocol run must at least produce a handshake and the

@@ -82,7 +82,6 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		{"bad version", mut(s1, func(b []byte) { b[2] = 99 }), ErrBadVersion, "", TypeInvalid},
 		{"unknown type", mut(s1, func(b []byte) { b[3] = 0x7F }), ErrBadType, "", TypeInvalid},
 		{"unknown suite", mut(s1, func(b []byte) { b[4] = 0xEE }), nil, "suite", TypeInvalid},
-		{"reserved nonzero", mut(s1, func(b []byte) { b[18] = 1 }), nil, "reserved", TypeInvalid},
 		{"header only", s1[:HeaderSize], ErrTruncated, "", TypeS1},
 		{"body truncated", s1[:len(s1)-1], ErrTruncated, "", TypeS1},
 		{"trailing byte", append(append([]byte(nil), s1...), 0), ErrTrailing, "", TypeS1},

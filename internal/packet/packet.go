@@ -191,7 +191,7 @@ func Encode(hdr Header, msg Message) ([]byte, error) {
 	w.u8(hdr.Flags)
 	w.u64(hdr.Assoc)
 	w.u32(hdr.Seq)
-	// Reserved byte for future extensions; must be zero.
+	// Filter cookie slot; zero until a transport stamps it (filter.go).
 	w.u8(0)
 	if err := msg.encodeBody(w, st.Size()); err != nil {
 		return nil, err
@@ -248,12 +248,11 @@ func Decode(b []byte) (Header, Message, error) {
 	if hdr.Seq, err = r.u32(); err != nil {
 		return fail(TypeInvalid, err)
 	}
-	reserved, err := r.u8()
-	if err != nil {
+	// The trailing header byte is the filter cookie slot (see filter.go):
+	// transports may overwrite it in flight with an address-bound hash, so
+	// the decoder ignores its value. Encode still writes zero.
+	if _, err = r.u8(); err != nil {
 		return fail(TypeInvalid, err)
-	}
-	if reserved != 0 {
-		return fail(TypeInvalid, fmt.Errorf("packet: reserved header byte %#x must be zero", reserved))
 	}
 	st, err := suite.ByID(hdr.Suite)
 	if err != nil {

@@ -458,6 +458,10 @@ type RelayTransportMetrics struct {
 	// WriteErrors counts forwarding batches the socket refused — the
 	// relay's only way to lose a verified packet after the verdict.
 	WriteErrors Counter
+	// PrefilterDrops counts datagrams the stateless prefilter rejected
+	// before verification (bad structure or address-bound cookie
+	// mismatch).
+	PrefilterDrops Counter
 }
 
 // Init fixes the embedded histogram layouts.
@@ -472,6 +476,7 @@ func (m *RelayTransportMetrics) Walk(v Visitor) {
 	v.Counter("bytes", m.Bytes.Load())
 	v.Counter("unknown_peer_drops", m.UnknownPeerDrops.Load())
 	v.Counter("write_errors", m.WriteErrors.Load())
+	v.Counter("drop_prefilter", m.PrefilterDrops.Load())
 	m.IO.Walk(v)
 }
 
@@ -501,11 +506,34 @@ type TransportMetrics struct {
 	// EventDrops counts engine events discarded because a session's event
 	// channel was full (slow or absent consumer; delivery is best-effort).
 	EventDrops Counter
+
+	// PrefilterDrops counts datagrams the stateless prefilter rejected
+	// before any session-map lookup or MAC (bad structure or address-bound
+	// cookie mismatch).
+	PrefilterDrops Counter
+	// AcceptBacklogDrops counts established sessions discarded because the
+	// accept backlog was at its cap.
+	AcceptBacklogDrops Counter
+
+	// Generation-rotation accounting: Rotations counts map swaps,
+	// SessionsExpired counts idle associations retired by a swap (a subset
+	// of SessionsRemoved).
+	Rotations       Counter
+	SessionsExpired Counter
+
+	// Worker-pool accounting: Workers is the pool size, RunQueueDepth the
+	// current number of associations queued for a worker, and
+	// DispatchLatency buckets socket-read-to-engine-handle time — the p99
+	// of this histogram is the flatness claim BenchmarkScale records.
+	Workers         Gauge
+	RunQueueDepth   Gauge
+	DispatchLatency Histogram
 }
 
 // Init fixes the embedded histogram layouts; counters need no setup.
 func (m *TransportMetrics) Init() *TransportMetrics {
 	m.IO.Init()
+	m.DispatchLatency.Init(LatencyBuckets)
 	return m
 }
 
@@ -523,4 +551,11 @@ func (m *TransportMetrics) Walk(v Visitor) {
 	v.Counter("short_datagrams", m.ShortDatagrams.Load())
 	v.Counter("endpoint_failures", m.EndpointFailures.Load())
 	v.Counter("event_drops", m.EventDrops.Load())
+	v.Counter("drop_prefilter", m.PrefilterDrops.Load())
+	v.Counter("drop_accept_backlog", m.AcceptBacklogDrops.Load())
+	v.Counter("rotations", m.Rotations.Load())
+	v.Counter("sessions_expired", m.SessionsExpired.Load())
+	v.Gauge("workers", m.Workers.Load())
+	v.Gauge("run_queue_depth", m.RunQueueDepth.Load())
+	v.Histogram("dispatch_latency_ns", m.DispatchLatency.Snapshot())
 }

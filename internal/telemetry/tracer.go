@@ -106,6 +106,20 @@ const (
 	ReasonSuiteMismatch
 	ReasonChainExhausted
 	ReasonInboxFull
+
+	// Transport-only reasons (the UDP server's pre-endpoint drop paths).
+	// They sit above the endpoint range on purpose: EndpointMetrics'
+	// DropReasons array covers codes 0–15 only, and these never reach it.
+
+	// ReasonPrefilter: the stateless prefilter rejected the datagram
+	// before any session lookup (bad structure or cookie mismatch).
+	ReasonPrefilter
+	// ReasonAcceptBacklog: an established session was discarded because
+	// the accept backlog was full.
+	ReasonAcceptBacklog
+	// ReasonExpired: an idle association was retired by generation
+	// rotation.
+	ReasonExpired
 )
 
 // ReasonString names a Reason code.
@@ -143,6 +157,12 @@ func ReasonString(code uint32) string {
 		return "chain_exhausted"
 	case ReasonInboxFull:
 		return "inbox_full"
+	case ReasonPrefilter:
+		return "prefilter"
+	case ReasonAcceptBacklog:
+		return "accept_backlog"
+	case ReasonExpired:
+		return "expired"
 	default:
 		return "unknown"
 	}

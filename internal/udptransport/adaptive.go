@@ -154,7 +154,10 @@ func (s *Server) SessionGroups(prefix string) telemetry.GroupFunc {
 		for i := range s.shards {
 			sh := &s.shards[i]
 			sh.mu.Lock()
-			for assoc, sess := range sh.sessions {
+			for assoc, sess := range sh.cur {
+				emit(prefix, fmt.Sprintf("assoc=%q", fmt.Sprintf("%016x", assoc)), sess.ep.Telemetry())
+			}
+			for assoc, sess := range sh.old {
 				emit(prefix, fmt.Sprintf("assoc=%q", fmt.Sprintf("%016x", assoc)), sess.ep.Telemetry())
 			}
 			sh.mu.Unlock()

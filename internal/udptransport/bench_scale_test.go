@@ -1,0 +1,382 @@
+// Scale proof for the session core: how many live associations one server
+// holds, what each costs in memory, that expiry is a generation swap rather
+// than a table scan, and what the prefilter rejects per second. The numbers
+// recorded in BENCH_scale.json come from TestScaleMillion (ALPHA_SCALE=1);
+// the CI smoke job runs TestScaleSmoke (ALPHA_SCALE_SMOKE=1) at 100k
+// associations with loose bounds, and BenchmarkScale gives `go test -bench`
+// visibility into the per-operation costs at a small table size.
+//
+// The populated table is built through the real dispatch path with
+// header-only HS1 frames: dispatch creates the session and its endpoint
+// exactly as for live traffic, the engine then rejects the truncated
+// handshake body — so each association holds its full routing-table,
+// endpoint, and buffer footprint without needing a million real peers.
+
+package udptransport
+
+import (
+	"encoding/binary"
+	"net"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"alpha/internal/core"
+	"alpha/internal/packet"
+	"alpha/internal/telemetry"
+)
+
+// scaleFrame builds a header-only frame that passes the prefilter's
+// structural tier (magic/version/type, cookie 0 = unstamped).
+func scaleFrame(typ packet.Type, assoc uint64) []byte {
+	b := make([]byte, packet.HeaderSize)
+	binary.BigEndian.PutUint16(b[0:2], packet.Magic)
+	b[2] = packet.Version
+	b[3] = byte(typ)
+	binary.BigEndian.PutUint64(b[6:14], assoc)
+	return b
+}
+
+// dispatchFrame feeds one crafted frame through Server.dispatch the way a
+// read loop would.
+func dispatchFrame(s *Server, from net.Addr, frame []byte) {
+	bp := bufPool.Get().(*[]byte)
+	n := copy(*bp, frame)
+	s.dispatch(time.Now(), nil, from, bp, n)
+}
+
+// drainWorkers waits until the run queues are empty and every owner turn
+// has finished.
+func drainWorkers(s *Server) {
+	for s.tel.RunQueueDepth.Load() != 0 {
+		runtime.Gosched()
+	}
+}
+
+// scaleBurst is the offered-load granularity of the scale runs: dispatch a
+// burst, let the pool drain it, repeat. Latency percentiles then measure
+// the dispatch-to-drain path under a bounded backlog — the steady state of
+// a provisioned deployment — rather than the unbounded-queue sweep time
+// that open-loop flooding would produce.
+const scaleBurst = 512
+
+// histP99 returns the upper bound of the bucket holding the 99th
+// percentile observation.
+func histP99(s telemetry.HistogramSnapshot) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := s.Count - s.Count/100 // ceil(0.99 * count)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Bounds[len(s.Bounds)-1] // overflow bucket
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// scaleMetrics is one scaleRun's report.
+type scaleMetrics struct {
+	n              int
+	bytesPerAssoc  uint64
+	populatePerSec float64
+	churnP99NS     int64
+	churnPerSec    float64
+	swapRotate     time.Duration
+	fullScan       time.Duration
+	expireAll      time.Duration
+	rejectPerSec   float64
+	acceptPerSec   float64
+}
+
+// scaleRun drives one server through the full scale scenario: populate n
+// associations, churn traffic across them, rotate (pure swap), compare
+// against a full-table scan, then expire the whole table in one rotation.
+func scaleRun(tb testing.TB, n int) scaleMetrics {
+	m := scaleMetrics{n: n}
+	cfg := core.Config{Mode: packet.ModeBase, ChainLen: 16}
+	// No sockets: dispatch is driven directly, so no read loops spin and
+	// nothing is ever written (the truncated handshakes produce no output).
+	// Buffers are sized for residency, the way a million-association
+	// deployment would run.
+	srv := NewServerWith(cfg, ServerOptions{InboxSize: 4, EventBuffer: 4, IO: IOOptions{Prefilter: true}})
+	defer srv.Close()
+	from := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 40000}
+
+	// Populate through the real dispatch path.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		dispatchFrame(srv, from, scaleFrame(packet.TypeHS1, uint64(i)+1))
+		if (i+1)%scaleBurst == 0 {
+			drainWorkers(srv)
+		}
+	}
+	drainWorkers(srv)
+	m.populatePerSec = float64(n) / time.Since(start).Seconds()
+	runtime.GC() // also empties bufPool, so only session state is counted
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > before.HeapAlloc {
+		m.bytesPerAssoc = (after.HeapAlloc - before.HeapAlloc) / uint64(n)
+	}
+	if got := srv.Sessions(); got != n {
+		tb.Fatalf("Sessions = %d after populate, want %d", got, n)
+	}
+
+	// Churn: data frames round-robin across the live table, measuring the
+	// dispatch-to-drain latency distribution under a saturated run queue.
+	churn := n
+	if churn > 200_000 {
+		churn = 200_000
+	}
+	frame := scaleFrame(packet.TypeS2, 1)
+	pre := srv.tel.DispatchLatency.Snapshot()
+	start = time.Now()
+	for i := 0; i < churn; i++ {
+		binary.BigEndian.PutUint64(frame[6:14], uint64(i%n)+1)
+		dispatchFrame(srv, from, frame)
+		if (i+1)%scaleBurst == 0 {
+			drainWorkers(srv)
+		}
+	}
+	drainWorkers(srv)
+	// Let the final owner turns land their latency observations.
+	var prev uint64
+	for {
+		c := srv.tel.DispatchLatency.Snapshot().Count
+		if c == prev {
+			break
+		}
+		prev = c
+		time.Sleep(5 * time.Millisecond)
+	}
+	m.churnPerSec = float64(churn) / time.Since(start).Seconds()
+	// Subtract the populate-phase observations so the percentile reflects
+	// the churn traffic alone.
+	post := srv.tel.DispatchLatency.Snapshot()
+	for i := range post.Counts {
+		post.Counts[i] -= pre.Counts[i]
+	}
+	post.Count -= pre.Count
+	m.churnP99NS = histP99(post)
+
+	// Expiry cost, the tentpole claim: a rotation over an all-live table is
+	// a pointer swap per shard (the previous generation is empty), while
+	// the pre-rotation design paid a scan over every live session.
+	start = time.Now()
+	srv.Rotate()
+	m.swapRotate = time.Since(start)
+	if got := srv.Sessions(); got != n {
+		tb.Fatalf("Sessions = %d after swap rotation, want %d", got, n)
+	}
+	cutoff := time.Now().UnixNano()
+	idle := 0
+	start = time.Now()
+	for i := range srv.shards {
+		sh := &srv.shards[i]
+		sh.mu.Lock()
+		for _, sess := range sh.cur {
+			if sess.lastActive.Load() < cutoff {
+				idle++
+			}
+		}
+		for _, sess := range sh.old {
+			if sess.lastActive.Load() < cutoff {
+				idle++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	m.fullScan = time.Since(start)
+	if idle != n {
+		tb.Fatalf("scan saw %d sessions, want %d", idle, n)
+	}
+
+	// Second rotation: every association has been idle since before the
+	// first, so the entire table retires — the worst case, paid once and
+	// proportional to the idle count, not to table history.
+	start = time.Now()
+	srv.Rotate()
+	m.expireAll = time.Since(start)
+	if got := srv.Sessions(); got != 0 {
+		tb.Fatalf("Sessions = %d after expiry rotation, want 0", got)
+	}
+	tel := srv.Telemetry()
+	if got := tel.SessionsExpired.Load(); got != uint64(n) {
+		tb.Fatalf("SessionsExpired = %d, want %d", got, n)
+	}
+	if got := tel.SessionsCreated.Load(); got != tel.SessionsRemoved.Load() {
+		tb.Fatalf("SessionsCreated = %d != SessionsRemoved = %d", got, tel.SessionsRemoved.Load())
+	}
+	if got := tel.ActiveSessions.Load(); got != 0 {
+		tb.Fatalf("ActiveSessions = %d, want 0", got)
+	}
+
+	// Prefilter throughput, stateless and table-independent.
+	const probes = 2_000_000
+	junk := make([]byte, 64)
+	for i := range junk {
+		junk[i] = byte(i * 7) // no magic: rejected by the structural tier
+	}
+	ip, port := addrIPPort(from)
+	start = time.Now()
+	for i := 0; i < probes; i++ {
+		if packet.Prefilter(junk, ip, port) {
+			tb.Fatal("junk passed the prefilter")
+		}
+	}
+	m.rejectPerSec = float64(probes) / time.Since(start).Seconds()
+	valid := scaleFrame(packet.TypeS2, 7)
+	packet.StampCookie(valid, ip, port)
+	start = time.Now()
+	for i := 0; i < probes; i++ {
+		if !packet.Prefilter(valid, ip, port) {
+			tb.Fatal("stamped frame rejected")
+		}
+	}
+	m.acceptPerSec = float64(probes) / time.Since(start).Seconds()
+	return m
+}
+
+func (m scaleMetrics) log(tb testing.TB) {
+	tb.Logf("scale n=%d: %d B/assoc, populate %.0f/s, churn %.0f/s p99<=%s, "+
+		"rotate(swap)=%s scan=%s expire-all=%s, prefilter reject %.1fM/s accept %.1fM/s",
+		m.n, m.bytesPerAssoc, m.populatePerSec, m.churnPerSec,
+		time.Duration(m.churnP99NS), m.swapRotate, m.fullScan, m.expireAll,
+		m.rejectPerSec/1e6, m.acceptPerSec/1e6)
+}
+
+// TestScaleSmoke is the CI-sized scale gate: 100k associations, loose
+// bounds on the properties that must not regress. Enable with
+// ALPHA_SCALE_SMOKE=1; it is too heavy for the ordinary test sweep and
+// meaningless under -race.
+func TestScaleSmoke(t *testing.T) {
+	if os.Getenv("ALPHA_SCALE_SMOKE") == "" {
+		t.Skip("set ALPHA_SCALE_SMOKE=1 to run the 100k-association smoke test")
+	}
+	m := scaleRun(t, 100_000)
+	m.log(t)
+	if m.bytesPerAssoc == 0 || m.bytesPerAssoc > 16<<10 {
+		t.Errorf("bytes/association = %d, want 1..16384", m.bytesPerAssoc)
+	}
+	if m.churnP99NS > 100_000_000 {
+		t.Errorf("dispatch p99 = %s, want <= 100ms", time.Duration(m.churnP99NS))
+	}
+	if m.swapRotate > 50*time.Millisecond {
+		t.Errorf("swap rotation took %s, want <= 50ms", m.swapRotate)
+	}
+	if m.rejectPerSec < 1e6 {
+		t.Errorf("prefilter rejects %.0f/s, want >= 1M/s", m.rejectPerSec)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		junk := [64]byte{}
+		packet.Prefilter(junk[:], nil, 40000)
+	}); allocs != 0 {
+		t.Errorf("Prefilter allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestScaleMillion is the full-size run behind BENCH_scale.json: one
+// million live associations on one server. Enable with ALPHA_SCALE=1.
+func TestScaleMillion(t *testing.T) {
+	if os.Getenv("ALPHA_SCALE") == "" {
+		t.Skip("set ALPHA_SCALE=1 to run the million-association scale test")
+	}
+	m := scaleRun(t, 1_000_000)
+	m.log(t)
+	if m.bytesPerAssoc > 16<<10 {
+		t.Errorf("bytes/association = %d, want <= 16384", m.bytesPerAssoc)
+	}
+}
+
+// BenchmarkScale reports the per-operation costs of the session core at a
+// small table size, for -bench comparisons.
+func BenchmarkScale(b *testing.B) {
+	from := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 40000}
+	ip, port := addrIPPort(from)
+
+	b.Run("prefilter-accept", func(b *testing.B) {
+		frame := scaleFrame(packet.TypeS2, 7)
+		packet.StampCookie(frame, ip, port)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !packet.Prefilter(frame, ip, port) {
+				b.Fatal("stamped frame rejected")
+			}
+		}
+	})
+	b.Run("prefilter-reject", func(b *testing.B) {
+		junk := make([]byte, 64)
+		for i := range junk {
+			junk[i] = byte(i * 7)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if packet.Prefilter(junk, ip, port) {
+				b.Fatal("junk passed")
+			}
+		}
+	})
+
+	const table = 8192
+	b.Run("dispatch", func(b *testing.B) {
+		srv := NewServerWith(core.Config{Mode: packet.ModeBase, ChainLen: 16},
+			ServerOptions{InboxSize: 4, EventBuffer: 4, IO: IOOptions{Prefilter: true}})
+		defer srv.Close()
+		for i := 0; i < table; i++ {
+			dispatchFrame(srv, from, scaleFrame(packet.TypeHS1, uint64(i)+1))
+		}
+		drainWorkers(srv)
+		frame := scaleFrame(packet.TypeS2, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		// Paced like scaleRun: an open-loop flood would only measure the
+		// buffer pool refilling behind a saturated run queue.
+		for i := 0; i < b.N; i++ {
+			binary.BigEndian.PutUint64(frame[6:14], uint64(i%table)+1)
+			dispatchFrame(srv, from, frame)
+			if (i+1)%scaleBurst == 0 {
+				drainWorkers(srv)
+			}
+		}
+		drainWorkers(srv)
+	})
+	b.Run("rotate-swap", func(b *testing.B) {
+		srv := NewServerWith(core.Config{Mode: packet.ModeBase, ChainLen: 16},
+			ServerOptions{InboxSize: 4, EventBuffer: 4})
+		defer srv.Close()
+		for i := 0; i < table; i++ {
+			dispatchFrame(srv, from, scaleFrame(packet.TypeHS1, uint64(i)+1))
+		}
+		drainWorkers(srv)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Keep the previous generation empty so each measured rotation
+			// is the all-live pure-swap case, as under steady traffic.
+			b.StopTimer()
+			for j := range srv.shards {
+				sh := &srv.shards[j]
+				sh.mu.Lock()
+				for assoc, sess := range sh.old {
+					delete(sh.old, assoc)
+					sh.cur[assoc] = sess
+				}
+				sh.mu.Unlock()
+			}
+			b.StartTimer()
+			srv.Rotate()
+		}
+		b.StopTimer()
+		if got := srv.Sessions(); got != table {
+			b.Fatalf("Sessions = %d, want %d", got, table)
+		}
+	})
+}

@@ -32,6 +32,34 @@ type IOOptions struct {
 	// ForceNoOffload pins the batched engine even when offload is
 	// requested — the downgrade-path test hook mirroring ForcePortable.
 	ForceNoOffload bool
+	// Prefilter enables the stateless per-packet prefilter
+	// (packet.Prefilter): outgoing packets are stamped with an
+	// address-bound filter cookie, and — on the server and relay — inbound
+	// datagrams failing the structural or cookie checks are rejected
+	// before any session lookup or MAC, counted under drop_prefilter.
+	// Enable it on every hop of a path or not at all: a stamped packet
+	// crossing a non-restamping hop fails the next hop's check. Requires
+	// UDP addressing with no NAT between hops.
+	Prefilter bool
+}
+
+// addrIPPort extracts the cookie-binding view of a UDP address: the
+// 4-byte-normalized IP (nil when unspecified or not UDP) and the port.
+//
+//alpha:hotpath
+func addrIPPort(a net.Addr) ([]byte, int) {
+	ua, ok := a.(*net.UDPAddr)
+	if !ok {
+		return nil, 0
+	}
+	ip := ua.IP
+	if ip == nil || ip.IsUnspecified() {
+		return nil, ua.Port
+	}
+	if v4 := ip.To4(); v4 != nil {
+		return v4, ua.Port
+	}
+	return ip, ua.Port
 }
 
 func (o IOOptions) batch() int {

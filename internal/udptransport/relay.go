@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"alpha/internal/core"
+	"alpha/internal/packet"
 	"alpha/internal/relay"
 	"alpha/internal/suite"
 	"alpha/internal/telemetry"
@@ -28,6 +29,14 @@ type Relay struct {
 	a, b    *net.UDPAddr
 	r       *relay.Relay
 	mu      sync.Mutex
+
+	// Stateless prefilter state (IOOptions.Prefilter): inbound datagrams
+	// are checked against the sender's address-bound cookie before
+	// verification, and forwarded ones are restamped with this relay's
+	// own binding — each hop of an ALPHA path owns its own cookie.
+	prefilter bool
+	stampIP   []byte
+	stampPort int
 
 	// OnDecision, if set, observes every verdict.
 	OnDecision func(d relay.Decision)
@@ -55,6 +64,10 @@ func NewRelayOpts(pc net.PacketConn, a, b net.Addr, cfg relay.Config, opts IOOpt
 	}
 	r.tel.Init()
 	r.io, r.offload = opts.wrapStatus(pc, &r.tel.IO)
+	r.prefilter = opts.Prefilter
+	if opts.Prefilter {
+		r.stampIP, r.stampPort = addrIPPort(pc.LocalAddr())
+	}
 	r.wg.Add(1)
 	go r.loop(opts.batch())
 	return r
@@ -161,6 +174,13 @@ func (r *Relay) loop(batch int) {
 				continue
 			}
 			data := ms[i].Buf[:ms[i].N]
+			if r.prefilter {
+				ip, port := addrIPPort(ms[i].Addr)
+				if !packet.Prefilter(data, ip, port) {
+					r.tel.PrefilterDrops.Inc()
+					continue
+				}
+			}
 			r.mu.Lock()
 			d := r.r.Process(now, data)
 			r.mu.Unlock()
@@ -172,6 +192,11 @@ func (r *Relay) loop(batch int) {
 			}
 			if d.Rewritten != nil {
 				data = d.Rewritten
+			}
+			if r.prefilter {
+				// Restamp for the next hop: the cookie binds to this
+				// relay's source address now.
+				packet.StampCookie(data, r.stampIP, r.stampPort)
 			}
 			fwd = append(fwd, udpio.Message{Buf: data, N: len(data), Addr: to})
 		}

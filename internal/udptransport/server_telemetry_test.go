@@ -106,10 +106,10 @@ func TestServerCountsInboxDrops(t *testing.T) {
 	// it: the bounded hand-off must drop the excess, counted.
 	sh := srv.shard(assoc)
 	sh.mu.Lock()
-	sess := sh.sessions[assoc]
+	sess := sh.cur[assoc]
 	sh.mu.Unlock()
 	sess.stop()
-	time.Sleep(50 * time.Millisecond) // let the worker notice and exit
+	time.Sleep(50 * time.Millisecond) // let any in-flight owner turn finish
 
 	const extra = 10
 	for i := 0; i < inboxSize+extra; i++ {

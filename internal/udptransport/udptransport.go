@@ -34,6 +34,12 @@ type Conn struct {
 
 	wbatch []udpio.Message // coalescing scratch for pumpLocked
 
+	// Outgoing filter-cookie binding (IOOptions.Prefilter): the peer's
+	// prefilter recomputes the cookie from our source address.
+	prefilter bool
+	stampIP   []byte
+	stampPort int
+
 	events      chan core.Event
 	established chan struct{}
 	estOnce     sync.Once
@@ -63,6 +69,7 @@ func DialOpts(pc net.PacketConn, peer net.Addr, cfg core.Config, timeout time.Du
 		c.Close()
 		return nil, err
 	}
+	c.stamp(hs1)
 	if _, err := c.io.WriteBatch([]udpio.Message{{Buf: hs1, N: len(hs1), Addr: peer}}); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("udptransport: sending HS1: %w", err)
@@ -129,15 +136,27 @@ func newConn(pc net.PacketConn, ep *core.Endpoint, peer net.Addr, opts IOOptions
 		opts.Batch = connBatch // one association never needs the server's burst depth
 	}
 	io, st := opts.wrapStatus(pc, nil)
-	return &Conn{
+	c := &Conn{
 		pc:          pc,
 		io:          io,
 		offload:     st,
 		ep:          ep,
 		peer:        peer,
+		prefilter:   opts.Prefilter,
 		events:      make(chan core.Event, 256),
 		established: make(chan struct{}),
 		closed:      make(chan struct{}),
+	}
+	if opts.Prefilter {
+		c.stampIP, c.stampPort = addrIPPort(pc.LocalAddr())
+	}
+	return c
+}
+
+// stamp writes the outgoing filter cookie when prefiltering is enabled.
+func (c *Conn) stamp(raw []byte) {
+	if c.prefilter {
+		packet.StampCookie(raw, c.stampIP, c.stampPort)
 	}
 }
 
@@ -281,6 +300,7 @@ func (c *Conn) pumpLocked(now time.Time) {
 	}
 	ms := c.wbatch[:0]
 	for _, raw := range out {
+		c.stamp(raw)
 		ms = append(ms, udpio.Message{Buf: raw, N: len(raw), Addr: c.peer})
 	}
 	c.wbatch = ms
