@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,9 +20,12 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"alpha/internal/adaptive"
+	"alpha/internal/admission"
 	"alpha/internal/core"
 	"alpha/internal/obs"
 	"alpha/internal/packet"
@@ -87,6 +91,35 @@ func validateFlags(batch, traceLen, ioBatch, reuse, count, flightLen, workers in
 	return fmt.Errorf("%s", msg)
 }
 
+// parseTokenKeys decodes the -token-key flag: comma-separated hex keys,
+// each optionally prefixed id: (bare keys get id 1, matching alphatoken's
+// default). Several entries let a server verify across a rotation.
+func parseTokenKeys(s string) (map[uint8]admission.Key, error) {
+	keys := make(map[uint8]admission.Key)
+	for _, entry := range strings.Split(s, ",") {
+		id := uint64(1)
+		hexKey := strings.TrimSpace(entry)
+		if i := strings.IndexByte(hexKey, ':'); i >= 0 {
+			var err error
+			if id, err = strconv.ParseUint(hexKey[:i], 10, 8); err != nil {
+				return nil, fmt.Errorf("-token-key id %q: %w", hexKey[:i], err)
+			}
+			hexKey = hexKey[i+1:]
+		}
+		raw, err := hex.DecodeString(hexKey)
+		if err != nil {
+			return nil, fmt.Errorf("-token-key: %w", err)
+		}
+		if len(raw) != admission.KeySize {
+			return nil, fmt.Errorf("-token-key: %d bytes, want %d", len(raw), admission.KeySize)
+		}
+		var k admission.Key
+		copy(k[:], raw)
+		keys[uint8(id)] = k
+	}
+	return keys, nil
+}
+
 func main() {
 	var (
 		role      = flag.String("role", "", "listen, dial, or relay")
@@ -116,11 +149,37 @@ func main() {
 		workers   = flag.Int("workers", 0, "serve role: session dispatch pool size (0 = GOMAXPROCS)")
 		rotate    = flag.Duration("rotate-interval", 0, "serve role: generation-rotation period; associations idle for two periods are expired (0 = never expire)")
 		prefilter = flag.Bool("prefilter", false, "stateless packet prefilter: stamp outgoing headers with a source-bound cookie and reject unstamped junk before session lookup (enable on every hop or none; requires UDP addressing without NAT)")
+		tokenKeys = flag.String("token-key", "", "admission key(s) as hex-encoded 32 bytes, optionally id:hex and comma-separated for rotation; serve: verify HS1 connect tokens; dial: mint an anchor-bound token locally (deployments mint out of band with alphatoken)")
+		tokenReq  = flag.Bool("require-token", false, "serve role: drop HS1s without a valid connect token (admission tier; needs -token-key)")
+		tokenHex  = flag.String("token", "", "dial role: hex connect token minted by alphatoken for this client's -addr")
+		s1Rate    = flag.Float64("s1-rate", 0, "relay role: sustained unsolicited-S1 forwards per second per upstream direction (0 = unlimited); unknown-association S1s beyond the budget are dropped as drop_s1_ratelimit")
+		s1Burst   = flag.Float64("s1-burst", 16, "relay role: unsolicited-S1 burst allowance on top of -s1-rate")
 	)
 	flag.Parse()
 	if err := validateFlags(*batch, *traceLen, *ioBatch, *reuse, *count, *flightLen, *workers, *chainLow, *wait, *rotate); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	// Admission: a keyed server verifies connect tokens before allocating
+	// session state; -require-token upgrades that to drop token-less HS1s.
+	var admitKeys map[uint8]admission.Key
+	if *tokenKeys != "" {
+		var err error
+		admitKeys, err = parseTokenKeys(*tokenKeys)
+		fatalIf(err)
+	}
+	if *tokenReq && admitKeys == nil {
+		fatal(fmt.Errorf("-require-token needs -token-key"))
+	}
+	var admitVerifier *admission.Verifier
+	if admitKeys != nil {
+		var err error
+		admitVerifier, err = admission.NewVerifier(admission.VerifierConfig{
+			Require: *tokenReq,
+			Keys:    admitKeys,
+		})
+		fatalIf(err)
 	}
 
 	var mode packet.Mode
@@ -250,7 +309,15 @@ func main() {
 		// Multi-association responder: accepts any number of dialers. With
 		// -reuseport N the kernel shards inbound flows across N sockets,
 		// each drained by its own batched read loop.
-		srvOpts := udptransport.ServerOptions{IO: ioOpts, Workers: *workers, RotateInterval: *rotate}
+		srvOpts := udptransport.ServerOptions{IO: ioOpts, Workers: *workers, RotateInterval: *rotate, Admission: admitVerifier}
+		if admitVerifier != nil {
+			exp.Register("alpha_admission", admitVerifier.Metrics())
+			if *tokenReq {
+				fmt.Println("admission: connect token required on every new association")
+			} else {
+				fmt.Println("admission: verifying connect tokens (token-less HS1s still admitted)")
+			}
+		}
 		var srv *udptransport.Server
 		if *reuse > 0 {
 			n := *reuse
@@ -347,6 +414,30 @@ func main() {
 		}
 		peerAddr, err := net.ResolveUDPAddr("udp", *peer)
 		fatalIf(err)
+		// Stamp a connect token into the HS1: either one minted out of
+		// band by alphatoken (-token) or, with the shared key at hand,
+		// minted here bound to this handshake's anchors.
+		switch {
+		case *tokenHex != "":
+			tok, err := hex.DecodeString(*tokenHex)
+			fatalIf(err)
+			cfg.TokenSource = func(sig, ack []byte) ([]byte, error) { return tok, nil }
+		case admitKeys != nil:
+			var keyID uint8
+			for id := range admitKeys {
+				keyID = id
+				break
+			}
+			issuer, err := admission.NewIssuer(keyID, admitKeys[keyID])
+			fatalIf(err)
+			cfg.TokenSource = func(sig, ack []byte) ([]byte, error) {
+				udp, ok := pc.LocalAddr().(*net.UDPAddr)
+				if !ok {
+					return nil, fmt.Errorf("cannot derive client address from %v", pc.LocalAddr())
+				}
+				return issuer.Mint(time.Now(), time.Minute, udp.IP, udp.Port, sig, ack)
+			}
+		}
 		var conn *udptransport.Conn
 		if *provision != "" {
 			conn = loadProvisioned(peerAddr)
@@ -400,7 +491,12 @@ func main() {
 		fatalIf(err)
 		b, err := net.ResolveUDPAddr("udp", *bAddr)
 		fatalIf(err)
-		r := udptransport.NewRelayOpts(pc, a, b, relay.Config{Tracer: tracer, Spans: rec.Shared()}, ioOpts)
+		rcfg := relay.Config{Tracer: tracer, Spans: rec.Shared(),
+			UnsolicitedS1Rate: *s1Rate, UnsolicitedS1Burst: *s1Burst}
+		r := udptransport.NewRelayOpts(pc, a, b, rcfg, ioOpts)
+		if *s1Rate > 0 {
+			fmt.Printf("rate limiting unsolicited S1s to %.3g/s (burst %.3g) per upstream\n", *s1Rate, *s1Burst)
+		}
 		warnOffload(r.OffloadStatus())
 		exp.Register("alpha_relay", r.Telemetry())
 		exp.Register("alpha_relay_transport", r.TransportTelemetry())

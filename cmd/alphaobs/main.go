@@ -2,8 +2,13 @@
 // the samples to the telemetry invariant catalog (DESIGN.md §5i):
 //
 //	I1  counters never move backwards (-recheck takes a second scrape)
-//	I2  benign runs show zero verification failures (-benign)
-//	I3  dropped == sum of drop_<reason> for every drop family
+//	I2  benign runs show zero verification failures (-benign); the
+//	    catalog counts forged/replayed/wrong-address admission tokens
+//	    (drop_admission_{invalid,replayed,addr_mismatch}) as hostile,
+//	    while missing/expired tokens have benign causes and stay out
+//	I3  dropped == sum of drop_<reason> for every drop family, the
+//	    admission tier's alpha_admission family and the relay's
+//	    drop_s1_ratelimit included
 //	I4  flow conservation and the loss-scaled drop budget
 //
 // Usage:

@@ -1,0 +1,113 @@
+// Command alphatoken is the out-of-band half of the admission tier: it
+// generates admission keys and mints short-lived connect tokens a client
+// presents in its HS1. The server (alphanode -role serve -token-key ...
+// -require-token) admits only handshakes whose token decrypts under a
+// shared key, has not expired, has not been seen before, and matches the
+// datagram's source address.
+//
+// Typical flow:
+//
+//	alphatoken -genkey > key.hex
+//	alphanode -role serve -addr 127.0.0.1:7001 -token-key $(cat key.hex) -require-token
+//	alphatoken -mint -key $(cat key.hex) -client 127.0.0.1:7000 -ttl 1m > token.hex
+//	alphanode -role dial -addr 127.0.0.1:7000 -peer 127.0.0.1:7001 -token $(cat token.hex)
+//
+// Anchor-bound tokens (-sig-anchor/-ack-anchor, hex) additionally let the
+// server skip the §3.4 anchor-signature verification; they require the
+// client to fix its chain anchors before requesting the token.
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"time"
+
+	"alpha/internal/admission"
+)
+
+func main() {
+	var (
+		genkey    = flag.Bool("genkey", false, "generate a fresh admission key and print it as hex")
+		mint      = flag.Bool("mint", false, "mint a connect token (requires -key and -client)")
+		keyHex    = flag.String("key", "", "admission key: hex-encoded 32 bytes")
+		keyID     = flag.Uint("key-id", 1, "key identifier stamped into the token (servers select the verify key by it)")
+		client    = flag.String("client", "", "client source address ip:port the token is bound to")
+		ttl       = flag.Duration("ttl", time.Minute, "token lifetime from now")
+		sigAnchor = flag.String("sig-anchor", "", "hex signature-chain anchor to bind (optional; needs -ack-anchor too)")
+		ackAnchor = flag.String("ack-anchor", "", "hex acknowledgment-chain anchor to bind (optional; needs -sig-anchor too)")
+	)
+	flag.Parse()
+
+	switch {
+	case *genkey:
+		var key admission.Key
+		if _, err := rand.Read(key[:]); err != nil {
+			fatal(err)
+		}
+		fmt.Println(hex.EncodeToString(key[:]))
+
+	case *mint:
+		if *keyHex == "" || *client == "" {
+			fatal(fmt.Errorf("-mint requires -key and -client"))
+		}
+		if *keyID > 255 {
+			fatal(fmt.Errorf("-key-id %d out of range [0, 255]", *keyID))
+		}
+		raw, err := hex.DecodeString(*keyHex)
+		if err != nil {
+			fatal(fmt.Errorf("-key: %w", err))
+		}
+		if len(raw) != admission.KeySize {
+			fatal(fmt.Errorf("-key: %d bytes, want %d", len(raw), admission.KeySize))
+		}
+		var key admission.Key
+		copy(key[:], raw)
+		host, portStr, err := net.SplitHostPort(*client)
+		if err != nil {
+			fatal(fmt.Errorf("-client: %w", err))
+		}
+		ip := net.ParseIP(host)
+		if ip == nil {
+			fatal(fmt.Errorf("-client: %q is not an IP address (tokens bind addresses, not names)", host))
+		}
+		port, err := strconv.Atoi(portStr)
+		if err != nil || port < 0 || port > 65535 {
+			fatal(fmt.Errorf("-client: bad port %q", portStr))
+		}
+		if (*sigAnchor == "") != (*ackAnchor == "") {
+			fatal(fmt.Errorf("anchor binding needs both -sig-anchor and -ack-anchor"))
+		}
+		var sig, ack []byte
+		if *sigAnchor != "" {
+			if sig, err = hex.DecodeString(*sigAnchor); err != nil {
+				fatal(fmt.Errorf("-sig-anchor: %w", err))
+			}
+			if ack, err = hex.DecodeString(*ackAnchor); err != nil {
+				fatal(fmt.Errorf("-ack-anchor: %w", err))
+			}
+		}
+		issuer, err := admission.NewIssuer(uint8(*keyID), key)
+		if err != nil {
+			fatal(err)
+		}
+		token, err := issuer.Mint(time.Now(), *ttl, ip, port, sig, ack)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(hex.EncodeToString(token))
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

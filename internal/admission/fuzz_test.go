@@ -1,0 +1,82 @@
+package admission
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Fuzz fixture: one verifier and one known-good minted token, shared across
+// iterations. The replay filter makes repeated OK verdicts on the same
+// bytes impossible, so the invariant below is one-directional.
+var fuzzFix struct {
+	once sync.Once
+	v    *Verifier
+	tok  []byte
+	now  time.Time
+}
+
+// fixedReader makes the fixture issuer's nonce deterministic: fuzz workers
+// run in separate processes, and every process must agree on the one token
+// that may legitimately authenticate.
+type fixedReader struct{}
+
+func (fixedReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(0xB0 + i)
+	}
+	return len(p), nil
+}
+
+func fuzzSetup(f *testing.F) (*Verifier, []byte, time.Time) {
+	fuzzFix.once.Do(func() {
+		key := testKey(0x5A)
+		is, err := NewIssuer(3, key)
+		if err != nil {
+			panic(err)
+		}
+		is.rand = fixedReader{}
+		v, err := NewVerifier(VerifierConfig{Require: true, Keys: map[uint8]Key{3: key}})
+		if err != nil {
+			panic(err)
+		}
+		now := time.Unix(5000, 0)
+		tok, err := is.Mint(now, time.Hour, clientIP, clientPort, nil, nil)
+		if err != nil {
+			panic(err)
+		}
+		fuzzFix.v, fuzzFix.tok, fuzzFix.now = v, tok, now
+	})
+	return fuzzFix.v, fuzzFix.tok, fuzzFix.now
+}
+
+// FuzzTokenDecode feeds hostile bytes to the verifier: whatever the input,
+// Admit must neither panic nor authenticate anything except the one token
+// the issuer really minted. The corpus seeds with issuer-minted tokens and
+// systematic mutations of them.
+func FuzzTokenDecode(f *testing.F) {
+	v, tok, now := fuzzSetup(f)
+
+	f.Add([]byte{})
+	f.Add(tok)
+	for i := 0; i < TokenLen; i += 7 {
+		mut := append([]byte(nil), tok...)
+		mut[i] ^= 0xA5
+		f.Add(mut)
+	}
+	f.Add(tok[:TokenLen-1])
+	f.Add(append(append([]byte(nil), tok...), 0))
+	f.Add(bytes.Repeat([]byte{0xFF}, TokenLen))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		verdict := v.Admit(now, data, clientIP, clientPort, nil, nil)
+		if verdict.OK && !bytes.Equal(data, tok) {
+			t.Fatalf("hostile bytes authenticated: %x", data)
+		}
+		// Wrong address must never authenticate, minted token included.
+		if v.Admit(now, data, []byte{203, 0, 113, 1}, 1, nil, nil).OK {
+			t.Fatalf("token authenticated from the wrong address: %x", data)
+		}
+	})
+}

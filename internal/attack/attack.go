@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"time"
 
+	"alpha/internal/admission"
 	"alpha/internal/core"
 	"alpha/internal/netsim"
 	"alpha/internal/packet"
@@ -156,6 +157,97 @@ func (fn *FloodNode) forge() []byte {
 		msg = &packet.S2{Mode: packet.ModeBase, KeyIdx: 2, Key: junk, Payload: payload}
 	}
 	raw, err := packet.Encode(h, msg)
+	if err != nil {
+		return junk
+	}
+	return raw
+}
+
+// HSFloodMode selects the admission-evasion strategy of a handshake flood.
+type HSFloodMode int
+
+const (
+	// HSTokenless sends HS1s carrying no connect token at all.
+	HSTokenless HSFloodMode = iota
+	// HSForgedToken attaches random bytes of the right token length.
+	HSForgedToken
+	// HSReplayedToken re-sends one captured legitimate token verbatim.
+	HSReplayedToken
+)
+
+// HSFloodNode is the handshake-flood attacker the admission tier exists to
+// stop: it sprays HS1 packets with fresh association IDs at a victim,
+// trying to force per-handshake state (or signature verifications) into
+// existence. Its three modes cover the evasion ladder — no token, a forged
+// token, and a replayed legitimate token.
+type HSFloodNode struct {
+	Name   string
+	Victim string
+	Mode   HSFloodMode
+	// Token is the captured token re-sent verbatim in HSReplayedToken mode.
+	Token []byte
+	// Sent counts injected handshakes.
+	Sent uint64
+
+	rng *rand.Rand
+}
+
+// NewHSFloodNode registers a handshake-flooding source.
+func NewHSFloodNode(net *netsim.Network, name, victim string, mode HSFloodMode) *HSFloodNode {
+	fn := &HSFloodNode{Name: name, Victim: victim, Mode: mode, rng: rand.New(rand.NewSource(0x45F100D))}
+	net.AddNode(name, fn)
+	return fn
+}
+
+// Receive implements netsim.Handler (floods ignore incoming traffic).
+func (fn *HSFloodNode) Receive(net *netsim.Network, now time.Time, pkt netsim.Packet) {}
+
+// FloodFor schedules count forged handshakes spread over the given window.
+func (fn *HSFloodNode) FloodFor(net *netsim.Network, start time.Time, window time.Duration, count int) {
+	if count <= 0 {
+		return
+	}
+	step := window / time.Duration(count)
+	for i := 0; i < count; i++ {
+		at := start.Add(time.Duration(i) * step)
+		net.Schedule(at, func(now time.Time) {
+			raw := fn.forgeHS1()
+			fn.Sent++
+			_ = net.Inject(fn.Name, fn.Victim, raw)
+		})
+	}
+}
+
+// forgeHS1 builds a syntactically valid HS1 with junk anchors, a fresh
+// association ID, and the mode's token (if any).
+func (fn *HSFloodNode) forgeHS1() []byte {
+	junk := make([]byte, 60)
+	fn.rng.Read(junk)
+	hs := &packet.Handshake{
+		Initiator: true,
+		SigAnchor: junk[:20],
+		AckAnchor: junk[20:40],
+		ChainLen:  64,
+		Nonce:     junk[40:60],
+	}
+	h := packet.Header{
+		Type:  packet.TypeHS1,
+		Suite: 1, // SHA-1
+		Flags: core.FlagInitiator,
+		Assoc: fn.rng.Uint64(),
+	}
+	switch fn.Mode {
+	case HSForgedToken:
+		tok := make([]byte, admission.TokenLen)
+		fn.rng.Read(tok)
+		tok[0] = admission.TokenVersion
+		hs.HasToken, hs.Token = true, tok
+		h.Flags |= packet.FlagToken
+	case HSReplayedToken:
+		hs.HasToken, hs.Token = true, fn.Token
+		h.Flags |= packet.FlagToken
+	}
+	raw, err := packet.Encode(h, hs)
 	if err != nil {
 		return junk
 	}

@@ -115,6 +115,11 @@ type Config struct {
 	// protected handshake; returning an error aborts the association.
 	// Required when the peer signs its anchors.
 	VerifyPeer func(pub *rsa.PublicKey) error
+	// TokenSource, if set, supplies the admission connect token stamped
+	// into the initiator's HS1 (internal/admission). It is called once per
+	// handshake with the local chain anchors so issuers can bind them;
+	// returning an error aborts StartHandshake. Responders ignore it.
+	TokenSource func(sigAnchor, ackAnchor []byte) ([]byte, error)
 	// Tracer, if set, records per-association packet lifecycle events
 	// (S1 announced, A1 received, S2 disclosed/verified, drops with
 	// reasons). Tracing is lock-free and allocation-free; a nil Tracer

@@ -68,6 +68,11 @@ type Endpoint struct {
 	chainLow bool
 	nonce    []byte
 
+	// Pre-admitted peer anchors: installed by the transport when an
+	// admission token bound the initiator's anchors, letting adoptPeer
+	// skip the §3.4 signature verification for exactly those anchors.
+	preSig, preAck []byte
+
 	// Hot-path scratch: MAC inputs and computed MACs are assembled here
 	// instead of freshly allocated per message. Valid only within one
 	// MAC-build-or-verify step; the endpoint is single-threaded by
@@ -245,7 +250,11 @@ func (e *Endpoint) StartHandshake(now time.Time) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	raw, err := packet.Encode(e.header(packet.TypeHS1, 0), hs)
+	hdr := e.header(packet.TypeHS1, 0)
+	if hs.HasToken {
+		hdr.Flags |= packet.FlagToken
+	}
+	raw, err := packet.Encode(hdr, hs)
 	if err != nil {
 		return nil, err
 	}
@@ -290,6 +299,14 @@ func (e *Endpoint) buildHandshake(initiator bool) (*packet.Handshake, error) {
 		if err := signHandshake(e.cfg.Identity, e.assoc, hs); err != nil {
 			return nil, err
 		}
+	}
+	if initiator && e.cfg.TokenSource != nil {
+		token, err := e.cfg.TokenSource(hs.SigAnchor, hs.AckAnchor)
+		if err != nil {
+			return nil, fmt.Errorf("core: token source: %w", err)
+		}
+		hs.HasToken = true
+		hs.Token = token
 	}
 	return hs, nil
 }
@@ -498,6 +515,23 @@ func (e *Endpoint) handleHandshake(now time.Time, hdr packet.Header, hs *packet.
 	}
 }
 
+// PreAdmit records anchors an admission token has already authenticated
+// for this association's initiator. A subsequent HS1 carrying exactly
+// these anchors skips the §3.4 signature verification (the token bound
+// them to the client out of band). Must be called from the endpoint's
+// owning goroutine before the HS1 is handled.
+func (e *Endpoint) PreAdmit(sigAnchor, ackAnchor []byte) {
+	e.preSig = append(e.preSig[:0], sigAnchor...)
+	e.preAck = append(e.preAck[:0], ackAnchor...)
+}
+
+// preAdmitted reports whether the handshake's anchors are exactly the
+// pre-admitted ones.
+func (e *Endpoint) preAdmitted(hs *packet.Handshake) bool {
+	return len(e.preSig) > 0 &&
+		suite.Equal(e.preSig, hs.SigAnchor) && suite.Equal(e.preAck, hs.AckAnchor)
+}
+
 // adoptPeer validates a peer handshake body and installs walkers over the
 // peer's chains.
 func (e *Endpoint) adoptPeer(hdr packet.Header, hs *packet.Handshake) error {
@@ -507,11 +541,16 @@ func (e *Endpoint) adoptPeer(hdr packet.Header, hs *packet.Handshake) error {
 	if hs.ChainLen == 0 || hs.ChainLen > 1<<24 {
 		return fmt.Errorf("%w: chain length %d", ErrBadHandshake, hs.ChainLen)
 	}
-	if hdr.Flags&packet.FlagProtected != 0 || hs.Scheme != 0 {
+	switch {
+	case e.preAdmitted(hs):
+		// The admission token already bound exactly these anchors to the
+		// client (one symmetric decrypt at the transport), so the §3.4
+		// asymmetric verification would re-prove what the token proved.
+	case hdr.Flags&packet.FlagProtected != 0 || hs.Scheme != 0:
 		if err := verifyHandshake(hdr.Assoc, hs, e.cfg.VerifyPeer); err != nil {
 			return err
 		}
-	} else if e.cfg.VerifyPeer != nil {
+	case e.cfg.VerifyPeer != nil:
 		return fmt.Errorf("%w: peer did not sign anchors", ErrBadHandshake)
 	}
 	var err error

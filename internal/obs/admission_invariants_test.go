@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"alpha/internal/admission"
+	"alpha/internal/telemetry"
+)
+
+// TestAdmissionFamilySatisfiesI3 drives a real verifier through every
+// rejection reason plus a flood of token-less HS1s, exports the family the
+// way alphanode does, and runs the invariant checker: the aggregate drop
+// counter must equal the per-reason sum exactly (I3), with no I2 noise
+// since hostile traffic is not a benign run.
+func TestAdmissionFamilySatisfiesI3(t *testing.T) {
+	var key admission.Key
+	for i := range key {
+		key[i] = 0x31
+	}
+	issuer, err := admission.NewIssuer(2, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := admission.NewVerifier(admission.VerifierConfig{
+		Require: true,
+		Keys:    map[uint8]admission.Key{2: key},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := time.Unix(9000, 0)
+	ip := []byte{192, 0, 2, 7}
+	tok, err := issuer.Mint(now, time.Minute, ip, 4242, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One accept, then one rejection of every kind.
+	if !v.Admit(now, tok, ip, 4242, nil, nil).OK {
+		t.Fatal("minted token rejected")
+	}
+	v.Admit(now, nil, ip, 4242, nil, nil)                        // missing
+	v.Admit(now, tok, ip, 4242, nil, nil)                        // replayed
+	v.Admit(now, tok[:admission.TokenLen-1], ip, 4242, nil, nil) // invalid
+	tok2, err := issuer.Mint(now, time.Second, ip, 4242, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Admit(now.Add(time.Hour), tok2, ip, 4242, nil, nil) // expired
+	tok3, err := issuer.Mint(now, time.Minute, ip, 4242, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Admit(now, tok3, []byte{192, 0, 2, 8}, 4242, nil, nil) // addr mismatch
+	// A token-less flood on top, to make the aggregate interesting.
+	for i := 0; i < 500; i++ {
+		v.Admit(now, nil, ip, 4242, nil, nil)
+	}
+
+	exp := telemetry.NewExporter()
+	exp.Register("alpha_admission", v.Metrics())
+	snap, counters, err := Collect(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !counters["alpha_admission_dropped"] {
+		t.Fatal("alpha_admission_dropped not exported as a counter")
+	}
+	for _, reason := range []string{"missing", "invalid", "expired", "replayed", "addr_mismatch"} {
+		name := "alpha_admission_drop_admission_" + reason
+		if got, ok := snap[name]; !ok || got == 0 {
+			t.Fatalf("%s missing or zero in scrape: %d", name, got)
+		}
+	}
+	if v := (Invariants{}).Check(snap); len(v) != 0 {
+		t.Fatalf("admission family under flood violates invariants: %+v", v)
+	}
+	// And the checker has teeth for this family: understate one reason
+	// counter and I3 must fire.
+	snap["alpha_admission_drop_admission_missing"] -= 1
+	violations := (Invariants{}).Check(snap)
+	found := false
+	for _, violation := range violations {
+		if violation.Rule == "I3-drop-budget" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tampered admission snapshot passed I3: %+v", violations)
+	}
+}
+
+// TestI2CatalogsHostileAdmissionReasons pins which admission drop reasons
+// count as verify failures for the benign-run invariant: forged, replayed
+// and wrong-address tokens can only come from hostile traffic, while
+// missing and expired tokens happen in healthy deployments (rollouts,
+// clock skew) and must not trip I2.
+func TestI2CatalogsHostileAdmissionReasons(t *testing.T) {
+	hostile := []string{"invalid", "replayed", "addr_mismatch"}
+	for _, reason := range hostile {
+		snap := MetricSnapshot{
+			"alpha_admission_dropped":                  1,
+			"alpha_admission_drop_admission_" + reason: 1,
+		}
+		violations := (Invariants{Benign: true}).Check(snap)
+		found := false
+		for _, v := range violations {
+			if v.Rule == "I2-benign-clean" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("benign run with drop_admission_%s did not violate I2", reason)
+		}
+	}
+	for _, reason := range []string{"missing", "expired"} {
+		snap := MetricSnapshot{
+			"alpha_admission_dropped":                  1,
+			"alpha_admission_drop_admission_" + reason: 1,
+		}
+		for _, v := range (Invariants{Benign: true}).Check(snap) {
+			if v.Rule == "I2-benign-clean" {
+				t.Fatalf("drop_admission_%s wrongly catalogued as hostile-only", reason)
+			}
+		}
+	}
+}

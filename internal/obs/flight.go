@@ -21,6 +21,7 @@ const (
 	CauseAdaptiveFlap     = "adaptive_flap"
 	CauseChainLow         = "chain_low"
 	CausePoolSaturation   = "pool_saturation"
+	CauseAdmissionStorm   = "admission_storm"
 )
 
 // Dump is one captured anomaly: the victim association's recent span

@@ -135,6 +135,12 @@ var verifyFailSuffixes = []string{
 	"_drop_bad_payload",
 	"_drop_bad_ack",
 	"_drop_malformed",
+	// Admission refusals that can only come from hostile or corrupted
+	// tokens. Missing and expired are excluded: clock skew or a Require
+	// rollout can produce those benignly.
+	"_drop_admission_invalid",
+	"_drop_admission_replayed",
+	"_drop_admission_addr_mismatch",
 }
 
 // dropBound derives the I4 ceiling on counted drops. Each lost packet can

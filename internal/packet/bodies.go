@@ -43,6 +43,13 @@ type Handshake struct {
 	PubKey []byte
 	// Sig is the signature over the anchors (protected only).
 	Sig []byte
+	// HasToken gates the trailing Token field. It mirrors the header's
+	// FlagToken bit: Decode sets it from the header, and encoders must set
+	// the flag and this field together. Gating on a flag instead of always
+	// emitting the field keeps the pre-admission wire form byte-identical.
+	HasToken bool
+	// Token is the admission connect token (HS1 only; opaque to the codec).
+	Token []byte
 }
 
 // Type implements Message.
@@ -71,7 +78,19 @@ func (hs *Handshake) encodeBody(w *writer, h int) error {
 	if err := w.bytes16(hs.PubKey); err != nil {
 		return err
 	}
-	return w.bytes16(hs.Sig)
+	if err := w.bytes16(hs.Sig); err != nil {
+		return err
+	}
+	if hs.HasToken {
+		if len(hs.Token) > MaxKeyBlob {
+			return errors.New("handshake token too large")
+		}
+		return w.bytes16(hs.Token)
+	}
+	if len(hs.Token) != 0 {
+		return errors.New("handshake token present without FlagToken")
+	}
+	return nil
 }
 
 func (hs *Handshake) decodeBody(r *reader, h int) error {
@@ -97,7 +116,12 @@ func (hs *Handshake) decodeBody(r *reader, h int) error {
 	if hs.Sig, err = r.bytes16(); err != nil {
 		return err
 	}
-	if len(hs.PubKey) > MaxKeyBlob || len(hs.Sig) > MaxKeyBlob {
+	if hs.HasToken {
+		if hs.Token, err = r.bytes16(); err != nil {
+			return err
+		}
+	}
+	if len(hs.PubKey) > MaxKeyBlob || len(hs.Sig) > MaxKeyBlob || len(hs.Token) > MaxKeyBlob {
 		return errors.New("handshake key material too large")
 	}
 	return nil

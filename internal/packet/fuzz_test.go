@@ -34,6 +34,13 @@ func FuzzParsePacket(f *testing.F) {
 		f.Add(raw)
 	}
 	seed(hdr(TypeHS1), &Handshake{Initiator: true, SigAnchor: d(1), AckAnchor: d(2), ChainLen: 8, Nonce: d(3)})
+	tokHdr := hdr(TypeHS1)
+	tokHdr.Flags |= FlagToken
+	tok := make([]byte, 88) // admission.TokenLen
+	for i := range tok {
+		tok[i] = byte(i * 3)
+	}
+	seed(tokHdr, &Handshake{Initiator: true, SigAnchor: d(1), AckAnchor: d(2), ChainLen: 8, Nonce: d(3), HasToken: true, Token: tok})
 	seed(hdr(TypeS1), &S1{Mode: ModeC, AuthIdx: 1, Auth: d(1), KeyIdx: 2, MACs: [][]byte{d(2), d(3)}})
 	seed(hdr(TypeS1), &S1{Mode: ModeM, AuthIdx: 1, Auth: d(1), KeyIdx: 2, LeafCount: 8, Root: d(4)})
 	seed(hdr(TypeA1), &A1{AuthIdx: 1, Auth: d(1), KeyIdx: 2, PreAck: d(2), PreNack: d(3)})

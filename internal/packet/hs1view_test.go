@@ -1,0 +1,157 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+
+	"alpha/internal/suite"
+)
+
+func tokenHS1(t *testing.T, withToken bool) ([]byte, *Handshake, Header) {
+	t.Helper()
+	s := suite.SHA1()
+	d := func(seed byte) []byte {
+		b := make([]byte, s.Size())
+		for i := range b {
+			b[i] = seed + byte(i)
+		}
+		return b
+	}
+	hs := &Handshake{Initiator: true, SigAnchor: d(1), AckAnchor: d(2), ChainLen: 64, Nonce: d(3)}
+	h := Header{Type: TypeHS1, Suite: s.ID(), Flags: 0x01, Assoc: 0xDEADBEEF, Seq: 0}
+	if withToken {
+		tok := make([]byte, 88)
+		for i := range tok {
+			tok[i] = byte(0x40 + i)
+		}
+		hs.HasToken, hs.Token = true, tok
+		h.Flags |= FlagToken
+	}
+	raw, err := Encode(h, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, hs, h
+}
+
+func TestHandshakeTokenRoundtrip(t *testing.T) {
+	raw, hs, _ := tokenHS1(t, true)
+	hdr, msg, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msg.(*Handshake)
+	if !got.HasToken || !bytes.Equal(got.Token, hs.Token) {
+		t.Fatalf("token did not round-trip: has=%v token=%x", got.HasToken, got.Token)
+	}
+	re, err := Encode(hdr, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, raw) {
+		t.Fatal("re-encoding differs")
+	}
+}
+
+func TestTokenlessWireFormUnchanged(t *testing.T) {
+	// The token field is flag-gated: a tokenless HS1 must keep the exact
+	// pre-admission wire form, so old and new nodes interoperate.
+	raw, _, h := tokenHS1(t, false)
+	if h.Flags&FlagToken != 0 {
+		t.Fatal("tokenless encode set FlagToken")
+	}
+	hdr, msg, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msg.(*Handshake)
+	if got.HasToken || got.Token != nil {
+		t.Fatalf("tokenless decode produced a token: %+v", got)
+	}
+	re, err := Encode(hdr, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, raw) {
+		t.Fatal("re-encoding differs")
+	}
+}
+
+func TestHandshakeTokenEncodingErrors(t *testing.T) {
+	s := suite.SHA1()
+	d := make([]byte, s.Size())
+	hs := &Handshake{Initiator: true, SigAnchor: d, AckAnchor: d, ChainLen: 1, Nonce: d}
+	h := Header{Type: TypeHS1, Suite: s.ID()}
+
+	// Token bytes without the gating field is a caller bug, not silently
+	// dropped payload.
+	hs.Token = []byte{1, 2, 3}
+	if _, err := Encode(h, hs); err == nil {
+		t.Fatal("token without HasToken encoded")
+	}
+	// Oversized token.
+	hs.HasToken = true
+	hs.Token = make([]byte, MaxKeyBlob+1)
+	h.Flags |= FlagToken
+	if _, err := Encode(h, hs); err == nil {
+		t.Fatal("oversized token encoded")
+	}
+}
+
+func TestParseHS1ViewAgreesWithDecode(t *testing.T) {
+	for _, withToken := range []bool{false, true} {
+		raw, hs, h := tokenHS1(t, withToken)
+		view, ok := ParseHS1View(raw)
+		if !ok {
+			t.Fatalf("view rejected a valid HS1 (token=%v)", withToken)
+		}
+		if view.Suite != h.Suite || view.Flags != h.Flags || view.Assoc != h.Assoc {
+			t.Fatalf("header mismatch: %+v vs %+v", view, h)
+		}
+		if !bytes.Equal(view.SigAnchor, hs.SigAnchor) || !bytes.Equal(view.AckAnchor, hs.AckAnchor) {
+			t.Fatal("anchor mismatch")
+		}
+		if view.ChainLen != hs.ChainLen {
+			t.Fatalf("chain length %d != %d", view.ChainLen, hs.ChainLen)
+		}
+		if !bytes.Equal(view.Token, hs.Token) {
+			t.Fatalf("token mismatch: %x vs %x", view.Token, hs.Token)
+		}
+	}
+}
+
+func TestParseHS1ViewRejects(t *testing.T) {
+	raw, _, _ := tokenHS1(t, true)
+	if _, ok := ParseHS1View(nil); ok {
+		t.Fatal("accepted nil")
+	}
+	if _, ok := ParseHS1View(raw[:HeaderSize-1]); ok {
+		t.Fatal("accepted short datagram")
+	}
+	// Truncations anywhere in the body must be rejected or at least not
+	// yield out-of-bounds anchors (no panic is the hard requirement).
+	for n := HeaderSize; n < len(raw); n++ {
+		ParseHS1View(raw[:n])
+	}
+	bad := append([]byte(nil), raw...)
+	bad[3] = byte(TypeHS2)
+	if _, ok := ParseHS1View(bad); ok {
+		t.Fatal("accepted HS2")
+	}
+	bad = append(bad[:0], raw...)
+	bad[4] = 0x7F // unknown suite
+	if _, ok := ParseHS1View(bad); ok {
+		t.Fatal("accepted unknown suite")
+	}
+}
+
+func TestParseHS1ViewZeroAlloc(t *testing.T) {
+	raw, _, _ := tokenHS1(t, true)
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := ParseHS1View(raw); !ok {
+			t.Fatal("rejected")
+		}
+	}); n != 0 {
+		t.Fatalf("ParseHS1View allocates %.1f/op", n)
+	}
+}

@@ -116,6 +116,10 @@ const (
 	// FlagProtected marks a handshake whose anchors carry an asymmetric
 	// signature (§3.4).
 	FlagProtected uint8 = 1 << 1
+	// FlagToken marks a handshake whose body ends with a connect-token
+	// field (the admission tier's versioned encoding: the flag gates the
+	// field, so tokenless packets keep the original wire form).
+	FlagToken uint8 = 1 << 3
 )
 
 // Header is the fixed per-packet header.
@@ -261,9 +265,9 @@ func Decode(b []byte) (Header, Message, error) {
 	var msg Message
 	switch hdr.Type {
 	case TypeHS1:
-		msg = &Handshake{Initiator: true}
+		msg = &Handshake{Initiator: true, HasToken: hdr.Flags&FlagToken != 0}
 	case TypeHS2:
-		msg = &Handshake{}
+		msg = &Handshake{HasToken: hdr.Flags&FlagToken != 0}
 	case TypeS1:
 		msg = &S1{}
 	case TypeA1:

@@ -85,10 +85,11 @@ func (d *Decision) Extractions() [][]byte {
 
 // Drop reasons specific to relays; verification failures reuse core errors.
 var (
-	ErrMalformed    = errors.New("relay: malformed packet")
-	ErrRateLimited  = errors.New("relay: S1 rate limit exceeded")
-	ErrOversizedS1  = errors.New("relay: S1 exceeds per-sender size limit")
-	ErrStrictPolicy = errors.New("relay: unknown association under strict policy")
+	ErrMalformed      = errors.New("relay: malformed packet")
+	ErrRateLimited    = errors.New("relay: S1 rate limit exceeded")
+	ErrOversizedS1    = errors.New("relay: S1 exceeds per-sender size limit")
+	ErrStrictPolicy   = errors.New("relay: unknown association under strict policy")
+	ErrUnsolRateLimit = errors.New("relay: unsolicited S1 rate limit exceeded")
 )
 
 // Config parameterizes a relay.
@@ -105,6 +106,15 @@ type Config struct {
 	// Zero S1Rate disables rate limiting.
 	S1Rate  float64
 	S1Burst float64
+	// UnsolicitedS1Rate and UnsolicitedS1Burst token-bucket the S1s of
+	// associations the relay has never seen a handshake for, per ingress
+	// upstream (§3.5: even the packets a relay forwards unconditionally
+	// are rate-limited). The per-flow S1Rate bucket cannot cover these —
+	// an attacker forging a fresh association ID per packet would mint a
+	// fresh bucket per packet. Zero UnsolicitedS1Rate disables the limit,
+	// preserving the incremental-deployment pass-through.
+	UnsolicitedS1Rate  float64
+	UnsolicitedS1Burst float64
 	// InitialS1Limit and MaxS1Limit implement the adaptive S1 size
 	// policy of §3.5: a flow starts with the small initial budget, and
 	// the limit doubles after every verified S2 until MaxS1Limit.
@@ -138,6 +148,9 @@ func (c Config) withDefaults() Config {
 	if c.S1Burst == 0 {
 		c.S1Burst = 8
 	}
+	if c.UnsolicitedS1Burst == 0 {
+		c.UnsolicitedS1Burst = 16
+	}
 	if c.MaxS1Limit == 0 {
 		c.MaxS1Limit = packet.MaxPacketSize
 	}
@@ -151,6 +164,7 @@ type Stats struct {
 	BadElement, BadPayload, BadAck    uint64
 	Unsolicited, Oversized, Handshake uint64
 	StrictPolicy, BadHandshake        uint64
+	S1RateLimited                     uint64
 	ExtractedBytes                    uint64
 }
 
@@ -166,6 +180,12 @@ type Relay struct {
 	tracer *telemetry.Tracer
 	tnow   int64 // caller-supplied clock of the current Process call
 
+	// Per-upstream token buckets for unsolicited S1s: index = the ingress
+	// side of the current packet (0/1 for a two-port relay), selected by
+	// ProcessFrom. Plain Process charges upstream 0.
+	unsol    [2]tokenBucket
+	upstream int
+
 	// Hop-by-hop span state: spans is the optional ring from Config;
 	// spanKey/spanMode are per-packet scratch set once the packet's
 	// exchange (and its chain element) is identified, so the central
@@ -178,6 +198,9 @@ type Relay struct {
 // New creates a relay.
 func New(cfg Config) *Relay {
 	r := &Relay{cfg: cfg.withDefaults(), flows: make(map[uint64]*flow), tracer: cfg.Tracer, spans: cfg.Spans}
+	for i := range r.unsol {
+		r.unsol[i] = tokenBucket{rate: r.cfg.UnsolicitedS1Rate, burst: r.cfg.UnsolicitedS1Burst}
+	}
 	r.tel.Init()
 	return r
 }
@@ -199,6 +222,7 @@ func (r *Relay) Stats() Stats {
 		Handshake:      m.Handshake.Load(),
 		StrictPolicy:   m.StrictPolicy.Load(),
 		BadHandshake:   m.BadHandshake.Load(),
+		S1RateLimited:  m.S1RateLimited.Load(),
 		ExtractedBytes: m.ExtractedBytes.Load(),
 	}
 }
@@ -411,8 +435,24 @@ func stepOf(t packet.Type) uint8 {
 	}
 }
 
-// Process inspects one datagram and decides its fate.
+// Process inspects one datagram and decides its fate. Packets are charged
+// against upstream 0's unsolicited-S1 budget; two-port deployments should
+// use ProcessFrom.
 func (r *Relay) Process(now time.Time, data []byte) Decision {
+	r.upstream = 0
+	return r.process(now, data)
+}
+
+// ProcessFrom is Process with the ingress upstream identified (0 or 1 for a
+// two-port relay), so each side's unsolicited-S1 flood budget is accounted
+// separately: a flood arriving on one port cannot starve the pass-through
+// allowance of legitimate unknown-association traffic on the other.
+func (r *Relay) ProcessFrom(now time.Time, upstream int, data []byte) Decision {
+	r.upstream = upstream & 1
+	return r.process(now, data)
+}
+
+func (r *Relay) process(now time.Time, data []byte) Decision {
 	r.tnow = now.UnixNano()
 	r.spanKey, r.spanMode = 0, 0
 	hdr, msg, err := packet.Decode(data)
@@ -468,7 +508,8 @@ func (r *Relay) processBundle(now time.Time, hdr packet.Header, b *packet.Bundle
 	var keep [][]byte
 	stripped := false
 	for _, raw := range b.Packets {
-		sub := r.Process(now, raw)
+		sub := r.process(now, raw) // not Process: keep the ingress upstream
+
 		dec.Sub = append(dec.Sub, sub)
 		if sub.Verdict == Forward {
 			if sub.Rewritten != nil {
@@ -591,9 +632,20 @@ func (r *Relay) lookup(hdr packet.Header) (*flow, *Decision) {
 
 // processS1 verifies and buffers a pre-signature announcement.
 func (r *Relay) processS1(now time.Time, hdr packet.Header, s1 *packet.S1, size int) Decision {
-	f, early := r.lookup(hdr)
-	if early != nil {
-		return *early //alpha:drop-ok lookup counted the drop when it built the early verdict
+	f, known := r.flows[hdr.Assoc]
+	if !known || f.sig[dirIndex(hdr)] == nil {
+		// Unknown association: the per-flow bucket below cannot help — an
+		// attacker minting a fresh association ID per packet would mint a
+		// fresh bucket per packet — so pass-through S1s draw from a shared
+		// per-upstream budget instead (§3.5 rate limiting).
+		r.tel.Unknown.Inc()
+		if r.cfg.Strict {
+			return r.drop(hdr, telemetry.ReasonStrictPolicy, ErrStrictPolicy)
+		}
+		if !r.unsol[r.upstream].take(now) {
+			return r.drop(hdr, telemetry.ReasonS1RateLimit, ErrUnsolRateLimit)
+		}
+		return r.forward(hdr)
 	}
 	if !f.bucket.take(now) {
 		return r.drop(hdr, telemetry.ReasonRateLimited, ErrRateLimited)

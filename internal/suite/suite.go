@@ -213,6 +213,24 @@ func ByID(id ID) (Suite, error) {
 	}
 }
 
+// SizeByID returns the digest size of a suite without constructing an
+// error for unknown IDs (0 when the ID is unknown). Allocation-free, for
+// hot paths that size-check hostile input before full parsing.
+//
+//alpha:hotpath
+func SizeByID(id ID) int {
+	switch id {
+	case IDSHA1:
+		return sha1Suite.size
+	case IDSHA256:
+		return sha256Suite.size
+	case IDMMO:
+		return mmoSuite.size
+	default:
+		return 0
+	}
+}
+
 // Equal reports whether two digests are equal in constant time. Callers
 // must use this (or subtle.ConstantTimeCompare directly) for every MAC,
 // digest, and chain-element comparison; the ctcompare analyzer in

@@ -239,6 +239,9 @@ type RelayMetrics struct {
 	BadElement, BadPayload, BadAck  Counter
 	Unsolicited, Oversized          Counter
 	StrictPolicy, BadHandshake      Counter
+	// S1RateLimited counts unsolicited S1s shed by the per-upstream token
+	// bucket (§3.5 rate limiting) before any flow state was created.
+	S1RateLimited Counter
 
 	ExtractedBytes Counter
 	// ExtractedSize buckets verified-and-extracted payload sizes.
@@ -274,6 +277,8 @@ func (m *RelayMetrics) DropCounter(code uint32) *Counter {
 		return &m.StrictPolicy
 	case ReasonBadHandshake:
 		return &m.BadHandshake
+	case ReasonS1RateLimit:
+		return &m.S1RateLimited
 	default:
 		return nil
 	}
@@ -294,11 +299,82 @@ func (m *RelayMetrics) Walk(v Visitor) {
 	v.Counter("drop_oversized", m.Oversized.Load())
 	v.Counter("drop_strict_policy", m.StrictPolicy.Load())
 	v.Counter("drop_bad_handshake", m.BadHandshake.Load())
+	v.Counter("drop_s1_ratelimit", m.S1RateLimited.Load())
 	// Unknown counts lookups, not drops: it stays outside the drop_ family
 	// so I3's dropped == Σ drop_<reason> equality holds.
 	v.Counter("unknown_assoc", m.Unknown.Load())
 	v.Counter("extracted_bytes", m.ExtractedBytes.Load())
 	v.Histogram("extracted_size_bytes", m.ExtractedSize.Snapshot())
+}
+
+// AdmissionMetrics counts the connect-token admission stage in front of
+// session creation: tokens that checked out, and rejections split by
+// reason. Every rejection increments both the aggregate and exactly one
+// reason counter (NoteDrop), so the family honours the I3 drop-budget
+// invariant exactly: dropped == Σ drop_admission_<reason>.
+type AdmissionMetrics struct {
+	// TokensVerified counts HS1 tokens that decrypted, validated and
+	// matched the source address — each one admits a session.
+	TokensVerified Counter
+	// AnchorsBound counts verified tokens that additionally bound the
+	// client's hash-chain/Merkle anchors (allowing the §3.4 signature
+	// verify to be skipped).
+	AnchorsBound Counter
+	Dropped      Counter
+
+	Missing, Invalid, Expired Counter
+	Replayed, AddrMismatch    Counter
+	// WindowRotations counts replay-window generation swaps.
+	WindowRotations Counter
+	// Storms counts admission-storm anomaly triggers (flood detection).
+	Storms Counter
+}
+
+// DropCounter returns the per-reason counter for an admission Reason code,
+// or nil for codes the admission stage never emits.
+func (m *AdmissionMetrics) DropCounter(code uint32) *Counter {
+	switch code {
+	case ReasonAdmissionMissing:
+		return &m.Missing
+	case ReasonAdmissionInvalid:
+		return &m.Invalid
+	case ReasonAdmissionExpired:
+		return &m.Expired
+	case ReasonAdmissionReplayed:
+		return &m.Replayed
+	case ReasonAdmissionAddrMismatch:
+		return &m.AddrMismatch
+	default:
+		return nil
+	}
+}
+
+// NoteDrop records one rejected HS packet under its admission Reason code:
+// aggregate and reason move together, keeping I3 an equality.
+//
+//alpha:hotpath
+func (m *AdmissionMetrics) NoteDrop(code uint32) {
+	m.Dropped.Inc()
+	if c := m.DropCounter(code); c != nil {
+		c.Inc()
+	} else {
+		m.Invalid.Inc()
+	}
+}
+
+// Walk reports every metric to v. Reasons export under drop_admission_* so
+// the generic I3 checker sums them against dropped.
+func (m *AdmissionMetrics) Walk(v Visitor) {
+	v.Counter("tokens_verified", m.TokensVerified.Load())
+	v.Counter("anchors_bound", m.AnchorsBound.Load())
+	v.Counter("dropped", m.Dropped.Load())
+	v.Counter("drop_admission_missing", m.Missing.Load())
+	v.Counter("drop_admission_invalid", m.Invalid.Load())
+	v.Counter("drop_admission_expired", m.Expired.Load())
+	v.Counter("drop_admission_replayed", m.Replayed.Load())
+	v.Counter("drop_admission_addr_mismatch", m.AddrMismatch.Load())
+	v.Counter("window_rotations", m.WindowRotations.Load())
+	v.Counter("storms", m.Storms.Load())
 }
 
 // IOMetrics counts one socket path's batched datagram I/O: how many socket

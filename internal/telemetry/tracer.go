@@ -120,6 +120,31 @@ const (
 	// ReasonExpired: an idle association was retired by generation
 	// rotation.
 	ReasonExpired
+
+	// ReasonS1RateLimit: a relay discarded an unsolicited S1 because the
+	// per-upstream token bucket was empty (§3.5 rate limiting).
+	ReasonS1RateLimit
+
+	// Admission reasons (the connect-token stage between the prefilter and
+	// session creation). Like the transport reasons above they live outside
+	// the endpoint range: they are counted by AdmissionMetrics, never by
+	// EndpointMetrics.
+
+	// ReasonAdmissionMissing: an HS1 arrived without a token while the
+	// server requires one.
+	ReasonAdmissionMissing
+	// ReasonAdmissionInvalid: the token failed to decrypt/authenticate or
+	// carried an unknown version or key ID.
+	ReasonAdmissionInvalid
+	// ReasonAdmissionExpired: the token authenticated but its expiry had
+	// passed.
+	ReasonAdmissionExpired
+	// ReasonAdmissionReplayed: the token's nonce was already seen inside
+	// the replay window.
+	ReasonAdmissionReplayed
+	// ReasonAdmissionAddrMismatch: the token authenticated but was minted
+	// for a different client address.
+	ReasonAdmissionAddrMismatch
 )
 
 // ReasonString names a Reason code.
@@ -163,6 +188,18 @@ func ReasonString(code uint32) string {
 		return "accept_backlog"
 	case ReasonExpired:
 		return "expired"
+	case ReasonS1RateLimit:
+		return "s1_ratelimit"
+	case ReasonAdmissionMissing:
+		return "admission_missing"
+	case ReasonAdmissionInvalid:
+		return "admission_invalid"
+	case ReasonAdmissionExpired:
+		return "admission_expired"
+	case ReasonAdmissionReplayed:
+		return "admission_replayed"
+	case ReasonAdmissionAddrMismatch:
+		return "admission_addr_mismatch"
 	default:
 		return "unknown"
 	}

@@ -164,11 +164,12 @@ func (r *Relay) loop(batch int) {
 			r.tel.Datagrams.Inc()
 			r.tel.Bytes.Add(uint64(ms[i].N))
 			var to net.Addr
+			var upstream int
 			switch {
 			case sameAddr(ms[i].Addr, r.a):
 				to = r.b
 			case sameAddr(ms[i].Addr, r.b):
-				to = r.a
+				to, upstream = r.a, 1
 			default:
 				r.tel.UnknownPeerDrops.Inc()
 				continue
@@ -182,7 +183,7 @@ func (r *Relay) loop(batch int) {
 				}
 			}
 			r.mu.Lock()
-			d := r.r.Process(now, data)
+			d := r.r.ProcessFrom(now, upstream, data)
 			r.mu.Unlock()
 			if r.OnDecision != nil {
 				r.OnDecision(d)

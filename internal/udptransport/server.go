@@ -53,6 +53,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"alpha/internal/admission"
 	"alpha/internal/core"
 	"alpha/internal/obs"
 	"alpha/internal/packet"
@@ -157,6 +158,13 @@ type ServerOptions struct {
 	// InboxSize is the per-session pending-datagram queue bound; 0 means
 	// 64.
 	InboxSize int
+	// Admission, when set, gates session creation behind the stateless
+	// connect-token tier (internal/admission): a session-creating HS1 must
+	// pass Verifier.Admit before any endpoint state is allocated. HS1
+	// retransmits into an existing session bypass the verifier, so the
+	// replay filter never penalizes a legitimate retry. Nil disables the
+	// stage.
+	Admission *admission.Verifier
 }
 
 func (o ServerOptions) workers() int {
@@ -341,7 +349,14 @@ func NewReusePortServerWith(network, addr string, loops int, cfg core.Config, op
 // afterwards records its spans into rc's per-association ring, retired
 // back to the pool when the session is removed. Call before serving
 // traffic; existing sessions are unaffected.
-func (s *Server) SetFlightRecorder(rc *obs.Recorder) { s.flight = rc }
+func (s *Server) SetFlightRecorder(rc *obs.Recorder) {
+	s.flight = rc
+	if adm := s.opts.Admission; adm != nil && rc != nil {
+		// Admission storms predate any association, so they land in the
+		// shared ring (association 0).
+		adm.SetOnStorm(func(uint64) { rc.Trigger(0, obs.CauseAdmissionStorm) })
+	}
+}
 
 // Accept blocks until the next association establishes (or the server
 // closes).
@@ -513,10 +528,37 @@ func (s *Server) dispatch(now time.Time, via udpio.Conn, from net.Addr, bp *[]by
 			bufPool.Put(bp)
 			return // data for an association we do not hold
 		}
+		// Stateless admission: a session-creating HS1 must clear the
+		// connect-token tier before the allocating branch below runs. The
+		// verifier owns the drop accounting (alpha_admission family), so
+		// rejects cost one decrypt and zero allocations here.
+		var admitted admission.Verdict
+		var view packet.HS1View
+		if adm := s.opts.Admission; adm != nil {
+			var vok bool
+			if view, vok = packet.ParseHS1View(data); !vok {
+				admitted = adm.RejectMalformed()
+			} else {
+				ip, port := addrIPPort(from)
+				admitted = adm.Admit(now, view.Token, ip, port, view.SigAnchor, view.AckAnchor)
+			}
+			if !admitted.OK {
+				s.tracer.Trace(now.UnixNano(), telemetry.TraceDrop, assoc, 0, admitted.Reason)
+				bufPool.Put(bp)
+				return //alpha:drop-ok the admission verifier counted the refusal
+			}
+		}
 		var ok bool
 		if sess, ok = s.createSession(now, sh, assoc, from, via); !ok { //alpha:alloc-ok session birth is the cold path: one endpoint allocation per association lifetime
 			bufPool.Put(bp)
 			return
+		}
+		if admitted.AnchorsBound {
+			// The token vouched for these exact anchors; let the endpoint
+			// skip the §3.4 signature verification when it parses the HS1.
+			sess.mu.Lock()
+			sess.ep.PreAdmit(view.SigAnchor, view.AckAnchor)
+			sess.mu.Unlock()
 		}
 	}
 	sess.lastActive.Store(now.UnixNano())
