@@ -1,0 +1,72 @@
+package obs
+
+import "alpha/internal/telemetry"
+
+// ReasonEntry classifies one telemetry drop-reason code for the invariant
+// checker: which exported counter accounts packets dropped for that reason,
+// and whether a nonzero value is compatible with a benign schedule.
+type ReasonEntry struct {
+	// Code is the telemetry.Reason* constant.
+	Code uint32
+	// Name must equal telemetry.ReasonString(Code).
+	Name string
+	// Counter is the exported counter sample (sans family prefix) that
+	// accounts this reason; empty means the conventional "drop_"+Name.
+	Counter string
+	// Hostile marks reasons that can only fire under attack or corruption:
+	// I2 asserts their counters stay zero on benign schedules.
+	Hostile bool
+}
+
+// CounterName resolves the entry's exported counter sample name.
+func (e ReasonEntry) CounterName() string {
+	if e.Counter != "" {
+		return e.Counter
+	}
+	return "drop_" + e.Name
+}
+
+// ReasonCatalog is the single authoritative map from telemetry drop-reason
+// codes to exported counters and benign/hostile classification. The I2 and
+// I3 invariants derive from it, and the alphavet reasonsync analyzer keeps
+// it in lockstep with the telemetry package: every Reason* constant must
+// appear here (and in ReasonString), every entry must point at a counter
+// some metric family actually exports, and names must agree — drift in
+// either direction is a build failure in CI.
+var ReasonCatalog = []ReasonEntry{
+	// Endpoint reasons (codes 1–15, EndpointMetrics.DropReasons).
+	{Code: telemetry.ReasonMalformed, Name: "malformed", Hostile: true},
+	{Code: telemetry.ReasonUnknownAssoc, Name: "unknown_assoc"},
+	{Code: telemetry.ReasonRateLimited, Name: "rate_limited"},
+	{Code: telemetry.ReasonBadElement, Name: "bad_element", Hostile: true},
+	{Code: telemetry.ReasonBadPayload, Name: "bad_payload", Hostile: true},
+	{Code: telemetry.ReasonBadAck, Name: "bad_ack", Hostile: true},
+	{Code: telemetry.ReasonUnsolicited, Name: "unsolicited"},
+	{Code: telemetry.ReasonOversized, Name: "oversized"},
+	{Code: telemetry.ReasonStrictPolicy, Name: "strict_policy"},
+	{Code: telemetry.ReasonNotEstablished, Name: "not_established"},
+	{Code: telemetry.ReasonBadDirection, Name: "bad_direction"},
+	// A garbled handshake can result from benign reordering across a
+	// rekey, so bad_handshake is not hostile.
+	{Code: telemetry.ReasonBadHandshake, Name: "bad_handshake"},
+	{Code: telemetry.ReasonSuiteMismatch, Name: "suite_mismatch"},
+	{Code: telemetry.ReasonChainExhausted, Name: "chain_exhausted"},
+	{Code: telemetry.ReasonInboxFull, Name: "inbox_full"},
+
+	// Transport reasons (pre-endpoint drop paths of the UDP server).
+	{Code: telemetry.ReasonPrefilter, Name: "prefilter"},
+	{Code: telemetry.ReasonAcceptBacklog, Name: "accept_backlog"},
+	// Generation rotation retires idle associations; this is lifecycle,
+	// not a drop_ family, so the counter name is irregular.
+	{Code: telemetry.ReasonExpired, Name: "expired", Counter: "sessions_expired"},
+	{Code: telemetry.ReasonS1RateLimit, Name: "s1_ratelimit"},
+
+	// Admission reasons (connect-token stage). Missing and expired are
+	// excluded from the hostile set: clock skew or a Require rollout can
+	// produce them benignly.
+	{Code: telemetry.ReasonAdmissionMissing, Name: "admission_missing"},
+	{Code: telemetry.ReasonAdmissionInvalid, Name: "admission_invalid", Hostile: true},
+	{Code: telemetry.ReasonAdmissionExpired, Name: "admission_expired"},
+	{Code: telemetry.ReasonAdmissionReplayed, Name: "admission_replayed", Hostile: true},
+	{Code: telemetry.ReasonAdmissionAddrMismatch, Name: "admission_addr_mismatch", Hostile: true},
+}

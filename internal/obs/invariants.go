@@ -129,18 +129,18 @@ type Invariants struct {
 
 // verifyFailSuffixes are the counters that must stay zero under benign
 // schedules: a nonzero value means some hop saw cryptographically invalid
-// traffic.
-var verifyFailSuffixes = []string{
-	"_drop_bad_element",
-	"_drop_bad_payload",
-	"_drop_bad_ack",
-	"_drop_malformed",
-	// Admission refusals that can only come from hostile or corrupted
-	// tokens. Missing and expired are excluded: clock skew or a Require
-	// rollout can produce those benignly.
-	"_drop_admission_invalid",
-	"_drop_admission_replayed",
-	"_drop_admission_addr_mismatch",
+// traffic. The set is derived from the Hostile entries of ReasonCatalog, so
+// classifying a reason there is the single switch that arms I2 for it.
+var verifyFailSuffixes = hostileSuffixes()
+
+func hostileSuffixes() []string {
+	var out []string
+	for _, e := range ReasonCatalog {
+		if e.Hostile {
+			out = append(out, "_"+e.CounterName())
+		}
+	}
+	return out
 }
 
 // dropBound derives the I4 ceiling on counted drops. Each lost packet can

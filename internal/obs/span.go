@@ -142,13 +142,50 @@ type Span struct {
 	Detail uint32
 }
 
-// spanSlot is one ring entry, stored as atomics so concurrent writers and
-// snapshot readers never race.
+// spanSlot is one ring entry: a per-slot seqlock. The fields are stored as
+// atomics so concurrent writers and snapshot readers never race (the race
+// detector sees only atomic accesses); the sequence word makes torn reads
+// detectable on top of that — it is odd while a write is in progress and
+// bumped again when the record is complete, so a reader that observes a
+// stable even sequence got a consistent record.
 type spanSlot struct {
+	seq    atomic.Uint64 // seqlock word: odd = write in progress
 	ts     atomic.Uint64
 	assoc  atomic.Uint64
 	keySeq atomic.Uint64 // key<<32 | seq
 	meta   atomic.Uint64 // role<<56 | step<<48 | mode<<40 | verdict<<32 | detail
+}
+
+// write publishes one record into the slot. This is the seqlock write
+// section: nothing inside may block or allocate — a stalled writer would
+// leave the sequence odd and spin every concurrent Snapshot reader. The
+// alphavet lockscope analyzer enforces that.
+//
+//alpha:seqlock-write
+func (s *spanSlot) write(ts, assoc, keySeq, meta uint64) {
+	s.seq.Add(1) // odd: record under construction
+	s.ts.Store(ts)
+	s.assoc.Store(assoc)
+	s.keySeq.Store(keySeq)
+	s.meta.Store(meta)
+	s.seq.Add(1) // even: record published
+}
+
+// read returns a consistent record, retrying a bounded number of times if a
+// writer raced. After the retry budget it returns the possibly mixed record
+// anyway: liveness over perfect consistency, same contract as the tracer,
+// and each field is still individually atomic (memory-safe).
+func (s *spanSlot) read() (ts, assoc, keySeq, meta uint64) {
+	for attempt := 0; ; attempt++ {
+		seq := s.seq.Load()
+		ts, assoc, keySeq, meta = s.ts.Load(), s.assoc.Load(), s.keySeq.Load(), s.meta.Load()
+		if seq&1 == 0 && s.seq.Load() == seq {
+			return
+		}
+		if attempt == 8 {
+			return
+		}
+	}
 }
 
 // SpanRing records exchange spans into a fixed lock-free ring. A nil
@@ -192,12 +229,10 @@ func (r *SpanRing) Emit(ts int64, assoc uint64, key, seq uint32, role, step, mod
 		return
 	}
 	i := r.cursor.Add(1) - 1
-	s := &r.slots[i&r.mask]
-	s.ts.Store(uint64(ts))
-	s.assoc.Store(assoc)
-	s.keySeq.Store(uint64(key)<<32 | uint64(seq))
-	s.meta.Store(uint64(role)<<56 | uint64(step)<<48 | uint64(mode)<<40 |
-		uint64(verdict)<<32 | uint64(detail))
+	r.slots[i&r.mask].write(uint64(ts), assoc,
+		uint64(key)<<32|uint64(seq),
+		uint64(role)<<56|uint64(step)<<48|uint64(mode)<<40|
+			uint64(verdict)<<32|uint64(detail))
 	if verdict == VerdictDrop && r.anomaly != nil {
 		r.anomaly(assoc, seq, detail)
 	}
@@ -229,9 +264,11 @@ func (r *SpanRing) Len() int {
 	return int(n)
 }
 
-// Snapshot returns the retained spans oldest-first. Spans recorded while
-// the snapshot runs may appear mixed into the oldest entries; each field
-// is read atomically so the result is always memory-safe.
+// Snapshot returns the retained spans oldest-first. Each slot reads
+// through its seqlock, so records racing a writer come back consistent
+// (the reader retries) rather than mixed; only sustained writer pressure
+// on one slot — more than the bounded retry budget — can still yield a
+// mixed record, and even then every field was read atomically.
 func (r *SpanRing) Snapshot() []Span {
 	if r == nil {
 		return nil
@@ -243,12 +280,10 @@ func (r *SpanRing) Snapshot() []Span {
 	}
 	out := make([]Span, 0, cur-start)
 	for i := start; i < cur; i++ {
-		s := &r.slots[i&r.mask]
-		ks := s.keySeq.Load()
-		meta := s.meta.Load()
+		ts, assoc, ks, meta := r.slots[i&r.mask].read()
 		out = append(out, Span{
-			Time:    int64(s.ts.Load()),
-			Assoc:   s.assoc.Load(),
+			Time:    int64(ts),
+			Assoc:   assoc,
 			Key:     uint32(ks >> 32),
 			Seq:     uint32(ks),
 			Role:    uint8(meta >> 56),
@@ -267,6 +302,7 @@ func (r *SpanRing) Snapshot() []Span {
 func (r *SpanRing) reset() {
 	r.cursor.Store(0)
 	for i := range r.slots {
+		r.slots[i].seq.Store(0)
 		r.slots[i].ts.Store(0)
 		r.slots[i].assoc.Store(0)
 		r.slots[i].keySeq.Store(0)

@@ -615,19 +615,19 @@ func (r *Relay) evictFlow() {
 }
 
 // lookup finds the flow for a packet, deciding pass-through vs strict drop
-// when it is unknown.
-func (r *Relay) lookup(hdr packet.Header) (*flow, *Decision) {
+// when it is unknown. The early decision returns by value (decided reports
+// whether it is meaningful): a pointer here would force a heap allocation
+// per unknown-association packet, which is exactly the flood path.
+func (r *Relay) lookup(hdr packet.Header) (f *flow, early Decision, decided bool) {
 	f, ok := r.flows[hdr.Assoc]
 	if ok && f.sig[dirIndex(hdr)] != nil {
-		return f, nil
+		return f, Decision{}, false
 	}
 	r.tel.Unknown.Inc()
 	if r.cfg.Strict {
-		d := r.drop(hdr, telemetry.ReasonStrictPolicy, ErrStrictPolicy)
-		return nil, &d
+		return nil, r.drop(hdr, telemetry.ReasonStrictPolicy, ErrStrictPolicy), true
 	}
-	d := r.forward(hdr)
-	return nil, &d
+	return nil, r.forward(hdr), true
 }
 
 // processS1 verifies and buffers a pre-signature announcement.
@@ -702,9 +702,9 @@ func (r *Relay) processS1(now time.Time, hdr packet.Header, s1 *packet.S1, size 
 // processA1 verifies the acknowledgment element and buffers pre-(n)ack
 // material against the S1 exchange it answers.
 func (r *Relay) processA1(hdr packet.Header, a1 *packet.A1) Decision {
-	f, early := r.lookup(hdr)
-	if early != nil {
-		return *early //alpha:drop-ok lookup counted the drop when it built the early verdict
+	f, early, decided := r.lookup(hdr)
+	if decided {
+		return early //alpha:drop-ok lookup counted the drop when it built the early verdict
 	}
 	d := dirIndex(hdr) // direction of the A1 sender = the exchange's verifier
 	if a1.AuthIdx%2 != 1 || a1.KeyIdx != a1.AuthIdx+1 {
@@ -740,9 +740,9 @@ func (r *Relay) processA1(hdr packet.Header, a1 *packet.A1) Decision {
 //
 //alpha:hotpath
 func (r *Relay) processS2(hdr packet.Header, s2 *packet.S2) Decision {
-	f, early := r.lookup(hdr)
-	if early != nil {
-		return *early //alpha:drop-ok lookup counted the drop when it built the early verdict
+	f, early, decided := r.lookup(hdr)
+	if decided {
+		return early //alpha:drop-ok lookup counted the drop when it built the early verdict
 	}
 	d := dirIndex(hdr)
 	x, ok := f.dirs[d].rx[hdr.Seq]
@@ -813,9 +813,9 @@ func (r *Relay) processS2(hdr packet.Header, s2 *packet.S2) Decision {
 //
 //alpha:hotpath
 func (r *Relay) processA2(hdr packet.Header, a2 *packet.A2) Decision {
-	f, early := r.lookup(hdr)
-	if early != nil {
-		return *early //alpha:drop-ok lookup counted the drop when it built the early verdict
+	f, early, decided := r.lookup(hdr)
+	if decided {
+		return early //alpha:drop-ok lookup counted the drop when it built the early verdict
 	}
 	d := dirIndex(hdr)
 	x, ok := f.dirs[1-d].rx[hdr.Seq]

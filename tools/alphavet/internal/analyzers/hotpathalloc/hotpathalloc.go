@@ -18,20 +18,44 @@
 // traversed: the static analysis cannot resolve dynamic targets, so
 // interface boundaries are where the guarantee is re-established by
 // annotating the implementations.
+//
+// # Escape mode
+//
+// The rules above are a syntactic pre-filter: fast, explainable, and
+// portable, but a heuristic. With Escape enabled the analyzer additionally
+// asks the real Go compiler — `go build -gcflags=-m=2` per package, parsed
+// by vet.ParseEscapeDiags — and maps every "escapes to heap" / "moved to
+// heap" diagnostic whose position falls inside a hot function (a
+// //alpha:hotpath root or one of its static callees) onto a finding that
+// carries the compiler's own escape-flow explanation. The same
+// `//alpha:alloc-ok <why>` line waiver applies; because escape analysis is
+// context-sensitive under inlining, diagnostics are matched against hot
+// function ranges across the whole module, whichever package's compilation
+// produced them. Escape mode needs the host toolchain to compile the tree
+// (so it is disabled on the cross-configuration sweeps).
 package hotpathalloc
 
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
 
 	"alpha/tools/alphavet/internal/vet"
 )
 
+// Escape enables the compiler-backed escape-analysis pass on top of the
+// syntactic pre-filter. The driver turns it on by default (-escape); it
+// stays off here so fixture tests opt in per test.
+var Escape = false
+
 var Analyzer = &vet.Analyzer{
 	Name:      "hotpathalloc",
-	Doc:       "//alpha:hotpath functions and their static callees must not allocate",
+	Doc:       "//alpha:hotpath functions and their static callees must not allocate (syntactic pre-filter + compiler escape analysis)",
 	RunModule: runModule,
 }
 
@@ -73,8 +97,12 @@ func runModule(passes []*vet.Pass) error {
 	}
 
 	checked := make(map[funcKey]bool)
+	rootOf := make(map[funcKey]string)
 	for _, root := range roots {
-		visit(decls, root, rootName(root), checked)
+		visit(decls, root, rootName(root), checked, rootOf)
+	}
+	if Escape {
+		return escapePass(decls, checked, rootOf)
 	}
 	return nil
 }
@@ -82,11 +110,12 @@ func runModule(passes []*vet.Pass) error {
 // visit checks one function and recurses into its module-local callees.
 // Each function is checked once: the first hot root to reach it wins the
 // attribution in the message.
-func visit(decls map[funcKey]declInfo, key funcKey, root string, checked map[funcKey]bool) {
+func visit(decls map[funcKey]declInfo, key funcKey, root string, checked map[funcKey]bool, rootOf map[funcKey]string) {
 	if checked[key] {
 		return
 	}
 	checked[key] = true
+	rootOf[key] = root
 	di, ok := decls[key]
 	if !ok || di.decl.Body == nil {
 		return
@@ -105,7 +134,7 @@ func visit(decls map[funcKey]declInfo, key funcKey, root string, checked map[fun
 				// this is how amortized slow paths (cache misses) opt out.
 				return true
 			}
-			checkCall(pass, n, via, decls, root, checked)
+			checkCall(pass, n, via, decls, root, checked, rootOf)
 		case *ast.FuncLit:
 			if pass.HasLineDirective(n.Pos(), "alloc-ok") {
 				return true
@@ -129,7 +158,7 @@ func visit(decls map[funcKey]declInfo, key funcKey, root string, checked map[fun
 	checkAppends(pass, fd, via, key)
 }
 
-func checkCall(pass *vet.Pass, call *ast.CallExpr, via string, decls map[funcKey]declInfo, root string, checked map[funcKey]bool) {
+func checkCall(pass *vet.Pass, call *ast.CallExpr, via string, decls map[funcKey]declInfo, root string, checked map[funcKey]bool, rootOf map[funcKey]string) {
 	// make(map[...]...) — builtin, no callee object.
 	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) > 0 {
 		if tv, ok := pass.Info.Types[call.Args[0]]; ok {
@@ -167,7 +196,7 @@ func checkCall(pass *vet.Pass, call *ast.CallExpr, via string, decls map[funcKey
 			}
 		}
 	}
-	visit(decls, keyOf(fn), root, checked)
+	visit(decls, keyOf(fn), root, checked, rootOf)
 }
 
 // checkBoxing reports concrete→interface conversions among call arguments.
@@ -357,6 +386,123 @@ func keyOf(fn *types.Func) funcKey {
 		}
 	}
 	return key
+}
+
+// hotRange is one hot function's source extent, for mapping compiler
+// diagnostics (file:line) back onto the call graph the syntactic pass built.
+type hotRange struct {
+	start, end int // body line range, inclusive
+	key        funcKey
+	pass       *vet.Pass
+}
+
+// escapePass drives the real escape analyzer: compile every package that
+// holds a hot function with -m=2, then report each heap-escape diagnostic
+// that lands inside a hot function and is not waived on its line. The
+// compiler's escape-flow explanation rides along in the message.
+func escapePass(decls map[funcKey]declInfo, checked map[funcKey]bool, rootOf map[funcKey]string) error {
+	// Index hot function extents by file, across the whole module: inlining
+	// makes escape analysis context-sensitive, so a diagnostic produced while
+	// compiling package P may point into a hot callee in package Q.
+	ranges := make(map[string][]hotRange)
+	pkgSet := make(map[*vet.Pass]bool)
+	for key := range checked {
+		di, ok := decls[key]
+		if !ok || di.decl.Body == nil {
+			continue
+		}
+		pos := di.pass.Fset.Position(di.decl.Pos())
+		end := di.pass.Fset.Position(di.decl.End())
+		ranges[pos.Filename] = append(ranges[pos.Filename], hotRange{
+			start: pos.Line, end: end.Line, key: key, pass: di.pass,
+		})
+		pkgSet[di.pass] = true
+	}
+	if len(pkgSet) == 0 {
+		return nil
+	}
+	passes := make([]*vet.Pass, 0, len(pkgSet))
+	for p := range pkgSet {
+		passes = append(passes, p)
+	}
+	sort.Slice(passes, func(i, j int) bool { return passes[i].Path < passes[j].Path })
+
+	// Compile in parallel (each `go build` is mostly a build-cache probe
+	// after the first sweep), then map and report serially.
+	diags := make([][]vet.EscapeDiag, len(passes))
+	errs := make([]error, len(passes))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range passes {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p *vet.Pass) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			diags[i], errs[i] = vet.EscapeDiagnostics(p.Pkg)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	seen := make(map[string]bool) // dedupe across package compilations
+	for _, ds := range diags {
+		for _, d := range ds {
+			if !d.Heap {
+				continue
+			}
+			hr, ok := findHotRange(ranges, d.File, d.Line)
+			if !ok {
+				continue // escape in cold code: someone else's budget
+			}
+			dedupe := fmt.Sprintf("%s:%d:%d:%s", d.File, d.Line, d.Col, d.Message)
+			if seen[dedupe] {
+				continue
+			}
+			seen[dedupe] = true
+			if hr.pass.HasDirectiveAtLine(d.File, d.Line, "alloc-ok") {
+				continue
+			}
+			via := ""
+			if root := rootOf[hr.key]; root != "" && root != rootName(hr.key) {
+				via = fmt.Sprintf(" (hot via %s)", root)
+			}
+			msg := fmt.Sprintf("%s in hot path %s%s [compiler escape analysis]", d.Message, rootName(hr.key), via)
+			if flow := flowSummary(d.Flow); flow != "" {
+				msg += ": " + flow
+			}
+			hr.pass.ReportAt(token.Position{Filename: d.File, Line: d.Line, Column: d.Col}, "%s", msg)
+		}
+	}
+	return nil
+}
+
+// findHotRange locates the hot function containing file:line, if any.
+func findHotRange(ranges map[string][]hotRange, file string, line int) (hotRange, bool) {
+	for _, hr := range ranges[file] {
+		if line >= hr.start && line <= hr.end {
+			return hr, true
+		}
+	}
+	return hotRange{}, false
+}
+
+// flowSummary compresses the compiler's multi-line escape-flow explanation
+// into one annotation-friendly line, keeping the first few hops.
+func flowSummary(flow []string) string {
+	const keep = 5
+	n := len(flow)
+	if n == 0 {
+		return ""
+	}
+	if n > keep {
+		flow = append(flow[:keep:keep], fmt.Sprintf("... (%d more flow steps)", n-keep))
+	}
+	return strings.Join(flow, " ; ")
 }
 
 func rootName(key funcKey) string {

@@ -10,3 +10,12 @@ import (
 func TestHotpathalloc(t *testing.T) {
 	vettest.Run(t, "testdata/hotpathalloc", hotpathalloc.Analyzer)
 }
+
+// TestHotpathallocEscapeMode exercises the compiler-backed pass: the fixture
+// compiles for real and the `go build -gcflags=-m=2` diagnostics map onto
+// hot functions, honoring alloc-ok waivers.
+func TestHotpathallocEscapeMode(t *testing.T) {
+	hotpathalloc.Escape = true
+	defer func() { hotpathalloc.Escape = false }()
+	vettest.Run(t, "testdata/hotpathalloc-escape", hotpathalloc.Analyzer)
+}

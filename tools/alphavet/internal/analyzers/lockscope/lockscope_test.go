@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"alpha/tools/alphavet/internal/analyzers/lockscope"
+	"alpha/tools/alphavet/internal/vet/vettest"
+)
+
+func TestLockscope(t *testing.T) {
+	vettest.Run(t, "testdata/lockscope", lockscope.Analyzer)
+}

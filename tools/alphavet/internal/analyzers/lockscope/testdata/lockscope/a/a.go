@@ -1,0 +1,120 @@
+// Fixture for the lockscope analyzer: no blocking operations while a
+// hot-path mutex is held or inside a seqlock write section.
+package a
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	next sync.Mutex
+	ch   chan int
+	wg   sync.WaitGroup
+}
+
+// Dispatch is the hot root.
+//
+//alpha:hotpath
+func (s *shard) Dispatch(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while holding mutex "s\.mu" in hot path a\.shard\.Dispatch`
+	<-s.ch    // want `channel receive while holding mutex "s\.mu" in hot path a\.shard\.Dispatch`
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding mutex "s\.mu" in hot path a\.shard\.Dispatch`
+	s.wg.Wait()                  // want `sync\.WaitGroup\.Wait while holding mutex "s\.mu" in hot path a\.shard\.Dispatch`
+	s.next.Lock()                // want `nested sync\.Mutex\.Lock while holding mutex "s\.mu" in hot path a\.shard\.Dispatch`
+	s.next.Unlock()
+	net.Dial("udp", "localhost:0") // want `potentially blocking net\.Dial call while holding mutex "s\.mu" in hot path a\.shard\.Dispatch`
+	relay(s.ch)                    // want `call to a\.relay blocks \(channel send\) while holding mutex "s\.mu" in hot path a\.shard\.Dispatch`
+
+	// Non-blocking by construction: select with a default case.
+	select {
+	case s.ch <- v:
+	default:
+	}
+
+	// Waived: the send is bounded by the drain goroutine's capacity.
+	s.ch <- v //alpha:block-ok bounded by the drain goroutine
+
+	s.mu.Unlock()
+
+	// After the unlock: fine.
+	s.ch <- v
+}
+
+// RDispatch exercises RLock/RUnlock pairing and blocking select.
+//
+//alpha:hotpath
+func (s *shard) RDispatch(v int) {
+	s.rw.RLock()
+	select { // want `select without default case while holding mutex "s\.rw" in hot path a\.shard\.RDispatch`
+	case s.ch <- v:
+	case <-s.ch:
+	}
+	s.rw.RUnlock()
+}
+
+// Deferred unlocks hold the lock to the end of the function.
+//
+//alpha:hotpath
+func (s *shard) DeferDispatch(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v > 0 {
+		return
+	}
+	s.ch <- v // want `channel send while holding mutex "s\.mu" in hot path a\.shard\.DeferDispatch`
+}
+
+// Closures built under the lock run later: their bodies are not part of the
+// critical section.
+//
+//alpha:hotpath
+func (s *shard) SpawnDispatch(v int) {
+	s.mu.Lock()
+	fn := func() { s.ch <- v }
+	s.mu.Unlock()
+	fn()
+}
+
+// relay blocks: it sends on an unbuffered channel with no default.
+func relay(ch chan int) {
+	ch <- 1
+}
+
+// drain does not block: its channel ops all sit in select-with-default, and
+// lockscope's transitive summary knows it.
+func drain(ch chan int) {
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+// Forward is hot and calls drain under the lock — clean.
+//
+//alpha:hotpath
+func (s *shard) Forward() {
+	s.mu.Lock()
+	drain(s.ch)
+	s.mu.Unlock()
+}
+
+// write is a seqlock writer section: the whole body is critical even though
+// nothing reaches it from a hotpath root.
+//
+//alpha:seqlock-write
+func (s *shard) write(v int) {
+	s.ch <- v // want `channel send inside the seqlock write section \(//alpha:seqlock-write\) in hot path a\.shard\.write`
+}
+
+// cold holds a lock around a sleep, but is neither hot nor a seqlock
+// writer: out of scope.
+func cold(s *shard) {
+	s.mu.Lock()
+	time.Sleep(time.Second)
+	s.mu.Unlock()
+}

@@ -1,0 +1,3 @@
+module alpha
+
+go 1.22

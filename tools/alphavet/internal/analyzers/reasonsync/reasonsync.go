@@ -1,0 +1,439 @@
+// Package reasonsync keeps the three places a drop reason lives from
+// drifting apart (DESIGN.md §5l):
+//
+//  1. the telemetry.Reason* constant and its ReasonString name;
+//  2. the counter the metric families export for it (the literal
+//     "drop_..." Counter calls and the generated "drop_"+ReasonString(code)
+//     loop in EndpointMetrics.Walk);
+//  3. the obs.ReasonCatalog entry that classifies it for the I2/I3
+//     invariants.
+//
+// The analyzer cross-checks all three: every Reason* constant must have a
+// ReasonString case and a catalog entry; every catalog entry must name a
+// live constant, agree with ReasonString, and point at a counter some
+// family actually exports; every exported drop_* counter must be accounted
+// for by a catalog entry. It only runs when both internal/telemetry and
+// internal/obs are part of the load, so package-scoped sweeps stay quiet.
+//
+// A finding can be waived line-by-line with `//alpha:reason-ok <why>` on
+// the constant, catalog entry, or Counter call.
+package reasonsync
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"alpha/tools/alphavet/internal/vet"
+)
+
+var Analyzer = &vet.Analyzer{
+	Name:      "reasonsync",
+	Doc:       "telemetry.Reason* constants, exported drop_* counters, and the obs.ReasonCatalog must stay in sync",
+	RunModule: runModule,
+}
+
+const (
+	telemetrySuffix = "internal/telemetry"
+	obsSuffix       = "internal/obs"
+)
+
+// reasonConst is one telemetry.Reason* constant.
+type reasonConst struct {
+	name string
+	code uint64
+	pos  token.Pos
+}
+
+// catalogEntry is one obs.ReasonCatalog element.
+type catalogEntry struct {
+	code    uint64
+	name    string
+	counter string // "" means "drop_"+name
+	pos     token.Pos
+}
+
+func (e catalogEntry) counterName() string {
+	if e.counter != "" {
+		return e.counter
+	}
+	return "drop_" + e.name
+}
+
+func runModule(passes []*vet.Pass) error {
+	var tele, obs *vet.Pass
+	for _, p := range passes {
+		switch {
+		case strings.HasSuffix(p.Path, telemetrySuffix):
+			tele = p
+		case strings.HasSuffix(p.Path, obsSuffix):
+			obs = p
+		}
+	}
+	if tele == nil || obs == nil {
+		return nil
+	}
+
+	consts := reasonConsts(tele)
+	switchNames, casePresent := reasonStringCases(tele)
+	emitted := emittedCounters(tele, switchNames)
+	entries, catalogFound := catalogEntries(obs)
+
+	if !catalogFound {
+		if len(obs.Files) > 0 {
+			obs.Reportf(obs.Files[0].Pos(), "package %s declares no ReasonCatalog; the I2/I3 invariants have no reason table to derive from", obs.Path)
+		}
+		return nil
+	}
+
+	// 1: every constant has a ReasonString case and a catalog entry.
+	byCode := make(map[uint64][]catalogEntry)
+	for _, e := range entries {
+		byCode[e.code] = append(byCode[e.code], e)
+	}
+	for _, c := range consts {
+		if tele.HasLineDirective(c.pos, "reason-ok") {
+			continue
+		}
+		if !casePresent[c.code] {
+			tele.Reportf(c.pos, "telemetry.%s (code %d) has no ReasonString case; it would trace as %q", c.name, c.code, "unknown")
+		}
+		if len(byCode[c.code]) == 0 {
+			tele.Reportf(c.pos, "telemetry.%s (code %d) has no obs.ReasonCatalog entry; the I2/I3 invariants cannot classify it", c.name, c.code)
+		}
+	}
+
+	// 2: every catalog entry names a live constant, agrees with
+	// ReasonString, and points at an exported counter.
+	constCodes := make(map[uint64]bool)
+	for _, c := range consts {
+		constCodes[c.code] = true
+	}
+	seenCode := make(map[uint64]bool)
+	for _, e := range entries {
+		if obs.HasLineDirective(e.pos, "reason-ok") {
+			continue
+		}
+		if seenCode[e.code] {
+			obs.Reportf(e.pos, "duplicate ReasonCatalog entry for code %d", e.code)
+			continue
+		}
+		seenCode[e.code] = true
+		if !constCodes[e.code] {
+			obs.Reportf(e.pos, "ReasonCatalog entry %q (code %d) does not correspond to any telemetry.Reason constant", e.name, e.code)
+			continue
+		}
+		if want, ok := switchNames[e.code]; ok && want != e.name {
+			obs.Reportf(e.pos, "ReasonCatalog entry for code %d is named %q but telemetry.ReasonString says %q", e.code, e.name, want)
+		}
+		if len(emitted[e.counterName()]) == 0 {
+			obs.Reportf(e.pos, "ReasonCatalog entry %q expects counter %q, which no telemetry metric family exports", e.name, e.counterName())
+		}
+	}
+
+	// 3: every exported drop_* counter is accounted for by a catalog entry.
+	catalogCounters := make(map[string]bool)
+	for _, e := range entries {
+		catalogCounters[e.counterName()] = true
+	}
+	names := make([]string, 0, len(emitted))
+	for name := range emitted {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !strings.HasPrefix(name, "drop_") || catalogCounters[name] {
+			continue
+		}
+		for _, pos := range emitted[name] {
+			if tele.HasLineDirective(pos, "reason-ok") {
+				continue
+			}
+			tele.Reportf(pos, "drop counter %q has no obs.ReasonCatalog entry; I2/I3 cannot classify it", name)
+		}
+	}
+	return nil
+}
+
+// reasonConsts collects the Reason* constants (code >= 1; ReasonNone is the
+// zero sentinel and exempt).
+func reasonConsts(pass *vet.Pass) []reasonConst {
+	var out []reasonConst
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Reason") {
+						continue
+					}
+					c, ok := pass.Info.Defs[name].(*types.Const)
+					if !ok {
+						continue
+					}
+					code, ok := constant.Uint64Val(c.Val())
+					if !ok || code == 0 {
+						continue
+					}
+					out = append(out, reasonConst{name: name.Name, code: code, pos: name.Pos()})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].code < out[j].code })
+	return out
+}
+
+// reasonStringCases parses the ReasonString switch: code -> returned name.
+func reasonStringCases(pass *vet.Pass) (map[uint64]string, map[uint64]bool) {
+	names := make(map[uint64]string)
+	present := make(map[uint64]bool)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "ReasonString" || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cc, ok := n.(*ast.CaseClause)
+				if !ok {
+					return true
+				}
+				ret := caseReturnString(cc)
+				for _, expr := range cc.List {
+					code, ok := constUint(pass, expr)
+					if !ok {
+						continue
+					}
+					present[code] = true
+					if ret != "" {
+						names[code] = ret
+					}
+				}
+				return true
+			})
+		}
+	}
+	return names, present
+}
+
+// caseReturnString extracts `return "name"` from a case body.
+func caseReturnString(cc *ast.CaseClause) string {
+	for _, stmt := range cc.Body {
+		rs, ok := stmt.(*ast.ReturnStmt)
+		if !ok || len(rs.Results) != 1 {
+			continue
+		}
+		if lit, ok := rs.Results[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			return strings.Trim(lit.Value, `"`)
+		}
+	}
+	return ""
+}
+
+// emittedCounters collects every counter name a Walk method exports, keyed
+// to the Counter call positions. Literal names record as-is; the generated
+// family `v.Counter("drop_"+ReasonString(code), ...)` expands through the
+// enclosing for-loop's constant bounds using the ReasonString names.
+func emittedCounters(pass *vet.Pass, switchNames map[uint64]string) map[string][]token.Pos {
+	out := make(map[string][]token.Pos)
+	for _, f := range pass.Files {
+		var fors []*ast.ForStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fs, ok := n.(*ast.ForStmt); ok {
+				fors = append(fors, fs)
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Counter" {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			switch arg := arg.(type) {
+			case *ast.BasicLit:
+				if arg.Kind == token.STRING {
+					name := strings.Trim(arg.Value, `"`)
+					out[name] = append(out[name], call.Pos())
+				}
+			case *ast.BinaryExpr:
+				prefix, codes, ok := dynamicFamily(pass, arg, fors, call.Pos())
+				if !ok {
+					pass.Reportf(call.Pos(), "cannot determine the code range of dynamic counter family %s; reasonsync needs constant loop bounds", types.ExprString(arg))
+					return true
+				}
+				for _, code := range codes {
+					name, ok := switchNames[code]
+					if !ok {
+						continue // missing case: reported on the constant
+					}
+					out[prefix+name] = append(out[prefix+name], call.Pos())
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// dynamicFamily resolves `"drop_" + ReasonString(code)` inside a
+// `for code := lo; code <= hi; code++` loop to the concrete code range.
+func dynamicFamily(pass *vet.Pass, bin *ast.BinaryExpr, fors []*ast.ForStmt, at token.Pos) (string, []uint64, bool) {
+	if bin.Op != token.ADD {
+		return "", nil, false
+	}
+	prefix, ok := constString(pass, bin.X)
+	if !ok {
+		return "", nil, false
+	}
+	callY, ok := ast.Unparen(bin.Y).(*ast.CallExpr)
+	if !ok {
+		return "", nil, false
+	}
+	fn := calleeFunc(pass, callY)
+	if fn == nil || fn.Name() != "ReasonString" {
+		return "", nil, false
+	}
+
+	// Innermost enclosing for-loop.
+	var loop *ast.ForStmt
+	for _, fs := range fors {
+		if at > fs.Pos() && at < fs.End() {
+			if loop == nil || fs.Pos() > loop.Pos() {
+				loop = fs
+			}
+		}
+	}
+	if loop == nil || loop.Init == nil || loop.Cond == nil {
+		return "", nil, false
+	}
+	as, ok := loop.Init.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 {
+		return "", nil, false
+	}
+	lo, ok := constUint(pass, as.Rhs[0])
+	if !ok {
+		return "", nil, false
+	}
+	cond, ok := loop.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return "", nil, false
+	}
+	hi, ok := constUint(pass, cond.Y)
+	if !ok {
+		return "", nil, false
+	}
+	switch cond.Op {
+	case token.LEQ:
+	case token.LSS:
+		if hi == 0 {
+			return "", nil, false
+		}
+		hi--
+	default:
+		return "", nil, false
+	}
+	if hi < lo || hi-lo > 4096 {
+		return "", nil, false
+	}
+	var codes []uint64
+	for code := lo; code <= hi; code++ {
+		codes = append(codes, code)
+	}
+	return prefix, codes, true
+}
+
+// catalogEntries parses `var ReasonCatalog = []ReasonEntry{...}`.
+func catalogEntries(pass *vet.Pass) ([]catalogEntry, bool) {
+	var out []catalogEntry
+	found := false
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "ReasonCatalog" || len(vs.Values) != 1 {
+					continue
+				}
+				cl, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				found = true
+				for _, elt := range cl.Elts {
+					ecl, ok := elt.(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					entry := catalogEntry{pos: ecl.Pos()}
+					for _, kv := range ecl.Elts {
+						pair, ok := kv.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := pair.Key.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						switch key.Name {
+						case "Code":
+							entry.code, _ = constUint(pass, pair.Value)
+						case "Name":
+							entry.name, _ = constString(pass, pair.Value)
+						case "Counter":
+							entry.counter, _ = constString(pass, pair.Value)
+						}
+					}
+					out = append(out, entry)
+				}
+			}
+		}
+	}
+	return out, found
+}
+
+func constUint(pass *vet.Pass, e ast.Expr) (uint64, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return constant.Uint64Val(constant.ToInt(tv.Value))
+}
+
+func constString(pass *vet.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func calleeFunc(pass *vet.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

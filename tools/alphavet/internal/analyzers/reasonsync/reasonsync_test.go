@@ -1,0 +1,12 @@
+package reasonsync_test
+
+import (
+	"testing"
+
+	"alpha/tools/alphavet/internal/analyzers/reasonsync"
+	"alpha/tools/alphavet/internal/vet/vettest"
+)
+
+func TestReasonsync(t *testing.T) {
+	vettest.Run(t, "testdata/reasonsync", reasonsync.Analyzer)
+}

@@ -1,0 +1,25 @@
+// Fixture obs package for the reasonsync analyzer: a ReasonCatalog with
+// deliberate drift against the fixture telemetry package.
+package obs
+
+import "alpha/internal/telemetry"
+
+// ReasonEntry mirrors the real catalog's shape.
+type ReasonEntry struct {
+	Code    uint32
+	Name    string
+	Counter string
+	Hostile bool
+}
+
+// ReasonCatalog is the fixture's reason table.
+var ReasonCatalog = []ReasonEntry{
+	{Code: telemetry.ReasonMalformed, Name: "malformed", Hostile: true},
+	{Code: telemetry.ReasonUnknownAssoc, Name: "unknown_assoc"},
+	{Code: telemetry.ReasonMalformed, Name: "malformed"},                        // want `duplicate ReasonCatalog entry for code 1`
+	{Code: 42, Name: "stale"},                                                   // want `ReasonCatalog entry "stale" \(code 42\) does not correspond to any telemetry\.Reason constant`
+	{Code: 99, Name: "future"},                                                  //alpha:reason-ok reserved for the next admission stage
+	{Code: telemetry.ReasonRenamed, Name: "misnamed", Counter: "drop_renamed"},  // want `ReasonCatalog entry for code 6 is named "misnamed" but telemetry\.ReasonString says "renamed"`
+	{Code: telemetry.ReasonExpired, Name: "expired", Counter: "sessions_expired"},
+	{Code: telemetry.ReasonGhost, Name: "ghost"}, // want `ReasonCatalog entry "ghost" expects counter "drop_ghost", which no telemetry metric family exports`
+}

@@ -1,0 +1,71 @@
+// Fixture telemetry package for the reasonsync analyzer: constants,
+// ReasonString, and Walk-style counter emissions with deliberate drift.
+package telemetry
+
+// Reason codes.
+const (
+	ReasonNone uint32 = iota
+	ReasonMalformed
+	ReasonUnknownAssoc
+	ReasonOrphan  // want `telemetry\.ReasonOrphan \(code 3\) has no obs\.ReasonCatalog entry`
+	ReasonNoCase  // want `telemetry\.ReasonNoCase \(code 4\) has no ReasonString case` `telemetry\.ReasonNoCase \(code 4\) has no obs\.ReasonCatalog entry`
+	ReasonWaived  //alpha:reason-ok experimental reason, catalog entry lands with the feature
+	ReasonRenamed // catalog disagrees about this one's name
+	ReasonExpired // counted by an irregular (non drop_) counter
+	ReasonGhost   // catalog points at a counter nobody exports
+)
+
+// ReasonString names a Reason code.
+func ReasonString(code uint32) string {
+	switch code {
+	case ReasonNone:
+		return "none"
+	case ReasonMalformed:
+		return "malformed"
+	case ReasonUnknownAssoc:
+		return "unknown_assoc"
+	case ReasonOrphan:
+		return "orphan"
+	case ReasonWaived:
+		return "waived"
+	case ReasonRenamed:
+		return "renamed"
+	case ReasonExpired:
+		return "expired"
+	case ReasonGhost:
+		return "ghost"
+	default:
+		return "unknown"
+	}
+}
+
+// Visitor receives exported samples.
+type Visitor interface {
+	Counter(name string, v uint64)
+}
+
+// Metrics is a stand-in family with both literal and generated counters.
+type Metrics struct {
+	dropReasons [16]uint64
+}
+
+// Walk exports the family.
+func (m *Metrics) Walk(v Visitor) {
+	// Generated family over the endpoint range, like EndpointMetrics.
+	for code := uint32(1); code <= ReasonUnknownAssoc; code++ {
+		v.Counter("drop_"+ReasonString(code), m.dropReasons[code])
+	}
+	v.Counter("drop_renamed", 2)
+	v.Counter("sessions_expired", 3)
+	v.Counter("drop_stray", 4)  // want `drop counter "drop_stray" has no obs\.ReasonCatalog entry`
+	v.Counter("drop_shadow", 5) //alpha:reason-ok legacy alias kept for dashboards, accounted under drop_malformed
+	v.Counter("forwarded", 6)
+}
+
+// WalkDyn exports a family whose code range depends on a runtime value:
+// reasonsync cannot expand it and says so.
+func (m *Metrics) WalkDyn(v Visitor, hi uint32) {
+	for code := uint32(1); code <= hi; code++ {
+		v.Counter("drop_"+ReasonString(code), 0) // want `cannot determine the code range of dynamic counter family`
+	}
+}

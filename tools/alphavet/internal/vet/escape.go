@@ -1,0 +1,126 @@
+package vet
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// EscapeDiag is one parsed compiler escape-analysis diagnostic, as emitted
+// by `go build -gcflags=-m=2`. Heap marks the two diagnostic forms that
+// correspond to an actual heap allocation at that source position
+// ("... escapes to heap" and "moved to heap: x"); everything else the
+// compiler prints under -m=2 (inlining decisions, parameter leak summaries,
+// "does not escape" negatives) parses but stays Heap=false so callers can
+// assert the absence of escapes too.
+type EscapeDiag struct {
+	File string // absolute where resolvable, else as printed
+	Line int
+	Col  int // 0 when the compiler omitted a column
+	// Message is the first diagnostic line with any trailing ":" (the
+	// flow-explanation introducer) removed.
+	Message string
+	// Flow holds the indented escape-flow explanation lines that follow a
+	// Heap diagnostic under -m=2, whitespace-trimmed, in order. This is the
+	// compiler's own account of how the value reaches the heap.
+	Flow []string
+	Heap bool
+}
+
+// diagLine matches `file:line[:col]: message`. The file part is lazy so the
+// first `:digits:` group after it binds to line/col, which also keeps
+// //line-directive-rewritten absolute paths intact.
+var diagLine = regexp.MustCompile(`^(.+?):(\d+)(?::(\d+))?: (.*)$`)
+
+// ParseEscapeDiags parses `go build -gcflags=-m=2` output. dir anchors
+// relative file positions (the compiler prints paths relative to the
+// directory the go command ran in). Lines that are not diagnostics
+// (package headers, toolchain chatter) are skipped; indented continuation
+// lines attach to the preceding diagnostic as escape flow. Duplicate
+// diagnostics (the compiler may restate an escape once per inlining
+// context) collapse to one.
+func ParseEscapeDiags(dir string, output []byte) []EscapeDiag {
+	var out []EscapeDiag
+	seen := make(map[string]int) // dedupe key -> index into out
+	var last *EscapeDiag
+	for _, raw := range strings.Split(string(output), "\n") {
+		if raw == "" || strings.HasPrefix(raw, "#") || strings.HasPrefix(raw, "go: ") {
+			last = nil
+			continue
+		}
+		m := diagLine.FindStringSubmatch(raw)
+		if m == nil {
+			last = nil
+			continue
+		}
+		file, lineStr, colStr, msg := m[1], m[2], m[3], m[4]
+		if strings.HasPrefix(msg, " ") || strings.HasPrefix(msg, "\t") {
+			// Indented continuation: escape-flow detail of the previous
+			// diagnostic ("flow: {heap} = &x:", "from ... at ...").
+			if last != nil {
+				last.Flow = append(last.Flow, strings.TrimSpace(msg))
+			}
+			continue
+		}
+		line, _ := strconv.Atoi(lineStr)
+		col := 0
+		if colStr != "" {
+			col, _ = strconv.Atoi(colStr)
+		}
+		if !filepath.IsAbs(file) && dir != "" {
+			file = filepath.Join(dir, file)
+		}
+		msg = strings.TrimSuffix(msg, ":")
+		d := EscapeDiag{
+			File:    file,
+			Line:    line,
+			Col:     col,
+			Message: msg,
+			Heap:    strings.HasSuffix(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap"),
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s", d.File, d.Line, d.Col, d.Message)
+		if i, dup := seen[key]; dup {
+			last = &out[i]
+			continue
+		}
+		seen[key] = len(out)
+		out = append(out, d)
+		last = &out[len(out)-1]
+	}
+	return out
+}
+
+// EscapeDiagnostics shells out to the real Go compiler for one package —
+// `go build -gcflags=-m=2` in the package directory — and parses the escape
+// diagnostics back. The build cache replays compiler output on cache hits,
+// so repeated sweeps cost one cheap cache probe per package. GOWORK is
+// forced off to match the loader's view of the module.
+func EscapeDiagnostics(p *Package) ([]EscapeDiag, error) {
+	args := []string{"build", "-gcflags=-m=2"}
+	if p.Name == "main" {
+		// A bare `go build .` would drop the linked binary into the package
+		// directory; divert it.
+		tmp, err := os.CreateTemp("", "alphavet-escape-*")
+		if err != nil {
+			return nil, err
+		}
+		tmp.Close()
+		defer os.Remove(tmp.Name())
+		args = append(args, "-o", tmp.Name())
+	}
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = p.Dir
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m=2 %s: %v\n%s", p.Path, err, stderr.String())
+	}
+	return ParseEscapeDiags(p.Dir, stderr.Bytes()), nil
+}

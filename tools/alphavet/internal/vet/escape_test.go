@@ -1,0 +1,159 @@
+package vet_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"alpha/tools/alphavet/internal/vet"
+)
+
+// TestParseEscapeDiagsFlow checks multi-line escape-flow attachment, heap
+// classification, trailing-colon stripping, and duplicate collapsing.
+func TestParseEscapeDiagsFlow(t *testing.T) {
+	out := strings.Join([]string{
+		"# alpha/a",
+		"a.go:7:2: x escapes to heap:",
+		"a.go:7:2:   flow: {heap} = &x:",
+		"a.go:7:2:     from &x (address-of) at a.go:8:9",
+		"a.go:7:2:     from sink = &x (assign) at a.go:8:7",
+		"a.go:7:2: moved to heap: x",
+		"a.go:9:15: make([]byte, v) escapes to heap:",
+		"a.go:9:15:   flow: {heap} = &{storage for make([]byte, v)}:",
+		"a.go:9:15: make([]byte, v) escapes to heap", // compiler restates: must dedupe
+		"a.go:12:6: can inline helper with cost 7",
+		"a.go:13:13: buf does not escape",
+		"go: downloading something irrelevant",
+	}, "\n")
+	diags := vet.ParseEscapeDiags("/mod", []byte(out))
+	if len(diags) != 5 {
+		t.Fatalf("got %d diagnostics, want 5: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.File != "/mod/a.go" || d.Line != 7 || d.Col != 2 {
+		t.Errorf("bad position: %+v", d)
+	}
+	if d.Message != "x escapes to heap" {
+		t.Errorf("trailing colon not stripped: %q", d.Message)
+	}
+	if !d.Heap {
+		t.Errorf("escapes-to-heap not classified Heap: %+v", d)
+	}
+	if len(d.Flow) != 3 || !strings.HasPrefix(d.Flow[0], "flow:") || !strings.Contains(d.Flow[1], "address-of") {
+		t.Errorf("flow lines not attached: %q", d.Flow)
+	}
+	if !diags[1].Heap || diags[1].Message != "moved to heap: x" {
+		t.Errorf("moved-to-heap not classified: %+v", diags[1])
+	}
+	if !diags[2].Heap || len(diags[2].Flow) != 1 {
+		t.Errorf("second escape mis-parsed: %+v", diags[2])
+	}
+	if diags[3].Heap || diags[4].Heap {
+		t.Errorf("inline/does-not-escape wrongly classified Heap: %+v %+v", diags[3], diags[4])
+	}
+}
+
+// TestParseEscapeDiagsPaths checks that relative paths (including vendored
+// ones) anchor to the build directory while absolute paths — what //line
+// directives in generated files produce — pass through untouched.
+func TestParseEscapeDiagsPaths(t *testing.T) {
+	out := strings.Join([]string{
+		"./pkg/a.go:3:2: moved to heap: x",
+		"vendor/example.com/dep/b.go:4:5: y escapes to heap",
+		"/abs/generated.go:9:1: moved to heap: z",
+	}, "\n")
+	diags := vet.ParseEscapeDiags("/mod", []byte(out))
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3", len(diags))
+	}
+	if diags[0].File != "/mod/pkg/a.go" {
+		t.Errorf("relative path not joined: %q", diags[0].File)
+	}
+	if diags[1].File != "/mod/vendor/example.com/dep/b.go" {
+		t.Errorf("vendored path not joined: %q", diags[1].File)
+	}
+	if diags[2].File != "/abs/generated.go" {
+		t.Errorf("absolute (line-directive) path rewritten: %q", diags[2].File)
+	}
+}
+
+// TestEscapeDiagnosticsModule runs the real compiler over a scratch module:
+// a main package (exercising the -o diversion), a build-tag-excluded file
+// whose escapes must not surface, and a //line-directive file whose
+// diagnostics keep the rewritten path.
+func TestEscapeDiagnosticsModule(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("main.go", `package main
+
+var sink *int
+
+func main() {
+	x := 1
+	sink = &x
+}
+`)
+	write("tagged.go", `//go:build neverbuildme
+
+package main
+
+var tsink *int
+
+func tagLeak() {
+	y := 2
+	tsink = &y
+}
+`)
+	write("gen.go", `//line /virtual/gen.src:100
+package main
+
+var gsink *int
+
+func genLeak() {
+	z := 3
+	gsink = &z
+}
+`)
+
+	pkgs, err := vet.Load(dir, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	diags, err := vet.EscapeDiagnostics(pkgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var movedMain, movedTagged, movedVirtual bool
+	for _, d := range diags {
+		if !d.Heap {
+			continue
+		}
+		switch {
+		case d.File == filepath.Join(dir, "main.go") && strings.Contains(d.Message, "moved to heap: x"):
+			movedMain = true
+		case strings.Contains(d.Message, "moved to heap: y"):
+			movedTagged = true
+		case strings.HasPrefix(d.File, "/virtual/") && strings.Contains(d.Message, "moved to heap: z"):
+			movedVirtual = true
+		}
+	}
+	if !movedMain {
+		t.Errorf("missing heap diagnostic for main.go; got %+v", diags)
+	}
+	if movedTagged {
+		t.Errorf("build-tag-excluded file produced diagnostics")
+	}
+	if !movedVirtual {
+		t.Errorf("line-directive file's diagnostics did not keep the rewritten path; got %+v", diags)
+	}
+}

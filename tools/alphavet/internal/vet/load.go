@@ -16,12 +16,16 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked target package.
 type Package struct {
-	Path   string
-	Dir    string
+	Path string
+	Dir  string
+	// Name is the package name ("main" for commands — the escape runner
+	// needs to know so it can divert the linked binary).
+	Name   string
 	Fset   *token.FileSet
 	Syntax []*ast.File
 	// IgnoredSyntax holds parse-only ASTs of the package directory's
@@ -33,33 +37,66 @@ type Package struct {
 
 // listPackage mirrors the subset of `go list -json` fields the loader needs.
 type listPackage struct {
-	ImportPath    string
-	Dir           string
-	Name          string
-	Export        string
-	GoFiles       []string
+	ImportPath     string
+	Dir            string
+	Name           string
+	Export         string
+	GoFiles        []string
 	IgnoredGoFiles []string
-	Standard      bool
-	DepOnly       bool
-	Error         *struct{ Err string }
+	Standard       bool
+	DepOnly        bool
+	Error          *struct{ Err string }
 }
 
-// Load type-checks the packages matched by patterns in dir. It shells out to
+// Config tunes a Load. The zero value analyzes the host build configuration
+// with GOMAXPROCS-way parallelism.
+type Config struct {
+	// Dir is the directory whose module is analyzed ("." when empty).
+	Dir string
+	// GOOS/GOARCH select a build configuration other than the host's (the
+	// CI cross-compile legs sweep darwin and windows file sets without
+	// running on them). They apply to `go list` and the type-checker's
+	// sizes; the compiler-backed escape pass is host-only and should be
+	// disabled when these are set.
+	GOOS, GOARCH string
+	// Jobs bounds loader parallelism; <= 0 means GOMAXPROCS.
+	Jobs int
+}
+
+// Load type-checks the packages matched by patterns with a default Config.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	return LoadConfig(Config{Dir: dir}, patterns...)
+}
+
+// LoadConfig type-checks the packages matched by patterns. It shells out to
 // `go list -deps -export -json` so dependencies are resolved from compiler
 // export data instead of source, keeping the loader small and the analysis
 // independent of the dependency graph's own style. GOWORK is forced off so
-// running from a go.work root still analyzes only the module under dir.
-func Load(dir string, patterns ...string) ([]*Package, error) {
+// running from a go.work root still analyzes only the module under Dir.
+//
+// Target packages parse and type-check concurrently (bounded by Jobs):
+// every dependency — including in-module ones — imports from export data,
+// so no target depends on another target's type-checking having finished.
+func LoadConfig(cfg Config, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+	if cfg.Dir == "" {
+		cfg.Dir = "."
 	}
 	args := append([]string{
 		"list", "-e", "-deps", "-export",
 		"-json=ImportPath,Dir,Name,Export,GoFiles,IgnoredGoFiles,Standard,DepOnly,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
+	cmd.Dir = cfg.Dir
 	cmd.Env = append(os.Environ(), "GOWORK=off")
+	if cfg.GOOS != "" {
+		cmd.Env = append(cmd.Env, "GOOS="+cfg.GOOS)
+	}
+	if cfg.GOARCH != "" {
+		cmd.Env = append(cmd.Env, "GOARCH="+cfg.GOARCH)
+	}
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
@@ -90,26 +127,58 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	// The gc export-data importer memoizes loaded packages in an
+	// unsynchronized map; one mutex serializes Import calls while leaving
+	// parsing and type-checking (the expensive parts) parallel.
+	var impMu sync.Mutex
+	rawImp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, ok := exportData[path]
 		if !ok {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
 		return os.Open(f)
 	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		impMu.Lock()
+		defer impMu.Unlock()
+		return rawImp.Import(path)
+	})
 
-	var pkgs []*Package
-	for _, lp := range targets {
-		pkg, err := typecheck(fset, imp, lp)
+	arch := cfg.GOARCH
+	if arch == "" {
+		arch = runtime.GOARCH
+	}
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for i, lp := range targets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, lp *listPackage) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			pkgs[i], errs[i] = typecheck(fset, imp, arch, lp)
+		}(i, lp)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
 }
 
-func typecheck(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Package, error) {
+func typecheck(fset *token.FileSet, imp types.Importer, arch string, lp *listPackage) (*Package, error) {
 	var files []*ast.File
 	for _, name := range lp.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
@@ -141,13 +210,8 @@ func typecheck(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Packa
 		Implicits:  make(map[ast.Node]types.Object),
 	}
 	conf := &types.Config{
-		Importer: importerFunc(func(path string) (*types.Package, error) {
-			if path == "unsafe" {
-				return types.Unsafe, nil
-			}
-			return imp.Import(path)
-		}),
-		Sizes: types.SizesFor("gc", runtime.GOARCH),
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", arch),
 	}
 	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
 	if err != nil {
@@ -156,6 +220,7 @@ func typecheck(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Packa
 	return &Package{
 		Path:          lp.ImportPath,
 		Dir:           lp.Dir,
+		Name:          lp.Name,
 		Fset:          fset,
 		Syntax:        files,
 		IgnoredSyntax: ignored,

@@ -17,6 +17,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named check. Exactly one of Run and RunModule must be set:
@@ -52,6 +53,10 @@ type Pass struct {
 	Types *types.Package
 	Info  *types.Info
 
+	// Pkg is the loaded package behind this pass — the compiler-backed
+	// passes hand it to EscapeDiagnostics.
+	Pkg *Package
+
 	diags *[]Diagnostic
 
 	// lineDirectives caches, per file, the set of "//alpha:..." directives
@@ -79,6 +84,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportAt records a diagnostic at an externally produced position (the
+// compiler-backed passes get file:line:col from `go build` output, not from
+// a token.Pos in this FileSet).
+func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Directive is the comment prefix of all alphavet annotations.
 const Directive = "//alpha:"
 
@@ -86,12 +102,52 @@ const Directive = "//alpha:"
 // (e.g. "not-secret", "alloc-ok amortized by the key cache"). Directives may
 // appear as trailing comments or as a full-line comment on the same line.
 func (p *Pass) LineDirectives(pos token.Pos) []string {
-	if p.lineDirectives == nil {
-		p.lineDirectives = make(map[*token.File]map[int][]string)
-	}
 	tf := p.Fset.File(pos)
 	if tf == nil {
 		return nil
+	}
+	return p.directivesAt(tf, tf.Line(pos))
+}
+
+// HasLineDirective reports whether the line of pos carries the named
+// directive (matching the first word, so a rationale may follow).
+func (p *Pass) HasLineDirective(pos token.Pos, name string) bool {
+	for _, d := range p.LineDirectives(pos) {
+		word, _, _ := strings.Cut(d, " ")
+		if word == name {
+			return true
+		}
+	}
+	return false
+}
+
+// HasDirectiveAtLine reports whether the named directive appears on the
+// given line of the given file — the file/line twin of HasLineDirective for
+// positions that originate outside this FileSet (compiler diagnostics).
+func (p *Pass) HasDirectiveAtLine(file string, line int, name string) bool {
+	for _, f := range p.Files {
+		tf := p.Fset.File(f.Pos())
+		if tf == nil || tf.Name() != file {
+			continue
+		}
+		// Borrow the cached per-line directive index via any pos on the
+		// right line; LineBase arithmetic: find a comment-independent pos.
+		for _, d := range p.directivesAt(tf, line) {
+			word, _, _ := strings.Cut(d, " ")
+			if word == name {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// directivesAt returns the directives on one line of one file, building the
+// same cache LineDirectives uses.
+func (p *Pass) directivesAt(tf *token.File, line int) []string {
+	if p.lineDirectives == nil {
+		p.lineDirectives = make(map[*token.File]map[int][]string)
 	}
 	byLine, ok := p.lineDirectives[tf]
 	if !ok {
@@ -105,26 +161,13 @@ func (p *Pass) LineDirectives(pos token.Pos) []string {
 					if !strings.HasPrefix(c.Text, Directive) {
 						continue
 					}
-					line := tf.Line(c.Pos())
-					byLine[line] = append(byLine[line], strings.TrimPrefix(c.Text, Directive))
+					byLine[tf.Line(c.Pos())] = append(byLine[tf.Line(c.Pos())], strings.TrimPrefix(c.Text, Directive))
 				}
 			}
 		}
 		p.lineDirectives[tf] = byLine
 	}
-	return byLine[tf.Line(pos)]
-}
-
-// HasLineDirective reports whether the line of pos carries the named
-// directive (matching the first word, so a rationale may follow).
-func (p *Pass) HasLineDirective(pos token.Pos, name string) bool {
-	for _, d := range p.LineDirectives(pos) {
-		word, _, _ := strings.Cut(d, " ")
-		if word == name {
-			return true
-		}
-	}
-	return false
+	return byLine[line]
 }
 
 // FuncDirective reports whether the declaration's doc comment carries the
@@ -146,11 +189,25 @@ func FuncDirective(fd *ast.FuncDecl, name string) bool {
 	return false
 }
 
+// Timing is one analyzer's wall-clock cost over a whole run (-v output).
+type Timing struct {
+	Analyzer string
+	Duration time.Duration
+}
+
 // RunAnalyzers applies every analyzer to the loaded packages and returns the
 // combined findings sorted by file position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersTimed(pkgs, analyzers)
+	return diags, err
+}
+
+// RunAnalyzersTimed is RunAnalyzers plus per-analyzer wall-clock timings.
+func RunAnalyzersTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing, error) {
 	var diags []Diagnostic
+	var timings []Timing
 	for _, a := range analyzers {
+		start := time.Now()
 		var passes []*Pass
 		for _, pkg := range pkgs {
 			passes = append(passes, &Pass{
@@ -162,23 +219,25 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Path:         pkg.Path,
 				Types:        pkg.Types,
 				Info:         pkg.Info,
+				Pkg:          pkg,
 				diags:        &diags,
 			})
 		}
 		switch {
 		case a.RunModule != nil:
 			if err := a.RunModule(passes); err != nil {
-				return nil, fmt.Errorf("%s: %w", a.Name, err)
+				return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
 			}
 		case a.Run != nil:
 			for _, pass := range passes {
 				if err := a.Run(pass); err != nil {
-					return nil, fmt.Errorf("%s: %s: %w", a.Name, pass.Path, err)
+					return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pass.Path, err)
 				}
 			}
 		default:
-			return nil, fmt.Errorf("%s: analyzer has neither Run nor RunModule", a.Name)
+			return nil, nil, fmt.Errorf("%s: analyzer has neither Run nor RunModule", a.Name)
 		}
+		timings = append(timings, Timing{Analyzer: a.Name, Duration: time.Since(start)})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -193,5 +252,5 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	return diags, timings, nil
 }

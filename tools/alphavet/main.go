@@ -1,23 +1,39 @@
 // Command alphavet runs the project-specific static analyzers over the ALPHA
 // tree. Usage:
 //
-//	go run ./tools/alphavet [-only a,b] [packages]
+//	go run ./tools/alphavet [-only a,b] [-escape=false] [-json] [-v] [packages]
 //
 // With no package arguments it analyzes ./... of the module in the current
 // directory. Exit status is 1 if any analyzer reports a finding.
+//
+// The default run layers a compiler-backed escape-analysis pass (go build
+// -gcflags=-m=2) on top of the syntactic hotpathalloc pre-filter; -escape=false
+// drops back to the purely syntactic suite, which is what the cross-
+// configuration sweeps use together with -goos/-goarch (those select the
+// build configuration the loader analyzes without needing to run on it).
+//
+// -json switches the report to one JSON object per finding
+// ({"file","line","col","analyzer","message"}), the format the CI job turns
+// into GitHub annotations. -v prints loader and per-analyzer timings to
+// stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"alpha/tools/alphavet/internal/analyzers/buildtagpair"
 	"alpha/tools/alphavet/internal/analyzers/ctcompare"
 	"alpha/tools/alphavet/internal/analyzers/dropcount"
 	"alpha/tools/alphavet/internal/analyzers/hotpathalloc"
+	"alpha/tools/alphavet/internal/analyzers/lockscope"
 	"alpha/tools/alphavet/internal/analyzers/purposetag"
+	"alpha/tools/alphavet/internal/analyzers/reasonsync"
 	"alpha/tools/alphavet/internal/analyzers/telemisuse"
 	"alpha/tools/alphavet/internal/vet"
 )
@@ -29,11 +45,19 @@ var all = []*vet.Analyzer{
 	purposetag.Analyzer,
 	buildtagpair.Analyzer,
 	dropcount.Analyzer,
+	lockscope.Analyzer,
+	reasonsync.Analyzer,
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	escape := flag.Bool("escape", true, "enable the compiler-backed escape-analysis pass (hotpathalloc v2)")
+	jsonOut := flag.Bool("json", false, "report findings as one JSON object per line")
+	verbose := flag.Bool("v", false, "print loader and per-analyzer timings to stderr")
+	goos := flag.String("goos", "", "analyze this GOOS's file set instead of the host's (disables escape mode)")
+	goarch := flag.String("goarch", "", "analyze this GOARCH's file set instead of the host's (disables escape mode)")
+	jobs := flag.Int("jobs", 0, "loader/escape parallelism (default GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -62,23 +86,65 @@ func main() {
 		}
 	}
 
-	pkgs, err := vet.Load(".", flag.Args()...)
+	// The escape pass shells out to the host compiler; a cross-configuration
+	// sweep cannot use it (and CI does not ask it to).
+	hotpathalloc.Escape = *escape
+	if *goos != "" && *goos != runtime.GOOS || *goarch != "" && *goarch != runtime.GOARCH {
+		if *escape {
+			fmt.Fprintf(os.Stderr, "alphavet: -goos/-goarch sweep runs syntactic-only (escape pass disabled)\n")
+		}
+		hotpathalloc.Escape = false
+	}
+
+	start := time.Now()
+	pkgs, err := vet.LoadConfig(vet.Config{Dir: ".", GOOS: *goos, GOARCH: *goarch, Jobs: *jobs}, flag.Args()...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alphavet: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := vet.RunAnalyzers(pkgs, selected)
+	loadTime := time.Since(start)
+	diags, timings, err := vet.RunAnalyzersTimed(pkgs, selected)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alphavet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "alphavet: loaded %d packages in %v (%d jobs)\n", len(pkgs), loadTime.Round(time.Millisecond), loaderJobs(*jobs))
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "alphavet: %-14s %v\n", t.Analyzer, t.Duration.Round(time.Millisecond))
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			rec := struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Col      int    `json:"col"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message}
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintf(os.Stderr, "alphavet: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "alphavet: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+func loaderJobs(jobs int) int {
+	if jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return jobs
 }
 
 func firstLine(s string) string {
